@@ -1,0 +1,92 @@
+//! Vertex and edge identifiers and the hyperedge representation.
+//!
+//! A hypergraph edge is a set of vertices; the paper assumes edges carry
+//! unique identifiers hashable in constant time (§2, Dynamic model). Vertex
+//! ids are dense `u32`s; edge ids are `u64`s handed out by whatever structure
+//! owns the edges.
+
+/// A vertex identifier. Dense ids index directly into per-vertex tables.
+pub type VertexId = u32;
+
+/// A unique edge identifier (§2: "edges have unique identifiers so they can
+/// be hashed or compared for equality in constant time").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u64);
+
+impl EdgeId {
+    /// The raw identifier value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The vertex set of a hyperedge. Kept sorted and duplicate-free
+/// (see [`normalize_vertices`]). For rank-2 graphs this is just the two
+/// endpoints.
+pub type EdgeVertices = Vec<VertexId>;
+
+/// Sort and deduplicate a vertex list into canonical edge form.
+/// Returns `None` for an empty vertex set (not a legal hyperedge).
+pub fn normalize_vertices(mut vs: Vec<VertexId>) -> Option<EdgeVertices> {
+    vs.sort_unstable();
+    vs.dedup();
+    if vs.is_empty() {
+        None
+    } else {
+        Some(vs)
+    }
+}
+
+/// The cardinality (number of endpoints) of an edge: `|e|` in the paper.
+#[inline]
+pub fn cardinality(vs: &[VertexId]) -> usize {
+    vs.len()
+}
+
+/// Do two edges share a vertex? (The paper's "incident"/"neighbors"; both
+/// inputs must be in canonical sorted form — this is a linear merge.)
+pub fn edges_intersect(a: &[VertexId], b: &[VertexId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        assert_eq!(normalize_vertices(vec![3, 1, 3, 2]), Some(vec![1, 2, 3]));
+        assert_eq!(normalize_vertices(vec![]), None);
+        assert_eq!(normalize_vertices(vec![5]), Some(vec![5]));
+    }
+
+    #[test]
+    fn intersect_detects_shared_vertex() {
+        assert!(edges_intersect(&[1, 2], &[2, 3]));
+        assert!(!edges_intersect(&[1, 2], &[3, 4]));
+        assert!(edges_intersect(&[1, 5, 9], &[0, 9]));
+        assert!(!edges_intersect(&[], &[1]));
+    }
+
+    #[test]
+    fn edge_id_display_and_raw() {
+        let e = EdgeId(17);
+        assert_eq!(format!("{e}"), "e17");
+        assert_eq!(e.raw(), 17);
+    }
+}

@@ -1,0 +1,310 @@
+//! Graph and hypergraph generators for the evaluation suite.
+//!
+//! All generators are seeded and deterministic. Their RNG streams are
+//! independent of the matching algorithm's internal RNG, which is precisely
+//! the paper's oblivious-adversary setting: the input is fixed before the
+//! algorithm's coins are drawn.
+
+use pbdmm_primitives::hash::FxHashSet;
+use pbdmm_primitives::rng::SplitMix64;
+
+use crate::edge::{EdgeVertices, VertexId};
+use crate::hypergraph::Hypergraph;
+
+/// `m` distinct uniform random pairs on `n` vertices (Erdős–Rényi G(n, m)).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Hypergraph {
+    assert!(n >= 2, "need at least two vertices");
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut rng = SplitMix64::new(seed);
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let a = rng.bounded(n as u64) as u32;
+        let b = rng.bounded(n as u64) as u32;
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            edges.push(vec![key.0, key.1]);
+        }
+    }
+    Hypergraph { n, edges }
+}
+
+/// `m` distinct random hyperedges of cardinality exactly `r` on `n` vertices.
+pub fn random_hypergraph(n: usize, m: usize, r: usize, seed: u64) -> Hypergraph {
+    assert!(r >= 1 && n >= r, "need n >= r >= 1");
+    let mut rng = SplitMix64::new(seed);
+    let mut seen: FxHashSet<EdgeVertices> = FxHashSet::default();
+    let mut edges = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    while edges.len() < m {
+        attempts += 1;
+        if attempts > 100 * m + 1000 {
+            break; // graph saturated; return what we have
+        }
+        let mut vs: Vec<VertexId> = Vec::with_capacity(r);
+        while vs.len() < r {
+            let v = rng.bounded(n as u64) as u32;
+            if !vs.contains(&v) {
+                vs.push(v);
+            }
+        }
+        vs.sort_unstable();
+        if seen.insert(vs.clone()) {
+            edges.push(vs);
+        }
+    }
+    Hypergraph { n, edges }
+}
+
+/// Mixed-rank hypergraph: each edge's cardinality drawn uniformly in `2..=r`.
+pub fn mixed_rank_hypergraph(n: usize, m: usize, r: usize, seed: u64) -> Hypergraph {
+    assert!(r >= 2 && n >= r);
+    let mut rng = SplitMix64::new(seed);
+    let mut seen: FxHashSet<EdgeVertices> = FxHashSet::default();
+    let mut edges = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    while edges.len() < m {
+        attempts += 1;
+        if attempts > 100 * m + 1000 {
+            break;
+        }
+        let card = 2 + rng.bounded((r - 1) as u64) as usize;
+        let mut vs: Vec<VertexId> = Vec::with_capacity(card);
+        while vs.len() < card {
+            let v = rng.bounded(n as u64) as u32;
+            if !vs.contains(&v) {
+                vs.push(v);
+            }
+        }
+        vs.sort_unstable();
+        if seen.insert(vs.clone()) {
+            edges.push(vs);
+        }
+    }
+    Hypergraph { n, edges }
+}
+
+/// Preferential-attachment ("power-law") graph: vertices arrive one at a
+/// time, each attaching `k` edges to endpoints sampled proportionally to
+/// degree (plus one smoothing). Produces the skewed degree distributions that
+/// stress per-vertex data structures.
+pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> Hypergraph {
+    assert!(n > k + 1 && k >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let mut edges: Vec<EdgeVertices> = Vec::with_capacity(n * k);
+    // endpoint pool: each occurrence is one unit of degree mass.
+    let mut pool: Vec<u32> = (0..=k as u32).collect();
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    // Seed clique on vertices 0..=k.
+    for a in 0..=k as u32 {
+        for b in (a + 1)..=k as u32 {
+            edges.push(vec![a, b]);
+            seen.insert((a, b));
+        }
+    }
+    for v in (k as u32 + 1)..n as u32 {
+        let mut added = 0;
+        let mut tries = 0;
+        while added < k && tries < 20 * k {
+            tries += 1;
+            let u = pool[rng.bounded(pool.len() as u64) as usize];
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                edges.push(vec![key.0, key.1]);
+                pool.push(u);
+                pool.push(v);
+                added += 1;
+            }
+        }
+        pool.push(v); // smoothing mass so isolated-ish vertices stay reachable
+    }
+    Hypergraph { n, edges }
+}
+
+/// A path on `n` vertices (`n - 1` edges).
+pub fn path(n: usize) -> Hypergraph {
+    let edges = (0..n.saturating_sub(1))
+        .map(|i| vec![i as u32, i as u32 + 1])
+        .collect();
+    Hypergraph { n, edges }
+}
+
+/// A cycle on `n >= 3` vertices.
+pub fn cycle(n: usize) -> Hypergraph {
+    assert!(n >= 3);
+    let mut edges: Vec<EdgeVertices> = (0..n - 1).map(|i| vec![i as u32, i as u32 + 1]).collect();
+    edges.push(vec![0, n as u32 - 1]);
+    Hypergraph { n, edges }
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> Hypergraph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            edges.push(vec![a, b]);
+        }
+    }
+    Hypergraph { n, edges }
+}
+
+/// A star: vertex 0 joined to every other vertex. The pathological case for
+/// naive dynamic matching (deleting the matched edge re-scans the hub).
+pub fn star(n: usize) -> Hypergraph {
+    let edges = (1..n as u32).map(|v| vec![0, v]).collect();
+    Hypergraph { n, edges }
+}
+
+/// Random bipartite graph: `m` distinct edges between `left` and `right`
+/// vertex classes (consumers/resources in the paper's motivating setting).
+pub fn bipartite(left: usize, right: usize, m: usize, seed: u64) -> Hypergraph {
+    let n = left + right;
+    let max_edges = left * right;
+    let m = m.min(max_edges);
+    let mut rng = SplitMix64::new(seed);
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let a = rng.bounded(left as u64) as u32;
+        let b = (left as u64 + rng.bounded(right as u64)) as u32;
+        if seen.insert((a, b)) {
+            edges.push(vec![a, b]);
+        }
+    }
+    Hypergraph { n, edges }
+}
+
+/// A set-cover instance in hypergraph form (the reduction of Corollary 1.4):
+/// vertices are the `num_sets` sets; each of the `num_elements` elements
+/// becomes a hyperedge over the (≤ `r`) sets containing it. Every element is
+/// put in at least one set.
+pub fn set_cover_instance(num_sets: usize, num_elements: usize, r: usize, seed: u64) -> Hypergraph {
+    assert!(r >= 1 && num_sets >= r);
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::with_capacity(num_elements);
+    for _ in 0..num_elements {
+        let freq = 1 + rng.bounded(r as u64) as usize;
+        let mut vs: Vec<VertexId> = Vec::with_capacity(freq);
+        while vs.len() < freq {
+            let s = rng.bounded(num_sets as u64) as u32;
+            if !vs.contains(&s) {
+                vs.push(s);
+            }
+        }
+        vs.sort_unstable();
+        edges.push(vs);
+    }
+    Hypergraph { n: num_sets, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_shape() {
+        let g = erdos_renyi(100, 300, 1);
+        assert_eq!(g.n, 100);
+        assert_eq!(g.m(), 300);
+        assert_eq!(g.rank(), 2);
+        // All edges distinct.
+        let set: FxHashSet<&EdgeVertices> = g.edges.iter().collect();
+        assert_eq!(set.len(), 300);
+        assert!(Hypergraph::new(g.n, g.edges.clone()).is_ok());
+    }
+
+    #[test]
+    fn er_saturates_small_graphs() {
+        let g = erdos_renyi(4, 100, 2);
+        assert_eq!(g.m(), 6); // K4 has 6 edges
+    }
+
+    #[test]
+    fn er_is_seed_deterministic() {
+        let a = erdos_renyi(50, 100, 9);
+        let b = erdos_renyi(50, 100, 9);
+        assert_eq!(a.edges, b.edges);
+        let c = erdos_renyi(50, 100, 10);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn hypergraph_rank_exact() {
+        let g = random_hypergraph(60, 100, 4, 3);
+        assert_eq!(g.m(), 100);
+        assert!(g.edges.iter().all(|e| e.len() == 4));
+        assert!(Hypergraph::new(g.n, g.edges.clone()).is_ok());
+    }
+
+    #[test]
+    fn mixed_rank_bounds() {
+        let g = mixed_rank_hypergraph(80, 200, 5, 4);
+        assert!(g.edges.iter().all(|e| e.len() >= 2 && e.len() <= 5));
+        assert!(Hypergraph::new(g.n, g.edges.clone()).is_ok());
+    }
+
+    #[test]
+    fn preferential_attachment_is_skewed() {
+        let g = preferential_attachment(500, 3, 5);
+        let deg = g.degrees();
+        let max = *deg.iter().max().unwrap();
+        let avg = deg.iter().map(|&d| d as f64).sum::<f64>() / deg.len() as f64;
+        assert!(max as f64 > 3.0 * avg, "expected a hub: max={max} avg={avg}");
+        assert!(Hypergraph::new(g.n, g.edges.clone()).is_ok());
+    }
+
+    #[test]
+    fn structured_graphs() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(complete(6).m(), 15);
+        assert_eq!(star(7).m(), 6);
+        for g in [path(5), cycle(5), complete(6), star(7)] {
+            assert!(Hypergraph::new(g.n, g.edges.clone()).is_ok());
+        }
+    }
+
+    #[test]
+    fn bipartite_respects_classes() {
+        let g = bipartite(10, 20, 50, 6);
+        assert_eq!(g.m(), 50);
+        for e in &g.edges {
+            assert!(e[0] < 10 && e[1] >= 10 && e[1] < 30);
+        }
+    }
+
+    #[test]
+    fn bipartite_saturates() {
+        let g = bipartite(3, 3, 100, 1);
+        assert_eq!(g.m(), 9);
+    }
+
+    #[test]
+    fn hypergraph_saturation_returns_partial() {
+        // Only C(4,3) = 4 possible rank-3 edges on 4 vertices.
+        let g = random_hypergraph(4, 100, 3, 1);
+        assert_eq!(g.m(), 4);
+    }
+
+    #[test]
+    fn path_degenerate_sizes() {
+        assert_eq!(path(0).m(), 0);
+        assert_eq!(path(1).m(), 0);
+        assert_eq!(path(2).m(), 1);
+    }
+
+    #[test]
+    fn set_cover_frequencies_bounded() {
+        let g = set_cover_instance(20, 100, 3, 7);
+        assert_eq!(g.m(), 100);
+        assert!(g.edges.iter().all(|e| !e.is_empty() && e.len() <= 3));
+        assert!(Hypergraph::new(g.n, g.edges.clone()).is_ok());
+    }
+}

@@ -1,0 +1,208 @@
+//! A static hypergraph container with CSR adjacency.
+//!
+//! Used as the input type for static maximal matching (Lemma 1.3) and as the
+//! edge universe for workload streams. Terminology follows §2: rank is the
+//! maximum edge cardinality, `m'` ("total cardinality") is the sum of edge
+//! cardinalities.
+
+use pbdmm_primitives::par::par_map;
+
+use crate::edge::{EdgeVertices, VertexId};
+
+/// A static hypergraph: `n` vertices, edges given as canonical vertex lists.
+#[derive(Debug, Clone, Default)]
+pub struct Hypergraph {
+    /// Number of vertices (ids are `0..n`).
+    pub n: usize,
+    /// Edges, each a sorted duplicate-free vertex list.
+    pub edges: Vec<EdgeVertices>,
+}
+
+impl Hypergraph {
+    /// Build from parts, validating edge canonical form and vertex bounds.
+    pub fn new(n: usize, edges: Vec<EdgeVertices>) -> Result<Self, String> {
+        for (i, e) in edges.iter().enumerate() {
+            if e.is_empty() {
+                return Err(format!("edge {i} is empty"));
+            }
+            if !e.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("edge {i} is not sorted/deduplicated: {e:?}"));
+            }
+            if *e.last().unwrap() as usize >= n {
+                return Err(format!("edge {i} references vertex {} >= n={n}", e.last().unwrap()));
+            }
+        }
+        Ok(Hypergraph { n, edges })
+    }
+
+    /// Number of edges (`m`).
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total cardinality (`m'` in the paper): sum of `|e|`.
+    pub fn total_cardinality(&self) -> usize {
+        self.edges.iter().map(|e| e.len()).sum()
+    }
+
+    /// Rank: maximum edge cardinality (`r`).
+    pub fn rank(&self) -> usize {
+        self.edges.iter().map(|e| e.len()).max().unwrap_or(0)
+    }
+
+    /// Vertex→incident-edge adjacency in CSR form.
+    pub fn adjacency(&self) -> Csr {
+        let mut deg = vec![0u32; self.n];
+        for e in &self.edges {
+            for &v in e {
+                deg[v as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0u32;
+        for &d in &deg {
+            offsets.push(acc);
+            acc += d;
+        }
+        offsets.push(acc);
+        let mut cursor = offsets.clone();
+        let mut incident = vec![0u32; acc as usize];
+        for (ei, e) in self.edges.iter().enumerate() {
+            for &v in e {
+                incident[cursor[v as usize] as usize] = ei as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        Csr { offsets, incident }
+    }
+
+    /// Per-vertex degrees (number of incident edges).
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n];
+        for e in &self.edges {
+            for &v in e {
+                deg[v as usize] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Is `matching` (a set of edge indices) a valid matching?
+    pub fn is_matching(&self, matching: &[usize]) -> bool {
+        let mut covered = vec![false; self.n];
+        for &ei in matching {
+            for &v in &self.edges[ei] {
+                if covered[v as usize] {
+                    return false;
+                }
+                covered[v as usize] = true;
+            }
+        }
+        true
+    }
+
+    /// Is `matching` maximal: every non-matched edge incident on a matched one?
+    pub fn is_maximal_matching(&self, matching: &[usize]) -> bool {
+        if !self.is_matching(matching) {
+            return false;
+        }
+        let mut covered = vec![false; self.n];
+        for &ei in matching {
+            for &v in &self.edges[ei] {
+                covered[v as usize] = true;
+            }
+        }
+        let in_matching: std::collections::HashSet<usize> = matching.iter().copied().collect();
+        let flags = par_map(&self.edges, |e| e.iter().any(|&v| covered[v as usize]));
+        flags
+            .iter()
+            .enumerate()
+            .all(|(ei, &touched)| touched || in_matching.contains(&ei))
+    }
+}
+
+/// Compressed sparse rows: vertex `v`'s incident edge indices are
+/// `incident[offsets[v] .. offsets[v+1]]`.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Row offsets, length `n + 1`.
+    pub offsets: Vec<u32>,
+    /// Concatenated incident edge indices.
+    pub incident: Vec<u32>,
+}
+
+impl Csr {
+    /// Incident edge indices of vertex `v`.
+    #[inline]
+    pub fn row(&self, v: VertexId) -> &[u32] {
+        &self.incident[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Hypergraph {
+        // Triangle 0-1, 1-2, 0-2.
+        Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = tri();
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.total_cardinality(), 6);
+        assert_eq!(g.rank(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_edges() {
+        assert!(Hypergraph::new(3, vec![vec![]]).is_err());
+        assert!(Hypergraph::new(3, vec![vec![1, 0]]).is_err());
+        assert!(Hypergraph::new(3, vec![vec![0, 0]]).is_err());
+        assert!(Hypergraph::new(3, vec![vec![0, 3]]).is_err());
+    }
+
+    #[test]
+    fn adjacency_rows() {
+        let g = tri();
+        let adj = g.adjacency();
+        assert_eq!(adj.degree(0), 2);
+        assert_eq!(adj.degree(1), 2);
+        assert_eq!(adj.degree(2), 2);
+        let mut r0 = adj.row(0).to_vec();
+        r0.sort_unstable();
+        assert_eq!(r0, vec![0, 2]);
+    }
+
+    #[test]
+    fn matching_predicates() {
+        let g = tri();
+        assert!(g.is_matching(&[0]));
+        assert!(!g.is_matching(&[0, 1])); // share vertex 1
+        assert!(g.is_maximal_matching(&[0])); // any single triangle edge is maximal
+        assert!(!g.is_maximal_matching(&[])); // empty is not maximal here
+    }
+
+    #[test]
+    fn hyperedge_matching() {
+        let g = Hypergraph::new(6, vec![vec![0, 1, 2], vec![3, 4, 5], vec![2, 3]]).unwrap();
+        assert!(g.is_matching(&[0, 1]));
+        assert!(g.is_maximal_matching(&[0, 1]));
+        // {2,3} alone is also maximal: it touches both rank-3 edges.
+        assert!(g.is_maximal_matching(&[2]));
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_maximal() {
+        let g = Hypergraph::new(0, vec![]).unwrap();
+        assert!(g.is_maximal_matching(&[]));
+    }
+}

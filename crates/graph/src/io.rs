@@ -1,0 +1,140 @@
+//! Plain-text hyperedge-list IO.
+//!
+//! Format: one edge per line, whitespace-separated vertex ids (any count ≥ 1
+//! — rank-2 lines are ordinary graph edges); `#` starts a comment; blank
+//! lines ignored. Vertices are non-negative integers; `n` is inferred as
+//! max id + 1 unless a `# vertices: N` header raises it.
+//!
+//! ```text
+//! # a triangle and one rank-3 hyperedge
+//! 0 1
+//! 1 2
+//! 0 2
+//! 2 3 4
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::edge::normalize_vertices;
+use crate::hypergraph::Hypergraph;
+
+/// Parse a hypergraph from reader contents. Lines are normalized (sorted,
+/// deduplicated vertices); malformed lines produce an error naming the line.
+pub fn read_hypergraph<R: BufRead>(reader: R) -> Result<Hypergraph, String> {
+    let mut edges = Vec::new();
+    let mut declared_n: usize = 0;
+    let mut max_v: usize = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: io error: {e}", lineno + 1))?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            if let Some(rest) = line.trim().strip_prefix("# vertices:") {
+                declared_n = rest
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("line {}: bad vertex count: {e}", lineno + 1))?;
+            }
+            continue;
+        }
+        let mut vs = Vec::new();
+        for tok in content.split_whitespace() {
+            let v: u32 = tok
+                .parse()
+                .map_err(|e| format!("line {}: bad vertex id {tok:?}: {e}", lineno + 1))?;
+            max_v = max_v.max(v as usize + 1);
+            vs.push(v);
+        }
+        let vs = normalize_vertices(vs)
+            .ok_or_else(|| format!("line {}: empty edge", lineno + 1))?;
+        edges.push(vs);
+    }
+    Hypergraph::new(declared_n.max(max_v), edges)
+}
+
+/// Parse a hypergraph from a file path.
+pub fn read_hypergraph_file(path: &std::path::Path) -> Result<Hypergraph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
+    read_hypergraph(std::io::BufReader::new(file))
+}
+
+/// Write a hypergraph in the edge-list format (with a vertex-count header,
+/// so isolated trailing vertices round-trip).
+pub fn write_hypergraph<W: Write>(mut w: W, g: &Hypergraph) -> std::io::Result<()> {
+    writeln!(w, "# vertices: {}", g.n)?;
+    for e in &g.edges {
+        let line: Vec<String> = e.iter().map(|v| v.to_string()).collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Write a hypergraph to a file path.
+pub fn write_hypergraph_file(path: &std::path::Path, g: &Hypergraph) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+    write_hypergraph(std::io::BufWriter::new(file), g).map_err(|e| format!("write {path:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Hypergraph, String> {
+        read_hypergraph(std::io::Cursor::new(s))
+    }
+
+    #[test]
+    fn parses_simple_graph() {
+        let g = parse("0 1\n1 2\n# comment\n\n0 2\n").unwrap();
+        assert_eq!(g.n, 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.rank(), 2);
+    }
+
+    #[test]
+    fn parses_hyperedges_and_normalizes() {
+        let g = parse("3 1 2 1\n0 5\n").unwrap();
+        assert_eq!(g.edges[0], vec![1, 2, 3]);
+        assert_eq!(g.n, 6);
+        assert_eq!(g.rank(), 3);
+    }
+
+    #[test]
+    fn vertex_count_header_raises_n() {
+        let g = parse("# vertices: 100\n0 1\n").unwrap();
+        assert_eq!(g.n, 100);
+    }
+
+    #[test]
+    fn inline_comments_stripped() {
+        let g = parse("0 1 # the first edge\n").unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("0 x\n").is_err());
+        assert!(parse("0 -1\n").is_err());
+    }
+
+    #[test]
+    fn roundtrips() {
+        let g = crate::gen::random_hypergraph(40, 100, 4, 9);
+        let mut buf = Vec::new();
+        write_hypergraph(&mut buf, &g).unwrap();
+        let g2 = read_hypergraph(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(g.n, g2.n);
+        assert_eq!(g.edges, g2.edges);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = crate::gen::erdos_renyi(20, 50, 3);
+        let dir = std::env::temp_dir().join("pbdmm_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.hgr");
+        write_hypergraph_file(&path, &g).unwrap();
+        let g2 = read_hypergraph_file(&path).unwrap();
+        assert_eq!(g.edges, g2.edges);
+        std::fs::remove_file(&path).ok();
+    }
+}

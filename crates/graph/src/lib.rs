@@ -1,0 +1,25 @@
+//! # pbdmm-graph
+//!
+//! Hypergraph representation, generators, and batch-dynamic workload
+//! streams for the SPAA 2025 batch-dynamic maximal matching reproduction.
+//!
+//! * [`edge`] — vertex/edge identifiers, canonical hyperedge form;
+//! * [`hypergraph`] — static hypergraph with CSR adjacency and matching
+//!   validity/maximality predicates;
+//! * [`gen`] — seeded generators (Erdős–Rényi, rank-r hypergraphs,
+//!   preferential attachment, bipartite, structured graphs, set-cover
+//!   instances);
+//! * [`workload`] — oblivious batch update schedules (empty-to-empty,
+//!   sliding-window, churn) with several deletion orders.
+
+#![warn(missing_docs)]
+
+pub mod edge;
+pub mod gen;
+pub mod hypergraph;
+pub mod io;
+pub mod workload;
+
+pub use edge::{cardinality, edges_intersect, normalize_vertices, EdgeId, EdgeVertices, VertexId};
+pub use hypergraph::{Csr, Hypergraph};
+pub use workload::{BatchStep, DeletionOrder, Workload};

@@ -1,0 +1,411 @@
+//! Batch-dynamic update streams — the oblivious adversary, operationalized.
+//!
+//! A [`Workload`] is an edge universe plus a fixed schedule of batches of
+//! insertions and deletions of those edges. The schedule is generated from
+//! its own seed, before and independently of the matching structure's coins,
+//! which is exactly the paper's oblivious-adversary model. Amortized claims
+//! in the paper are stated for runs that start and end empty (§5.3), so most
+//! constructors produce empty-to-empty streams.
+
+use pbdmm_primitives::rng::SplitMix64;
+
+use crate::edge::EdgeVertices;
+use crate::hypergraph::Hypergraph;
+
+/// One step of the schedule: a batch of inserts then a batch of deletes,
+/// both as indices into the workload's universe.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStep {
+    /// Universe indices to insert this step.
+    pub insert: Vec<usize>,
+    /// Universe indices to delete this step.
+    pub delete: Vec<usize>,
+}
+
+/// A fixed (oblivious) schedule of batch updates over an edge universe.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Every edge that ever appears.
+    pub universe: Vec<EdgeVertices>,
+    /// The batch schedule.
+    pub steps: Vec<BatchStep>,
+}
+
+/// How the adversary orders its deletions. All options are oblivious: they
+/// depend only on the graph structure and the adversary's own seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeletionOrder {
+    /// Uniformly random order.
+    Uniform,
+    /// Oldest-inserted first.
+    Fifo,
+    /// Newest-inserted first.
+    Lifo,
+    /// Edges deleted in bursts clustered around random vertices — stresses
+    /// repeated resettles of the same neighborhood.
+    VertexClustered,
+    /// High-degree endpoints first: hubs are dismantled before the fringe,
+    /// maximizing the chance that deletions hit matched edges with large
+    /// neighborhoods (the naive baseline's worst case).
+    DegreeBiased,
+}
+
+impl Workload {
+    /// Total number of edge updates (inserts + deletes) across all steps.
+    pub fn total_updates(&self) -> usize {
+        self.steps.iter().map(|s| s.insert.len() + s.delete.len()).sum()
+    }
+
+    /// Number of steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Check schedule sanity: every edge inserted at most once, deleted at
+    /// most once, and only while alive; indexes in range.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut state = vec![0u8; self.universe.len()]; // 0=never,1=alive,2=deleted
+        for (si, step) in self.steps.iter().enumerate() {
+            for &i in &step.insert {
+                if i >= self.universe.len() {
+                    return Err(format!("step {si}: insert index {i} out of range"));
+                }
+                if state[i] != 0 {
+                    return Err(format!("step {si}: edge {i} inserted twice"));
+                }
+                state[i] = 1;
+            }
+            for &i in &step.delete {
+                if i >= self.universe.len() {
+                    return Err(format!("step {si}: delete index {i} out of range"));
+                }
+                if state[i] != 1 {
+                    return Err(format!("step {si}: edge {i} deleted while not alive"));
+                }
+                state[i] = 2;
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the stream end with an empty graph?
+    pub fn is_empty_to_empty(&self) -> bool {
+        let mut state = vec![0u8; self.universe.len()];
+        for step in &self.steps {
+            for &i in &step.insert {
+                state[i] = 1;
+            }
+            for &i in &step.delete {
+                state[i] = 2;
+            }
+        }
+        state.iter().all(|&s| s != 1)
+    }
+}
+
+/// Order `alive` edge indices for deletion according to `order`.
+fn deletion_sequence(
+    universe: &[EdgeVertices],
+    inserted_order: &[usize],
+    order: DeletionOrder,
+    rng: &mut SplitMix64,
+) -> Vec<usize> {
+    match order {
+        DeletionOrder::Fifo => inserted_order.to_vec(),
+        DeletionOrder::Lifo => inserted_order.iter().rev().copied().collect(),
+        DeletionOrder::Uniform => {
+            let mut seq = inserted_order.to_vec();
+            // Fisher–Yates with the adversary's rng.
+            for i in (1..seq.len()).rev() {
+                let j = rng.bounded(i as u64 + 1) as usize;
+                seq.swap(i, j);
+            }
+            seq
+        }
+        DeletionOrder::DegreeBiased => {
+            // Degree = number of universe edges on the vertex; an edge's key
+            // is its max endpoint degree (descending), jittered to break
+            // ties obliviously.
+            let n = universe
+                .iter()
+                .flat_map(|e| e.iter())
+                .copied()
+                .max()
+                .map(|v| v as usize + 1)
+                .unwrap_or(0);
+            let mut deg = vec![0u32; n];
+            for e in universe {
+                for &v in e {
+                    deg[v as usize] += 1;
+                }
+            }
+            let mut seq = inserted_order.to_vec();
+            let jitter = SplitMix64::new(rng.next_u64());
+            seq.sort_by_key(|&ei| {
+                let d = universe[ei].iter().map(|&v| deg[v as usize]).max().unwrap();
+                (std::cmp::Reverse(d), jitter.at(ei as u64))
+            });
+            seq
+        }
+        DeletionOrder::VertexClustered => {
+            // Random vertex order; an edge's burst position is the earliest
+            // position of any of its endpoints.
+            let n = universe
+                .iter()
+                .flat_map(|e| e.iter())
+                .copied()
+                .max()
+                .map(|v| v as usize + 1)
+                .unwrap_or(0);
+            let mut vpos: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                let j = rng.bounded(i as u64 + 1) as usize;
+                vpos.swap(i, j);
+            }
+            let mut rank = vec![0u32; n];
+            for (pos, &v) in vpos.iter().enumerate() {
+                rank[v as usize] = pos as u32;
+            }
+            let mut seq = inserted_order.to_vec();
+            seq.sort_by_key(|&ei| universe[ei].iter().map(|&v| rank[v as usize]).min().unwrap());
+            seq
+        }
+    }
+}
+
+fn chunk(ids: &[usize], batch: usize) -> Vec<Vec<usize>> {
+    ids.chunks(batch.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Empty-to-empty stream: insert all of `graph`'s edges in batches of
+/// `batch`, then delete them all in batches of `batch`, ordered by `order`.
+pub fn insert_then_delete(
+    graph: &Hypergraph,
+    batch: usize,
+    order: DeletionOrder,
+    seed: u64,
+) -> Workload {
+    let mut rng = SplitMix64::new(seed);
+    let all: Vec<usize> = (0..graph.edges.len()).collect();
+    let mut steps: Vec<BatchStep> = chunk(&all, batch)
+        .into_iter()
+        .map(|insert| BatchStep { insert, delete: vec![] })
+        .collect();
+    let del_seq = deletion_sequence(&graph.edges, &all, order, &mut rng);
+    steps.extend(chunk(&del_seq, batch).into_iter().map(|delete| BatchStep {
+        insert: vec![],
+        delete,
+    }));
+    Workload {
+        universe: graph.edges.clone(),
+        steps,
+    }
+}
+
+/// Sliding-window churn: insert one batch per step; once `window` batches
+/// are alive, each subsequent step also deletes the oldest alive batch
+/// (FIFO) or a random alive batch. Ends by draining to empty.
+pub fn sliding_window(
+    graph: &Hypergraph,
+    batch: usize,
+    window: usize,
+    order: DeletionOrder,
+    seed: u64,
+) -> Workload {
+    let mut rng = SplitMix64::new(seed);
+    let all: Vec<usize> = (0..graph.edges.len()).collect();
+    let ins_batches = chunk(&all, batch);
+    let mut steps = Vec::new();
+    let mut alive: Vec<usize> = Vec::new();
+    let mut cursor = 0usize; // FIFO cursor into `alive`
+    for ins in &ins_batches {
+        let mut step = BatchStep {
+            insert: ins.clone(),
+            delete: vec![],
+        };
+        alive.extend_from_slice(ins);
+        if alive.len() - cursor > window * batch {
+            let take = batch.min(alive.len() - cursor);
+            let del: Vec<usize> = match order {
+                DeletionOrder::Uniform => {
+                    // Random alive edges: swap chosen to front of live region.
+                    let mut del = Vec::with_capacity(take);
+                    for _ in 0..take {
+                        let span = alive.len() - cursor;
+                        let j = cursor + rng.bounded(span as u64) as usize;
+                        alive.swap(cursor, j);
+                        del.push(alive[cursor]);
+                        cursor += 1;
+                    }
+                    del
+                }
+                _ => {
+                    let del = alive[cursor..cursor + take].to_vec();
+                    cursor += take;
+                    del
+                }
+            };
+            step.delete = del;
+        }
+        steps.push(step);
+    }
+    // Drain.
+    while cursor < alive.len() {
+        let take = batch.min(alive.len() - cursor);
+        steps.push(BatchStep {
+            insert: vec![],
+            delete: alive[cursor..cursor + take].to_vec(),
+        });
+        cursor += take;
+    }
+    Workload {
+        universe: graph.edges.clone(),
+        steps,
+    }
+}
+
+/// Mixed churn: each step randomly both inserts fresh edges and deletes
+/// alive ones (when any), ending empty.
+pub fn churn(graph: &Hypergraph, batch: usize, seed: u64) -> Workload {
+    let mut rng = SplitMix64::new(seed);
+    let m = graph.edges.len();
+    let mut next = 0usize;
+    let mut alive: Vec<usize> = Vec::new();
+    let mut steps = Vec::new();
+    while next < m || !alive.is_empty() {
+        let mut step = BatchStep::default();
+        if next < m {
+            let take = batch.min(m - next);
+            step.insert = (next..next + take).collect();
+            alive.extend(next..next + take);
+            next += take;
+        }
+        // Delete roughly half a batch of random alive edges each step once
+        // warm, and everything once the universe is exhausted.
+        let want = if next >= m { batch } else { batch / 2 };
+        let take = want.min(alive.len());
+        for _ in 0..take {
+            let j = rng.bounded(alive.len() as u64) as usize;
+            step.delete.push(alive.swap_remove(j));
+        }
+        if !step.insert.is_empty() || !step.delete.is_empty() {
+            steps.push(step);
+        }
+    }
+    Workload {
+        universe: graph.edges.clone(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn graph() -> Hypergraph {
+        gen::erdos_renyi(200, 1000, 11)
+    }
+
+    #[test]
+    fn insert_then_delete_is_valid_and_empty_to_empty() {
+        for order in [
+            DeletionOrder::Uniform,
+            DeletionOrder::Fifo,
+            DeletionOrder::Lifo,
+            DeletionOrder::VertexClustered,
+            DeletionOrder::DegreeBiased,
+        ] {
+            let w = insert_then_delete(&graph(), 128, order, 3);
+            w.validate().unwrap();
+            assert!(w.is_empty_to_empty());
+            assert_eq!(w.total_updates(), 2000);
+        }
+    }
+
+    #[test]
+    fn degree_biased_deletes_hubs_first() {
+        let g = crate::gen::star(50); // vertex 0 has degree 49, leaves 1
+        let w = insert_then_delete(&g, 10, DeletionOrder::DegreeBiased, 4);
+        w.validate().unwrap();
+        // All star edges share the hub so all have the same max-degree key;
+        // on a two-star graph the bigger star must go first.
+        let mut edges = g.edges.clone();
+        let mut small_star: Vec<Vec<u32>> = (51..56).map(|v| vec![50, v]).collect();
+        edges.append(&mut small_star);
+        let g2 = crate::hypergraph::Hypergraph { n: 56, edges };
+        let w2 = insert_then_delete(&g2, 1, DeletionOrder::DegreeBiased, 4);
+        let deletes: Vec<usize> = w2.steps.iter().flat_map(|s| s.delete.iter().copied()).collect();
+        // The last five deletions are the small star's edges.
+        assert!(deletes[deletes.len() - 5..].iter().all(|&ei| ei >= 49));
+    }
+
+    #[test]
+    fn deletion_orders_differ() {
+        let g = graph();
+        let fifo = insert_then_delete(&g, 128, DeletionOrder::Fifo, 3);
+        let lifo = insert_then_delete(&g, 128, DeletionOrder::Lifo, 3);
+        let uni = insert_then_delete(&g, 128, DeletionOrder::Uniform, 3);
+        let d = |w: &Workload| {
+            w.steps
+                .iter()
+                .flat_map(|s| s.delete.iter().copied())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(d(&fifo), d(&lifo));
+        assert_ne!(d(&fifo), d(&uni));
+        let mut sorted = d(&uni);
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sliding_window_is_valid() {
+        for order in [DeletionOrder::Fifo, DeletionOrder::Uniform] {
+            let w = sliding_window(&graph(), 64, 4, order, 5);
+            w.validate().unwrap();
+            assert!(w.is_empty_to_empty());
+            assert_eq!(w.total_updates(), 2000);
+        }
+    }
+
+    #[test]
+    fn churn_is_valid() {
+        let w = churn(&graph(), 100, 7);
+        w.validate().unwrap();
+        assert!(w.is_empty_to_empty());
+        assert_eq!(w.total_updates(), 2000);
+    }
+
+    #[test]
+    fn validate_catches_double_insert() {
+        let w = Workload {
+            universe: vec![vec![0, 1]],
+            steps: vec![
+                BatchStep { insert: vec![0], delete: vec![] },
+                BatchStep { insert: vec![0], delete: vec![] },
+            ],
+        };
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_delete_before_insert() {
+        let w = Workload {
+            universe: vec![vec![0, 1]],
+            steps: vec![BatchStep { insert: vec![], delete: vec![0] }],
+        };
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn workloads_are_seed_deterministic() {
+        let g = graph();
+        let a = churn(&g, 100, 7);
+        let b = churn(&g, 100, 7);
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(x.insert, y.insert);
+            assert_eq!(x.delete, y.delete);
+        }
+    }
+}

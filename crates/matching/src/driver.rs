@@ -1,0 +1,158 @@
+//! Replay an oblivious [`Workload`] against any [`MaximalMatcher`].
+//!
+//! Workloads reference edges by universe index; matchers hand out
+//! [`EdgeId`]s at insertion time. The driver owns that mapping and reports
+//! aggregate cost, so experiments drive the paper's algorithm and every
+//! baseline through identical update streams.
+
+use pbdmm_graph::edge::{EdgeId, EdgeVertices};
+use pbdmm_graph::workload::Workload;
+
+use crate::baseline::MaximalMatcher;
+
+/// Result of replaying a workload.
+#[derive(Debug, Clone, Default)]
+pub struct DriveReport {
+    /// Total edge updates applied (inserts + deletes).
+    pub updates: u64,
+    /// Batches applied.
+    pub batches: u64,
+    /// Wall-clock seconds for the whole replay.
+    pub seconds: f64,
+    /// Model work delta over the replay.
+    pub work: u64,
+    /// Peak live edge count observed between batches.
+    pub peak_edges: usize,
+    /// Final matching size.
+    pub final_matching: usize,
+}
+
+impl DriveReport {
+    /// Wall-clock throughput in updates per second.
+    pub fn updates_per_second(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.updates as f64 / self.seconds
+        }
+    }
+
+    /// Metered work per update.
+    pub fn work_per_update(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.updates as f64
+        }
+    }
+}
+
+/// Replay `workload` against `matcher`, optionally invoking `check` after
+/// every batch (used by tests to assert invariants/maximality).
+pub fn run_workload_with<M, F>(matcher: &mut M, workload: &Workload, mut check: F) -> DriveReport
+where
+    M: MaximalMatcher,
+    F: FnMut(&M),
+{
+    let work_before = matcher.work();
+    let start = std::time::Instant::now();
+    let mut assigned: Vec<Option<EdgeId>> = vec![None; workload.universe.len()];
+    let mut report = DriveReport::default();
+    for step in &workload.steps {
+        if !step.insert.is_empty() {
+            let ins: Vec<EdgeVertices> = step
+                .insert
+                .iter()
+                .map(|&i| workload.universe[i].clone())
+                .collect();
+            let ids = matcher.insert_edges(&ins);
+            for (&ui, &id) in step.insert.iter().zip(&ids) {
+                assigned[ui] = Some(id);
+            }
+            report.updates += ins.len() as u64;
+        }
+        if !step.delete.is_empty() {
+            let dels: Vec<EdgeId> = step
+                .delete
+                .iter()
+                .map(|&i| assigned[i].expect("workload deletes an edge it never inserted"))
+                .collect();
+            matcher.delete_edges(&dels);
+            report.updates += dels.len() as u64;
+        }
+        report.batches += 1;
+        report.peak_edges = report.peak_edges.max(matcher.num_edges());
+        check(&*matcher);
+    }
+    report.seconds = start.elapsed().as_secs_f64();
+    report.work = matcher.work() - work_before;
+    report.final_matching = matcher.matching_size();
+    report
+}
+
+/// Replay without per-batch checks.
+pub fn run_workload<M: MaximalMatcher>(matcher: &mut M, workload: &Workload) -> DriveReport {
+    run_workload_with(matcher, workload, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{NaiveDynamic, RecomputeMatching};
+    use crate::DynamicMatching;
+    use pbdmm_graph::{gen, workload};
+
+    #[test]
+    fn drive_dynamic_empty_to_empty() {
+        let g = gen::erdos_renyi(100, 500, 3);
+        let w = workload::insert_then_delete(&g, 64, workload::DeletionOrder::Uniform, 5);
+        let mut m = DynamicMatching::with_seed(1);
+        let report = run_workload(&mut m, &w);
+        assert_eq!(report.updates, 1000);
+        assert_eq!(m.num_edges(), 0);
+        assert!(report.peak_edges >= 500);
+        assert!(report.work > 0);
+    }
+
+    #[test]
+    fn drive_all_matchers_same_workload() {
+        let g = gen::erdos_renyi(80, 300, 4);
+        let w = workload::churn(&g, 50, 6);
+        let mut a = DynamicMatching::with_seed(2);
+        let mut b = RecomputeMatching::with_seed(2);
+        let mut c = NaiveDynamic::new();
+        for r in [
+            run_workload(&mut a, &w),
+            run_workload(&mut b, &w),
+            run_workload(&mut c, &w),
+        ] {
+            assert_eq!(r.updates, 600);
+            assert_eq!(r.final_matching, 0);
+        }
+    }
+
+    #[test]
+    fn report_rates_handle_degenerate_inputs() {
+        let r = DriveReport::default();
+        assert_eq!(r.updates_per_second(), 0.0);
+        assert_eq!(r.work_per_update(), 0.0);
+        let r = DriveReport {
+            updates: 100,
+            seconds: 2.0,
+            work: 500,
+            ..Default::default()
+        };
+        assert!((r.updates_per_second() - 50.0).abs() < 1e-9);
+        assert!((r.work_per_update() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_batch_check_is_invoked() {
+        let g = gen::path(20);
+        let w = workload::insert_then_delete(&g, 5, workload::DeletionOrder::Fifo, 7);
+        let mut m = DynamicMatching::with_seed(3);
+        let mut calls = 0;
+        run_workload_with(&mut m, &w, |_| calls += 1);
+        assert_eq!(calls as u64, w.num_steps() as u64);
+    }
+}

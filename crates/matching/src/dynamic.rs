@@ -1,0 +1,867 @@
+//! The parallel batch-dynamic maximal matching algorithm (Figure 3).
+//!
+//! [`DynamicMatching`] maintains a maximal matching of a hypergraph under
+//! batches of edge insertions and deletions with `O(r³)` expected amortized
+//! work per edge update (`O(1)` for graphs, Theorem 1.1 / Corollary 1.2) and
+//! `O(log³ m)` depth per batch whp (Lemma 5.11), against an oblivious
+//! adversary.
+//!
+//! Batch flow (Figure 4's flow chart):
+//!
+//! * **insert** — run a random greedy matching over the *free* edges of the
+//!   batch; matched edges enter at level 0 with singleton samples, the rest
+//!   become cross edges.
+//! * **delete** — unmatched deletions just detach (cheap). Matched deletions
+//!   are the interesting case: their samples convert to cross edges, *light*
+//!   matches (few owned cross edges) are removed and their edges directly
+//!   reinserted, while *heavy* matches feed rounds of `randomSettle`: a
+//!   random greedy matching over all their owned edges at once, which
+//!   simultaneously selects new matches and their (randomly hidden) sample
+//!   spaces. Settling may *steal* existing matches or create *bloated* ones;
+//!   those are deleted and fed to the next round. The loop terminates once
+//!   the fresh sample mass dominates the remaining work (the `2|E'| >
+//!   sampledEdges` rule), after at most `O(log m)` rounds.
+
+use pbdmm_graph::edge::{normalize_vertices, EdgeId, EdgeVertices, VertexId};
+use pbdmm_primitives::cost::{CostMeter, CostSnapshot};
+use pbdmm_primitives::hash::FxHashSet;
+use pbdmm_primitives::rng::SplitMix64;
+
+use crate::greedy::parallel_greedy_match;
+use crate::level::{EdgeType, LeveledStructure};
+use crate::stats::{EpochEnd, MatchingStats};
+
+/// Per-batch report: the depth-relevant quantities (E5) for the most recent
+/// `insert_edges`/`delete_edges` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchReport {
+    /// Iterations of the `randomSettle` loop (bounded `O(log m)`).
+    pub settle_iterations: u64,
+    /// Model cost delta for the batch.
+    pub cost: CostSnapshot,
+}
+
+/// One row of [`DynamicMatching::level_histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelOccupancy {
+    /// The level `l(m)`.
+    pub level: u8,
+    /// Number of matches at this level.
+    pub matches: usize,
+    /// Total current sample-set size across those matches.
+    pub sample_mass: usize,
+    /// Total owned cross edges across those matches.
+    pub cross_mass: usize,
+}
+
+/// Parallel batch-dynamic maximal matching structure.
+pub struct DynamicMatching {
+    s: LeveledStructure,
+    rng: SplitMix64,
+    meter: CostMeter,
+    stats: MatchingStats,
+    next_id: u64,
+    /// Rank bound `r`: max cardinality seen (min 1). `isHeavy` thresholds use
+    /// `4 r² 2^l`.
+    max_rank: usize,
+    /// Bloated sample mass carried to the next settle round's ledger entry
+    /// (Lemma 5.6 pairs current-round stolen with previous-round bloated).
+    pending_bloated_mass: u64,
+    last_batch: BatchReport,
+}
+
+impl DynamicMatching {
+    /// Create with explicit leveling parameters (for the ablation
+    /// experiments; production use wants [`Self::with_seed`]'s paper
+    /// defaults).
+    pub fn with_seed_and_config(seed: u64, config: crate::level::LevelingConfig) -> Self {
+        let mut dm = Self::with_seed(seed);
+        dm.s = LeveledStructure::with_config(config);
+        dm
+    }
+
+    /// Create an empty structure with the given RNG seed (the algorithm's
+    /// private coins — the adversary's streams must be seeded independently).
+    pub fn with_seed(seed: u64) -> Self {
+        DynamicMatching {
+            s: LeveledStructure::new(),
+            rng: SplitMix64::new(seed),
+            meter: CostMeter::new(),
+            stats: MatchingStats::default(),
+            next_id: 0,
+            max_rank: 1,
+            pending_bloated_mass: 0,
+            last_batch: BatchReport::default(),
+        }
+    }
+
+    /// Create with a fixed default seed.
+    pub fn new() -> Self {
+        Self::with_seed(0x5eed)
+    }
+
+    // --- Queries ------------------------------------------------------------
+
+    /// The matched edge covering vertex `v`, or `None` if `v` is free
+    /// (constant time, §2 Dynamic model).
+    pub fn matched_edge_of(&self, v: VertexId) -> Option<EdgeId> {
+        self.s.vertex_match(v)
+    }
+
+    /// All matched edges (work proportional to the matching size).
+    pub fn matching(&self) -> Vec<EdgeId> {
+        self.s.matching()
+    }
+
+    /// Number of matched edges.
+    pub fn matching_size(&self) -> usize {
+        self.s.matches.len()
+    }
+
+    /// Whether `e` is currently a live edge.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.s.edges.contains_key(&e)
+    }
+
+    /// Whether `e` is currently matched.
+    pub fn is_matched(&self, e: EdgeId) -> bool {
+        self.s.matches.contains_key(&e)
+    }
+
+    /// The vertex set of a live edge.
+    pub fn edge_vertices(&self, e: EdgeId) -> Option<&[VertexId]> {
+        self.s.edges.get(&e).map(|r| r.vertices.as_slice())
+    }
+
+    /// Number of live edges.
+    pub fn num_edges(&self) -> usize {
+        self.s.edges.len()
+    }
+
+    /// The model-cost meter (shared with the internal greedy matcher).
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// Run statistics (epochs, payments, settle ledger).
+    pub fn stats(&self) -> &MatchingStats {
+        &self.stats
+    }
+
+    /// Report for the most recent batch.
+    pub fn last_batch(&self) -> BatchReport {
+        self.last_batch
+    }
+
+    /// Read-only access to the underlying leveled structure (used by the
+    /// invariant checker and tests).
+    pub fn structure(&self) -> &LeveledStructure {
+        &self.s
+    }
+
+    /// The current rank bound `r` used by the heaviness threshold.
+    pub fn rank(&self) -> usize {
+        self.max_rank
+    }
+
+    /// Occupancy of the leveling structure: `(level, matches, sample mass,
+    /// cross mass)` per non-empty level, ascending. The paper's structure
+    /// keeps `O(log m)` levels with sample sizes in `[2^l, 2^{l+1})`; this
+    /// is the telemetry behind experiment E15.
+    pub fn level_histogram(&self) -> Vec<LevelOccupancy> {
+        let mut by_level: pbdmm_primitives::hash::FxHashMap<u8, LevelOccupancy> =
+            Default::default();
+        for rec in self.s.matches.values() {
+            let slot = by_level.entry(rec.level).or_insert(LevelOccupancy {
+                level: rec.level,
+                matches: 0,
+                sample_mass: 0,
+                cross_mass: 0,
+            });
+            slot.matches += 1;
+            slot.sample_mass += rec.sample.len();
+            slot.cross_mass += rec.cross.len();
+        }
+        let mut out: Vec<LevelOccupancy> = by_level.into_values().collect();
+        out.sort_by_key(|o| o.level);
+        out
+    }
+
+    // --- User interface: insertEdges -----------------------------------------
+
+    /// Insert a batch of edges. Vertex lists are normalized (sorted,
+    /// deduplicated); empty vertex lists are rejected. Returns the assigned
+    /// edge ids, in input order.
+    ///
+    /// # Panics
+    /// If any edge has an empty vertex set.
+    ///
+    /// # Examples
+    /// ```
+    /// use pbdmm_matching::DynamicMatching;
+    ///
+    /// let mut m = DynamicMatching::with_seed(1);
+    /// let ids = m.insert_edges(&[vec![0, 1], vec![1, 2], vec![3, 4, 5]]);
+    /// assert_eq!(ids.len(), 3);
+    /// // The matching is maximal: every edge touches a matched vertex.
+    /// assert!(m.matching_size() >= 2); // {0,1} or {1,2}, plus {3,4,5}
+    /// ```
+    pub fn insert_edges(&mut self, batch: &[EdgeVertices]) -> Vec<EdgeId> {
+        let before = self.meter.snapshot();
+        let mut ids = Vec::with_capacity(batch.len());
+        for vs in batch {
+            let vs = normalize_vertices(vs.clone()).expect("edge with empty vertex set");
+            self.max_rank = self.max_rank.max(vs.len());
+            let id = EdgeId(self.next_id);
+            self.next_id += 1;
+            for &v in &vs {
+                self.s.ensure_vertex(v);
+            }
+            self.s.edges.insert(
+                id,
+                crate::level::EdgeRec {
+                    vertices: vs,
+                    etype: EdgeType::Unsettled,
+                    owner: id,
+                },
+            );
+            ids.push(id);
+        }
+        self.stats.user_insertions += ids.len() as u64;
+        self.stats.batches += 1;
+        self.meter.charge_primitive(ids.len().max(1) * self.max_rank);
+        self.internal_insert(ids.clone());
+        self.last_batch = BatchReport {
+            settle_iterations: 0,
+            cost: self.meter.snapshot().since(&before),
+        };
+        ids
+    }
+
+    /// Figure 3 `insertEdges`: match the free edges with a random greedy
+    /// matching (level 0, singleton samples); everything else becomes a
+    /// cross edge.
+    fn internal_insert(&mut self, ids: Vec<EdgeId>) {
+        if ids.is_empty() {
+            return;
+        }
+        let free: Vec<EdgeId> = ids
+            .iter()
+            .copied()
+            .filter(|&e| self.s.all_free(&self.s.edges[&e].vertices))
+            .collect();
+        let free_vs: Vec<EdgeVertices> = free
+            .iter()
+            .map(|e| self.s.edges[e].vertices.clone())
+            .collect();
+        let result = parallel_greedy_match(&free_vs, &mut self.rng, &self.meter);
+        let mut matched: FxHashSet<EdgeId> = FxHashSet::default();
+        for &(mi, _) in &result.matches {
+            let m = free[mi];
+            self.s.add_match(m, vec![m]);
+            self.stats.epoch_created(1);
+            matched.insert(m);
+        }
+        for &e in &ids {
+            if !matched.contains(&e) {
+                self.s.add_cross_edge(e);
+            }
+        }
+        self.meter
+            .charge_primitive(ids.len() * self.max_rank.max(1));
+    }
+
+    // --- User interface: deleteEdges ------------------------------------------
+
+    /// Delete a batch of edges by id. Unknown or already-deleted ids are
+    /// ignored. Returns the number of edges actually deleted.
+    ///
+    /// # Examples
+    /// ```
+    /// use pbdmm_matching::DynamicMatching;
+    ///
+    /// let mut m = DynamicMatching::with_seed(1);
+    /// let ids = m.insert_edges(&[vec![0, 1], vec![1, 2]]);
+    /// assert_eq!(m.delete_edges(&ids), 2);
+    /// assert_eq!(m.delete_edges(&ids), 0); // already gone
+    /// assert_eq!(m.num_edges(), 0);
+    /// ```
+    pub fn delete_edges(&mut self, ids: &[EdgeId]) -> usize {
+        let before = self.meter.snapshot();
+        let mut settle_iterations = 0u64;
+
+        // Dedupe and keep only live edges.
+        let mut seen: FxHashSet<EdgeId> = FxHashSet::default();
+        let ids: Vec<EdgeId> = ids
+            .iter()
+            .copied()
+            .filter(|e| self.s.edges.contains_key(e) && seen.insert(*e))
+            .collect();
+        let deleted = ids.len();
+        self.stats.user_deletions += deleted as u64;
+        self.stats.batches += 1;
+        self.meter.charge_primitive(deleted.max(1) * self.max_rank);
+
+        // Unmatched deletions first (cheap): cross edges detach with payment
+        // 0 (late), sampled edges leave their owner's sample with payment 1
+        // (early).
+        let mut matched: Vec<EdgeId> = Vec::new();
+        for &e in &ids {
+            match self.s.edges[&e].etype {
+                EdgeType::Cross => {
+                    self.s.remove_cross_edge(e);
+                    self.s.edges.remove(&e);
+                }
+                EdgeType::Sampled => {
+                    let owner = self.s.edges[&e].owner;
+                    self.s
+                        .matches
+                        .get_mut(&owner)
+                        .expect("sampled edge's owner must be matched")
+                        .sample
+                        .remove(&e);
+                    self.stats.total_payment += 1;
+                    self.s.edges.remove(&e);
+                }
+                EdgeType::Matched => matched.push(e),
+                EdgeType::Unsettled => unreachable!("unsettled edge between batches"),
+            }
+        }
+        // Matched deletions: pay the remaining price (initial sample size
+        // minus the early unmatched visits — batch-mates were just removed
+        // above), then drop the match from its own sample so it is not
+        // reinserted.
+        for &m in &matched {
+            let rec = self.s.matches.get_mut(&m).unwrap();
+            self.stats.total_payment += rec.sample.len() as u64;
+            rec.sample.remove(&m);
+        }
+
+        // The workhorse: deleteMatchedEdges, then rounds of randomSettle.
+        let natural: Vec<(EdgeId, EpochEnd)> =
+            matched.iter().map(|&m| (m, EpochEnd::Natural)).collect();
+        let mut e_prime = self.delete_matched_edges(natural);
+        let mut sampled_edges = 0usize;
+        self.pending_bloated_mass = 0;
+        while 2 * e_prime.len() > sampled_edges {
+            sampled_edges += e_prime.len();
+            settle_iterations += 1;
+            e_prime = self.random_settle(e_prime);
+        }
+        self.internal_insert(e_prime);
+
+        self.stats.settle_rounds += settle_iterations;
+        self.last_batch = BatchReport {
+            settle_iterations,
+            cost: self.meter.snapshot().since(&before),
+        };
+        deleted
+    }
+
+    /// Figure 3 `deleteMatchedEdges`: convert the victims' samples to cross
+    /// edges, split victims into light and heavy by `isHeavy`, directly
+    /// reinsert the light matches' owned edges, and return the heavy
+    /// matches' owned edges for random settling.
+    ///
+    /// Natural victims were already detached from their own samples by the
+    /// caller and their records are dropped here; induced victims (stolen or
+    /// bloated) remain in the graph — they re-enter as ordinary edges via
+    /// their own (converted) sample membership.
+    fn delete_matched_edges(&mut self, victims: Vec<(EdgeId, EpochEnd)>) -> Vec<EdgeId> {
+        if victims.is_empty() {
+            return Vec::new();
+        }
+        // 1. Convert every owned sample edge to a cross edge. Victims still
+        //    hold their levels/vertices, so owner selection (Invariant 4)
+        //    sees a consistent structure.
+        let mut all_samples: Vec<EdgeId> = Vec::new();
+        for &(m, _) in &victims {
+            all_samples.extend(self.s.matches[&m].sample.iter().copied());
+        }
+        for &e in &all_samples {
+            self.s.add_cross_edge(e);
+        }
+        self.meter
+            .charge_primitive(all_samples.len().max(1) * self.max_rank);
+
+        // 2. Partition by weight (after conversion — `C` sets just grew).
+        let r = self.max_rank;
+        let mut light: Vec<(EdgeId, EpochEnd)> = Vec::new();
+        let mut heavy: Vec<(EdgeId, EpochEnd)> = Vec::new();
+        for &(m, end) in &victims {
+            if self.s.is_heavy(m, r) {
+                heavy.push((m, end));
+            } else {
+                light.push((m, end));
+            }
+        }
+
+        // 3. Light: remove and directly reinsert owned edges.
+        let mut light_cross: Vec<EdgeId> = Vec::new();
+        for &(m, end) in &light {
+            self.end_epoch(m, end);
+            light_cross.extend(self.s.remove_match(m));
+            if end == EpochEnd::Natural {
+                self.s.edges.remove(&m);
+            }
+        }
+        self.meter
+            .charge_primitive(light_cross.len().max(1) * self.max_rank);
+        self.internal_insert(light_cross);
+
+        // 4. Heavy: remove and hand their owned edges to random settling.
+        let mut out: Vec<EdgeId> = Vec::new();
+        for &(m, end) in &heavy {
+            self.end_epoch(m, end);
+            out.extend(self.s.remove_match(m));
+            if end == EpochEnd::Natural {
+                self.s.edges.remove(&m);
+            }
+        }
+        out
+    }
+
+    fn end_epoch(&mut self, m: EdgeId, end: EpochEnd) {
+        let initial = self.s.matches[&m].initial_sample_size;
+        self.stats.epoch_ended(end, initial);
+    }
+
+    /// Figure 3 `randomSettle`: run a random greedy matching over the cross
+    /// edges released by heavy victims. Every input edge lands in exactly
+    /// one new match's sample space. Existing matches incident on new ones
+    /// are *stolen*; new matches that end up owning too many cross edges
+    /// after `adjustCrossEdges` are *bloated*; both are deleted via
+    /// `deleteMatchedEdges`, whose heavy remainder is the next round's input.
+    fn random_settle(&mut self, e_prime: Vec<EdgeId>) -> Vec<EdgeId> {
+        if e_prime.is_empty() {
+            return Vec::new();
+        }
+        let edge_vs: Vec<EdgeVertices> = e_prime
+            .iter()
+            .map(|e| self.s.edges[e].vertices.clone())
+            .collect();
+        let result = parallel_greedy_match(&edge_vs, &mut self.rng, &self.meter);
+
+        // Stolen: existing matches incident on new matches — collected
+        // before p(v) is overwritten by addMatch.
+        let mut stolen: FxHashSet<EdgeId> = FxHashSet::default();
+        for &(mi, _) in &result.matches {
+            for &v in &edge_vs[mi] {
+                if let Some(old) = self.s.vertex_match(v) {
+                    stolen.insert(old);
+                }
+            }
+        }
+
+        // Install the new matches with their sample spaces.
+        let mut new_ids: Vec<EdgeId> = Vec::with_capacity(result.matches.len());
+        for (mi, sample) in &result.matches {
+            let m = e_prime[*mi];
+            let s: Vec<EdgeId> = sample.iter().map(|&i| e_prime[i]).collect();
+            self.stats.epoch_created(s.len());
+            self.s.add_match(m, s);
+            new_ids.push(m);
+        }
+
+        // Repair Invariant 4 around the new matches.
+        let moved = self.s.adjust_cross_edges(&new_ids);
+        self.meter.charge_primitive(moved.max(1) * self.max_rank);
+        self.meter.add_round(self.s.num_edges().max(2));
+
+        // Bloated: new matches that now own too many cross edges.
+        let r = self.max_rank;
+        let bloated: Vec<EdgeId> = new_ids
+            .iter()
+            .copied()
+            .filter(|&m| self.s.is_heavy(m, r))
+            .collect();
+
+        // Ledger for Lemma 5.6: added mass is the whole input (it all became
+        // samples); deleted mass pairs this round's stolen with the previous
+        // round's bloated.
+        let stolen_mass: u64 = stolen
+            .iter()
+            .map(|m| self.s.matches[m].initial_sample_size as u64)
+            .sum();
+        let bloated_mass: u64 = bloated
+            .iter()
+            .map(|m| self.s.matches[m].initial_sample_size as u64)
+            .sum();
+        self.stats
+            .settle_round_samples
+            .push((e_prime.len() as u64, stolen_mass + self.pending_bloated_mass));
+        self.pending_bloated_mass = bloated_mass;
+
+        let victims: Vec<(EdgeId, EpochEnd)> = bloated
+            .into_iter()
+            .map(|m| (m, EpochEnd::Bloated))
+            .chain(stolen.into_iter().map(|m| (m, EpochEnd::Stolen)))
+            .collect();
+        self.delete_matched_edges(victims)
+    }
+}
+
+impl Default for DynamicMatching {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for DynamicMatching {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicMatching")
+            .field("edges", &self.num_edges())
+            .field("matches", &self.matching_size())
+            .field("rank", &self.max_rank)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_invariants;
+    use pbdmm_graph::gen;
+
+    fn assert_ok(dm: &DynamicMatching) {
+        if let Err(e) = check_invariants(dm) {
+            panic!("invariant violation: {e}\n{dm:?}");
+        }
+    }
+
+    #[test]
+    fn insert_single_edge_matches_it() {
+        let mut dm = DynamicMatching::with_seed(1);
+        let ids = dm.insert_edges(&[vec![0, 1]]);
+        assert_eq!(ids.len(), 1);
+        assert!(dm.is_matched(ids[0]));
+        assert_eq!(dm.matched_edge_of(0), Some(ids[0]));
+        assert_eq!(dm.matched_edge_of(1), Some(ids[0]));
+        assert_ok(&dm);
+    }
+
+    #[test]
+    fn insert_triangle_matches_exactly_one() {
+        let mut dm = DynamicMatching::with_seed(2);
+        let ids = dm.insert_edges(&[vec![0, 1], vec![1, 2], vec![0, 2]]);
+        let matched: Vec<_> = ids.iter().filter(|&&e| dm.is_matched(e)).collect();
+        assert_eq!(matched.len(), 1);
+        assert_ok(&dm);
+    }
+
+    #[test]
+    fn delete_unmatched_edge_is_cheap_and_sound() {
+        let mut dm = DynamicMatching::with_seed(3);
+        let ids = dm.insert_edges(&[vec![0, 1], vec![1, 2], vec![0, 2]]);
+        let unmatched: Vec<EdgeId> = ids.iter().copied().filter(|&e| !dm.is_matched(e)).collect();
+        let n = dm.delete_edges(&unmatched);
+        assert_eq!(n, 2);
+        assert_eq!(dm.num_edges(), 1);
+        assert_ok(&dm);
+    }
+
+    #[test]
+    fn delete_matched_edge_resettles() {
+        let mut dm = DynamicMatching::with_seed(4);
+        let ids = dm.insert_edges(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        // Find and delete the matched edge(s); the rest must re-form a
+        // maximal matching.
+        let matched: Vec<EdgeId> = ids.iter().copied().filter(|&e| dm.is_matched(e)).collect();
+        dm.delete_edges(&matched);
+        assert_ok(&dm);
+        assert!(dm.matching_size() >= 1);
+    }
+
+    #[test]
+    fn delete_everything_leaves_empty() {
+        let mut dm = DynamicMatching::with_seed(5);
+        let g = gen::erdos_renyi(50, 200, 7);
+        let ids = dm.insert_edges(&g.edges);
+        dm.delete_edges(&ids);
+        assert_eq!(dm.num_edges(), 0);
+        assert_eq!(dm.matching_size(), 0);
+        assert_ok(&dm);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_ids_ignored() {
+        let mut dm = DynamicMatching::with_seed(6);
+        let ids = dm.insert_edges(&[vec![0, 1]]);
+        assert_eq!(dm.delete_edges(&[EdgeId(999)]), 0);
+        assert_eq!(dm.delete_edges(&[ids[0], ids[0]]), 1);
+        assert_eq!(dm.num_edges(), 0);
+        assert_ok(&dm);
+    }
+
+    #[test]
+    fn invariants_hold_under_random_churn() {
+        let mut dm = DynamicMatching::with_seed(7);
+        let g = gen::erdos_renyi(100, 600, 11);
+        let w = pbdmm_graph::workload::churn(&g, 60, 13);
+        let mut assigned: Vec<Option<EdgeId>> = vec![None; g.m()];
+        for step in &w.steps {
+            let ins: Vec<EdgeVertices> =
+                step.insert.iter().map(|&i| g.edges[i].clone()).collect();
+            let new_ids = dm.insert_edges(&ins);
+            for (&ui, &id) in step.insert.iter().zip(&new_ids) {
+                assigned[ui] = Some(id);
+            }
+            assert_ok(&dm);
+            let dels: Vec<EdgeId> = step.delete.iter().map(|&i| assigned[i].unwrap()).collect();
+            dm.delete_edges(&dels);
+            assert_ok(&dm);
+        }
+        assert_eq!(dm.num_edges(), 0);
+    }
+
+    #[test]
+    fn invariants_hold_on_hypergraph_churn() {
+        let mut dm = DynamicMatching::with_seed(8);
+        let g = gen::random_hypergraph(60, 300, 4, 17);
+        let w = pbdmm_graph::workload::churn(&g, 40, 19);
+        let mut assigned: Vec<Option<EdgeId>> = vec![None; g.m()];
+        for step in &w.steps {
+            let ins: Vec<EdgeVertices> =
+                step.insert.iter().map(|&i| g.edges[i].clone()).collect();
+            let new_ids = dm.insert_edges(&ins);
+            for (&ui, &id) in step.insert.iter().zip(&new_ids) {
+                assigned[ui] = Some(id);
+            }
+            let dels: Vec<EdgeId> = step.delete.iter().map(|&i| assigned[i].unwrap()).collect();
+            dm.delete_edges(&dels);
+            assert_ok(&dm);
+        }
+        assert_eq!(dm.num_edges(), 0);
+        assert_eq!(dm.rank(), 4);
+    }
+
+    #[test]
+    fn star_survives_hub_match_deletion() {
+        // Deleting the hub match of a star repeatedly forces resettles.
+        let mut dm = DynamicMatching::with_seed(9);
+        let g = gen::star(64);
+        let ids = dm.insert_edges(&g.edges);
+        let mut live: FxHashSet<EdgeId> = ids.into_iter().collect();
+        while !live.is_empty() {
+            let matched: Vec<EdgeId> = live.iter().copied().filter(|&e| dm.is_matched(e)).collect();
+            assert_eq!(matched.len(), 1, "star always has exactly one match");
+            dm.delete_edges(&matched);
+            for m in matched {
+                live.remove(&m);
+            }
+            assert_ok(&dm);
+        }
+        assert_eq!(dm.num_edges(), 0);
+    }
+
+    #[test]
+    fn mean_payment_is_small_on_random_deletion() {
+        let mut dm = DynamicMatching::with_seed(10);
+        let g = gen::erdos_renyi(200, 2000, 23);
+        let ids = dm.insert_edges(&g.edges);
+        // Delete everything in oblivious random order, one batch.
+        let w = pbdmm_graph::workload::insert_then_delete(
+            &g,
+            256,
+            pbdmm_graph::workload::DeletionOrder::Uniform,
+            29,
+        );
+        let order: Vec<EdgeId> = w
+            .steps
+            .iter()
+            .flat_map(|s| s.delete.iter().map(|&i| ids[i]))
+            .collect();
+        for batch in order.chunks(256) {
+            dm.delete_edges(batch);
+            assert_ok(&dm);
+        }
+        let phi = dm.stats().mean_payment();
+        // Lemma 3.3/5.8: E[Φ] ≤ 2. Allow slack for variance.
+        assert!(phi <= 3.0, "mean payment {phi} too large");
+        assert_eq!(dm.num_edges(), 0);
+    }
+
+    #[test]
+    fn batch_report_counts_settles() {
+        let mut dm = DynamicMatching::with_seed(11);
+        let g = gen::complete(24);
+        let ids = dm.insert_edges(&g.edges);
+        dm.delete_edges(&ids);
+        // Settle iterations bounded by O(log m).
+        let report = dm.last_batch();
+        assert!(report.settle_iterations <= 20);
+        assert!(report.cost.work > 0);
+    }
+
+    #[test]
+    fn interleaved_reinsertion_of_same_vertices() {
+        let mut dm = DynamicMatching::with_seed(12);
+        for round in 0..10u64 {
+            let ids = dm.insert_edges(&[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]]);
+            assert_ok(&dm);
+            dm.delete_edges(&ids);
+            assert_ok(&dm);
+            assert_eq!(dm.num_edges(), 0, "round {round}");
+        }
+    }
+
+    #[test]
+    fn rank_one_edges_supported() {
+        let mut dm = DynamicMatching::with_seed(13);
+        let ids = dm.insert_edges(&[vec![0], vec![0], vec![1]]);
+        // {0} can match once; the duplicate rank-1 edge on vertex 0 is
+        // blocked; {1} matches.
+        assert_eq!(dm.matching_size(), 2);
+        assert_ok(&dm);
+        dm.delete_edges(&ids);
+        assert_eq!(dm.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty vertex set")]
+    fn empty_edge_rejected() {
+        let mut dm = DynamicMatching::with_seed(14);
+        dm.insert_edges(&[vec![]]);
+    }
+
+    #[test]
+    fn parallel_edges_are_supported() {
+        // Two edges over the same vertex set get distinct ids; exactly one
+        // can be matched, the other is owned by it.
+        let mut dm = DynamicMatching::with_seed(23);
+        let ids = dm.insert_edges(&[vec![0, 1], vec![0, 1], vec![0, 1]]);
+        assert_eq!(ids.len(), 3);
+        let matched: Vec<_> = ids.iter().filter(|&&e| dm.is_matched(e)).collect();
+        assert_eq!(matched.len(), 1);
+        assert_ok(&dm);
+        // Deleting the matched copy promotes one of the others.
+        dm.delete_edges(&[*matched[0]]);
+        assert_eq!(dm.matching_size(), 1);
+        assert_ok(&dm);
+    }
+
+    #[test]
+    fn epoch_ledger_balances_on_empty_to_empty() {
+        let mut dm = DynamicMatching::with_seed(24);
+        let g = gen::preferential_attachment(400, 6, 67);
+        let w = pbdmm_graph::workload::insert_then_delete(
+            &g,
+            128,
+            pbdmm_graph::workload::DeletionOrder::VertexClustered,
+            69,
+        );
+        let mut assigned: Vec<Option<EdgeId>> = vec![None; g.m()];
+        for step in &w.steps {
+            let ins: Vec<EdgeVertices> =
+                step.insert.iter().map(|&i| g.edges[i].clone()).collect();
+            let ids = dm.insert_edges(&ins);
+            for (&ui, &id) in step.insert.iter().zip(&ids) {
+                assigned[ui] = Some(id);
+            }
+            let dels: Vec<EdgeId> = step.delete.iter().map(|&i| assigned[i].unwrap()).collect();
+            dm.delete_edges(&dels);
+        }
+        assert_eq!(dm.num_edges(), 0);
+        let s = dm.stats();
+        // Every epoch created was ended by exactly one of the three causes.
+        assert_eq!(
+            s.epochs_created,
+            s.natural_epochs + s.stolen_epochs + s.bloated_epochs,
+            "epoch ledger unbalanced: {s:?}"
+        );
+        // Every user update was counted.
+        assert_eq!(s.user_insertions, g.m() as u64);
+        assert_eq!(s.user_deletions, g.m() as u64);
+    }
+
+    #[test]
+    fn level_histogram_accounts_for_all_matches() {
+        let mut dm = DynamicMatching::with_seed(20);
+        let g = gen::preferential_attachment(300, 5, 21);
+        let ids = dm.insert_edges(&g.edges);
+        // Force some resettles so levels above 0 appear.
+        dm.delete_edges(&ids[..ids.len() / 2]);
+        let hist = dm.level_histogram();
+        let total: usize = hist.iter().map(|o| o.matches).sum();
+        assert_eq!(total, dm.matching_size());
+        // Ascending, distinct levels; sample sizes within [2^l, 2^{l+1})
+        // only at creation — current samples shrink, so just check mass > 0.
+        assert!(hist.windows(2).all(|w| w[0].level < w[1].level));
+        assert!(hist.iter().all(|o| o.matches > 0 && o.sample_mass > 0));
+    }
+
+    #[test]
+    fn same_seed_same_stream_is_deterministic() {
+        let g = gen::erdos_renyi(80, 400, 55);
+        let run = |seed| {
+            let mut dm = DynamicMatching::with_seed(seed);
+            let ids = dm.insert_edges(&g.edges);
+            dm.delete_edges(&ids[..200]);
+            let mut m = dm.matching();
+            m.sort_unstable();
+            m
+        };
+        assert_eq!(run(9), run(9));
+        // Different coins generally give a different maximal matching.
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn all_light_config_stays_maximal_under_churn() {
+        // Footnote 8: correctness is preserved when every match is light.
+        let cfg = crate::level::LevelingConfig {
+            all_light: true,
+            ..Default::default()
+        };
+        let mut dm = DynamicMatching::with_seed_and_config(17, cfg);
+        let g = gen::preferential_attachment(300, 5, 57);
+        let w = pbdmm_graph::workload::insert_then_delete(
+            &g,
+            64,
+            pbdmm_graph::workload::DeletionOrder::VertexClustered,
+            59,
+        );
+        let mut assigned: Vec<Option<EdgeId>> = vec![None; g.m()];
+        for step in &w.steps {
+            let ins: Vec<EdgeVertices> =
+                step.insert.iter().map(|&i| g.edges[i].clone()).collect();
+            let ids = dm.insert_edges(&ins);
+            for (&ui, &id) in step.insert.iter().zip(&ids) {
+                assigned[ui] = Some(id);
+            }
+            let dels: Vec<EdgeId> = step.delete.iter().map(|&i| assigned[i].unwrap()).collect();
+            dm.delete_edges(&dels);
+            assert_ok(&dm);
+        }
+        assert_eq!(dm.num_edges(), 0);
+        // No random settles ever fire in all-light mode.
+        assert_eq!(dm.stats().settle_rounds, 0);
+        assert_eq!(dm.stats().induced_epochs(), 0);
+    }
+
+    #[test]
+    fn wide_gap_config_stays_sound_under_churn() {
+        // α = 8 leveling: invariants are config-relative and must hold.
+        let cfg = crate::level::LevelingConfig {
+            gap_log2: 3,
+            heavy_factor: 2,
+            all_light: false,
+        };
+        let mut dm = DynamicMatching::with_seed_and_config(18, cfg);
+        let g = gen::preferential_attachment(300, 5, 61);
+        let w = pbdmm_graph::workload::churn(&g, 48, 63);
+        let mut assigned: Vec<Option<EdgeId>> = vec![None; g.m()];
+        for step in &w.steps {
+            let ins: Vec<EdgeVertices> =
+                step.insert.iter().map(|&i| g.edges[i].clone()).collect();
+            let ids = dm.insert_edges(&ins);
+            for (&ui, &id) in step.insert.iter().zip(&ids) {
+                assigned[ui] = Some(id);
+            }
+            let dels: Vec<EdgeId> = step.delete.iter().map(|&i| assigned[i].unwrap()).collect();
+            dm.delete_edges(&dels);
+            assert_ok(&dm);
+        }
+        assert_eq!(dm.num_edges(), 0);
+    }
+}

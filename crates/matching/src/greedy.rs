@@ -1,0 +1,491 @@
+//! Static random greedy maximal hypergraph matching (§3 of the paper).
+//!
+//! [`sequential_greedy_match`] is Figure 1: pass over the edges in random
+//! priority order; each still-free edge is matched and deletes its free
+//! neighbors, which form its *sample space* `S_e` (including itself). The
+//! sample spaces partition the edge set.
+//!
+//! [`parallel_greedy_match`] is Figure 2: the work-efficient parallel
+//! implementation (Lemma 1.3 / Theorem 3.2 — `O(m')` expected work,
+//! `O(log² m)` depth whp) that produces the *identical* output. Each round
+//! matches all current *roots* (edges that are the highest-priority remaining
+//! edge on every one of their vertices), assigns each deleted neighbor to the
+//! sample space of its highest-priority incident root, and advances
+//! per-vertex `top` pointers with `findNext` so the total pointer-sliding
+//! work telescopes to `O(m')` (Lemma 3.1).
+
+use pbdmm_graph::edge::EdgeVertices;
+use pbdmm_primitives::cost::CostMeter;
+use pbdmm_primitives::find_next::find_next_in;
+use pbdmm_primitives::hash::{FxHashMap, FxHashSet};
+use pbdmm_primitives::par::{par_apply_disjoint, par_filter_map};
+use pbdmm_primitives::permutation::{random_priorities, Priority};
+use pbdmm_primitives::rng::SplitMix64;
+use pbdmm_primitives::semisort::{group_by, sum_by};
+
+/// Output of a greedy matching: matched edges with their sample spaces
+/// (indices into the input edge slice), plus the number of parallel rounds
+/// (the quantity the `O(log m)` whp depth bound of Fischer–Noever governs).
+#[derive(Debug, Clone, Default)]
+pub struct MatchResult {
+    /// `(matched edge, its sample space)`; the sample space contains the
+    /// matched edge itself and partitions the input edges across all matches.
+    pub matches: Vec<(usize, Vec<usize>)>,
+    /// Parallel rounds executed (1 round for the sequential oracle's whole
+    /// pass; `O(log m)` whp for the parallel algorithm).
+    pub rounds: usize,
+}
+
+impl MatchResult {
+    /// Just the matched edge indices.
+    pub fn matched_edges(&self) -> Vec<usize> {
+        self.matches.iter().map(|&(e, _)| e).collect()
+    }
+
+    /// Sort matches and sample spaces into canonical order (for comparisons).
+    pub fn canonicalize(&mut self) {
+        for (_, s) in &mut self.matches {
+            s.sort_unstable();
+        }
+        self.matches.sort_unstable();
+    }
+}
+
+/// Figure 1: the sequential random greedy matcher. `O(m')` time. Used as the
+/// test oracle and for small inputs.
+pub fn sequential_greedy_match_with_priorities(
+    edges: &[EdgeVertices],
+    priorities: &[Priority],
+) -> MatchResult {
+    assert_eq!(edges.len(), priorities.len());
+    let m = edges.len();
+    if m == 0 {
+        return MatchResult::default();
+    }
+    // Adjacency over compacted vertices.
+    let (vert_of, adj) = build_adjacency(edges);
+    // Random priorities admit expected-linear bucket sorting (§3, Thm 3.2).
+    let order: Vec<u32> = pbdmm_primitives::sort::bucket_sort_ord(
+        (0..m as u32).map(|i| (priorities[i as usize], i)).collect(),
+        |t| t.0.key,
+    )
+    .into_iter()
+    .map(|(_, i)| i)
+    .collect();
+    let mut free = vec![true; m];
+    let mut matches = Vec::new();
+    for &ei in &order {
+        let ei = ei as usize;
+        if !free[ei] {
+            continue;
+        }
+        free[ei] = false;
+        let mut sample = vec![ei];
+        for &v in &edges[ei] {
+            let cv = vert_of[&v] as usize;
+            for &other in &adj[cv] {
+                let other = other as usize;
+                if free[other] {
+                    free[other] = false;
+                    sample.push(other);
+                }
+            }
+        }
+        matches.push((ei, sample));
+    }
+    MatchResult { matches, rounds: 1 }
+}
+
+/// [`sequential_greedy_match_with_priorities`] with freshly drawn priorities.
+pub fn sequential_greedy_match(edges: &[EdgeVertices], rng: &mut SplitMix64) -> MatchResult {
+    let pri = random_priorities(edges.len(), rng);
+    sequential_greedy_match_with_priorities(edges, &pri)
+}
+
+/// Figure 2: the parallel work-efficient matcher.
+///
+/// Under the same priorities it produces the *identical matching* as the
+/// sequential algorithm (the lexicographically-first maximal matching). The
+/// sample spaces *mimic* the sequential ones (the paper's wording): each
+/// deleted edge is assigned to the highest-priority root of the round it
+/// dies in, which can differ from the sequential assignment when a
+/// higher-priority eventual match is still blocked by its own dependence
+/// chain. All analysis-relevant properties hold either way: sample spaces
+/// partition the edges, every sample edge is incident on its match, and the
+/// match has the highest priority within its own sample space.
+pub fn parallel_greedy_match_with_priorities(
+    edges: &[EdgeVertices],
+    priorities: &[Priority],
+    meter: &CostMeter,
+) -> MatchResult {
+    assert_eq!(edges.len(), priorities.len());
+    let m = edges.len();
+    if m == 0 {
+        return MatchResult::default();
+    }
+    let total_cardinality: usize = edges.iter().map(|e| e.len()).sum();
+    meter.charge_primitive(total_cardinality); // permutation + build
+
+    // --- Setup: per-vertex priority-sorted edge lists -----------------------
+    let (vert_of, mut adj) = build_adjacency(edges);
+    let nv = adj.len();
+    // edges(v): sort each vertex's list by priority.
+    par_apply_disjoint(
+        &mut adj,
+        (0..nv).map(|v| (v, ())).collect(),
+        |list: &mut Vec<u32>, ()| list.sort_unstable_by_key(|&e| priorities[e as usize]),
+    );
+    let edges_v = adj; // now sorted
+    let mut top = vec![0usize; nv];
+    // N(v): remaining (alive) incident edges, as a deletable set.
+    let mut nbr: Vec<FxHashSet<u32>> = edges_v
+        .iter()
+        .map(|list| list.iter().copied().collect())
+        .collect();
+    // Compact vertex list per edge (so inner loops avoid hashing).
+    let verts_of_edge: Vec<Vec<u32>> = edges
+        .iter()
+        .map(|e| e.iter().map(|v| vert_of[v]).collect())
+        .collect();
+
+    let mut counter = vec![0u32; m];
+    let mut done = vec![false; m];
+    for v in 0..nv {
+        counter[edges_v[v][0] as usize] += 1;
+    }
+    let mut frontier: Vec<u32> = (0..m as u32)
+        .filter(|&e| counter[e as usize] == edges[e as usize].len() as u32)
+        .collect();
+
+    let mut matches: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut rounds = 0usize;
+
+    // --- Rounds -------------------------------------------------------------
+    while !frontier.is_empty() {
+        rounds += 1;
+        // D: for each alive edge incident on a root, the set of neighboring
+        // roots. Gathered as (edge, root) pairs; the root w is adjacent to
+        // itself (w ∈ N(V(w))), so each root lands in its own sample space.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for &w in &frontier {
+            for &cv in &verts_of_edge[w as usize] {
+                for &e in &nbr[cv as usize] {
+                    pairs.push((e, w));
+                }
+            }
+        }
+        meter.charge_primitive(pairs.len().max(1));
+        // X': assign each contested edge to its highest-priority root.
+        let owner_pairs: Vec<(u32, u32)> = group_by(pairs)
+            .into_iter()
+            .map(|(e, roots)| {
+                let best = roots
+                    .into_iter()
+                    .min_by_key(|&w| priorities[w as usize])
+                    .unwrap();
+                (best, e)
+            })
+            .collect();
+        let new_matches = group_by(owner_pairs);
+
+        // finished = W ∪ N(V(W)) — exactly the edges that appeared in D.
+        let mut finished: Vec<u32> = Vec::new();
+        for (w, sample) in &new_matches {
+            debug_assert!(sample.contains(w));
+            finished.extend_from_slice(sample);
+        }
+        for &e in &finished {
+            done[e as usize] = true;
+        }
+        matches.extend(
+            new_matches
+                .into_iter()
+                .map(|(w, s)| (w as usize, s.into_iter().map(|e| e as usize).collect())),
+        );
+
+        // V_f: vertices of finished edges; remove finished edges from N(v)
+        // and slide top pointers (updateTop), collecting candidate new tops.
+        let mut vf_deletes: Vec<(u32, u32)> = Vec::new();
+        for &e in &finished {
+            for &cv in &verts_of_edge[e as usize] {
+                vf_deletes.push((cv, e));
+            }
+        }
+        meter.charge_primitive(vf_deletes.len().max(1));
+        let delete_groups: Vec<(usize, Vec<u32>)> = group_by(vf_deletes)
+            .into_iter()
+            .map(|(v, es)| (v as usize, es))
+            .collect();
+        let vf: Vec<usize> = delete_groups.iter().map(|&(v, _)| v).collect();
+        par_apply_disjoint(&mut nbr, delete_groups, |set, es| {
+            for e in es {
+                set.remove(&e);
+            }
+        });
+
+        // updateTop(v) for each affected vertex, in parallel (tops are
+        // per-vertex; counter increments aggregated afterwards via sumBy).
+        let slid: Vec<(usize, usize)> = {
+            let done_ref = &done;
+            let edges_v_ref = &edges_v;
+            let tops: Vec<(usize, usize)> = par_filter_map(&vf, |&v| {
+                let list = &edges_v_ref[v];
+                let t = top[v];
+                if t < list.len() && !done_ref[list[t] as usize] {
+                    return None; // top unchanged: no new candidate
+                }
+                let nt = find_next_in(list, t, |&e| !done_ref[e as usize])
+                    .unwrap_or(list.len());
+                Some((v, nt))
+            });
+            tops
+        };
+        let mut candidate_tops: Vec<(u32, u64)> = Vec::new();
+        for &(v, nt) in &slid {
+            meter.add_work((nt - top[v]) as u64 + 1);
+            top[v] = nt;
+            if nt < edges_v[v].len() {
+                candidate_tops.push((edges_v[v][nt], 1));
+            }
+        }
+        // Aggregate counter increments (the paper's sumBy) and find new roots.
+        let mut next_frontier = Vec::new();
+        for (e, add) in sum_by(candidate_tops) {
+            let e = e as usize;
+            counter[e] += add as u32;
+            debug_assert!(counter[e] <= edges[e].len() as u32);
+            if counter[e] == edges[e].len() as u32 {
+                next_frontier.push(e as u32);
+            }
+        }
+        meter.add_round(m);
+        frontier = next_frontier;
+    }
+
+    debug_assert!(done.iter().all(|&d| d), "every edge must be deleted once");
+    MatchResult { matches, rounds }
+}
+
+/// [`parallel_greedy_match_with_priorities`] with freshly drawn priorities.
+///
+/// # Examples
+/// ```
+/// use pbdmm_matching::parallel_greedy_match;
+/// use pbdmm_primitives::{cost::CostMeter, rng::SplitMix64};
+///
+/// // A path of three edges: the middle or the two outer edges match.
+/// let edges = vec![vec![0, 1], vec![1, 2], vec![2, 3]];
+/// let result = parallel_greedy_match(&edges, &mut SplitMix64::new(7), &CostMeter::new());
+/// assert!(matches!(result.matches.len(), 1 | 2));
+/// // Sample spaces partition the edges.
+/// let total: usize = result.matches.iter().map(|(_, s)| s.len()).sum();
+/// assert_eq!(total, 3);
+/// ```
+pub fn parallel_greedy_match(
+    edges: &[EdgeVertices],
+    rng: &mut SplitMix64,
+    meter: &CostMeter,
+) -> MatchResult {
+    let pri = random_priorities(edges.len(), rng);
+    parallel_greedy_match_with_priorities(edges, &pri, meter)
+}
+
+/// Compact the (possibly sparse, global) vertex ids appearing in `edges` and
+/// build vertex→incident-edge lists. Returns `(global→compact map, lists)`.
+fn build_adjacency(edges: &[EdgeVertices]) -> (FxHashMap<u32, u32>, Vec<Vec<u32>>) {
+    let mut vert_of: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut adj: Vec<Vec<u32>> = Vec::new();
+    for (ei, e) in edges.iter().enumerate() {
+        for &v in e {
+            let next_id = adj.len() as u32;
+            let cv = *vert_of.entry(v).or_insert(next_id);
+            if cv == next_id {
+                adj.push(Vec::new());
+            }
+            adj[cv as usize].push(ei as u32);
+        }
+    }
+    (vert_of, adj)
+}
+
+/// Validity check used by tests and the dynamic structure's debug assertions:
+/// matched edges pairwise non-incident, every input edge in exactly one
+/// sample space, every sample edge incident on its match.
+pub fn validate_match_result(edges: &[EdgeVertices], result: &MatchResult) -> Result<(), String> {
+    let mut covered: FxHashSet<u32> = FxHashSet::default();
+    for &(mi, _) in &result.matches {
+        for &v in &edges[mi] {
+            if !covered.insert(v) {
+                return Err(format!("vertex {v} covered by two matches"));
+            }
+        }
+    }
+    let mut seen = vec![false; edges.len()];
+    for (mi, sample) in &result.matches {
+        for &e in sample {
+            if seen[e] {
+                return Err(format!("edge {e} in two sample spaces"));
+            }
+            seen[e] = true;
+            if !pbdmm_graph::edge::edges_intersect(&edges[*mi], &edges[e]) {
+                return Err(format!("sample edge {e} not incident on match {mi}"));
+            }
+        }
+        if !sample.contains(mi) {
+            return Err(format!("match {mi} not in own sample space"));
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(format!("edge {missing} in no sample space"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbdmm_graph::gen;
+
+    fn meter() -> CostMeter {
+        CostMeter::new()
+    }
+
+    fn check_equal_outputs(edges: &[EdgeVertices], seed: u64) {
+        let pri = {
+            let mut rng = SplitMix64::new(seed);
+            random_priorities(edges.len(), &mut rng)
+        };
+        let seq = sequential_greedy_match_with_priorities(edges, &pri);
+        let par = parallel_greedy_match_with_priorities(edges, &pri, &meter());
+        // The matching itself is canonical (lexicographically-first MM) and
+        // must agree exactly; sample-space assignment of contested edges may
+        // differ (see the doc comment on the parallel matcher).
+        let mut seq_matched = seq.matched_edges();
+        let mut par_matched = par.matched_edges();
+        seq_matched.sort_unstable();
+        par_matched.sort_unstable();
+        assert_eq!(seq_matched, par_matched, "matchings differ for seed {seed}");
+        validate_match_result(edges, &seq).unwrap();
+        validate_match_result(edges, &par).unwrap();
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = parallel_greedy_match(&[], &mut SplitMix64::new(1), &meter());
+        assert!(r.matches.is_empty());
+        assert_eq!(r.rounds, 0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let edges = vec![vec![0, 1]];
+        let r = parallel_greedy_match(&edges, &mut SplitMix64::new(1), &meter());
+        assert_eq!(r.matches, vec![(0, vec![0])]);
+    }
+
+    #[test]
+    fn path_of_three_edges_matches_sequential() {
+        // The paper's own example: path (1,2),(2,3),(3,4).
+        let edges = vec![vec![1, 2], vec![2, 3], vec![3, 4]];
+        for seed in 0..50 {
+            check_equal_outputs(&edges, seed);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_random_graphs() {
+        for seed in 0..10 {
+            let g = gen::erdos_renyi(100, 300, seed);
+            check_equal_outputs(&g.edges, seed * 31 + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_hypergraphs() {
+        for seed in 0..10 {
+            let g = gen::random_hypergraph(80, 150, 4, seed);
+            check_equal_outputs(&g.edges, seed * 17 + 3);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_structured_graphs() {
+        check_equal_outputs(&gen::star(50).edges, 2);
+        check_equal_outputs(&gen::complete(12).edges, 3);
+        check_equal_outputs(&gen::cycle(30).edges, 4);
+        check_equal_outputs(&gen::path(40).edges, 5);
+    }
+
+    #[test]
+    fn output_is_maximal_matching() {
+        let g = gen::erdos_renyi(500, 2000, 7);
+        let r = parallel_greedy_match(&g.edges, &mut SplitMix64::new(9), &meter());
+        let matched = r.matched_edges();
+        assert!(g.is_maximal_matching(&matched));
+    }
+
+    #[test]
+    fn hypergraph_output_is_maximal_matching() {
+        let g = gen::random_hypergraph(200, 800, 5, 3);
+        let r = parallel_greedy_match(&g.edges, &mut SplitMix64::new(4), &meter());
+        assert!(g.is_maximal_matching(&r.matched_edges()));
+    }
+
+    #[test]
+    fn sample_spaces_partition_edges() {
+        let g = gen::erdos_renyi(300, 1500, 5);
+        let r = parallel_greedy_match(&g.edges, &mut SplitMix64::new(6), &meter());
+        validate_match_result(&g.edges, &r).unwrap();
+        let total: usize = r.matches.iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(total, g.m());
+    }
+
+    #[test]
+    fn rounds_grow_slowly() {
+        // O(log m) whp: on m = 20k edges rounds should be well under 10·lg m.
+        let g = gen::erdos_renyi(5_000, 20_000, 8);
+        let r = parallel_greedy_match(&g.edges, &mut SplitMix64::new(2), &meter());
+        let lg = (g.m() as f64).log2();
+        assert!(
+            (r.rounds as f64) < 10.0 * lg,
+            "rounds {} vs lg m {:.1}",
+            r.rounds,
+            lg
+        );
+    }
+
+    #[test]
+    fn star_matches_exactly_one_edge() {
+        let g = gen::star(100);
+        let r = parallel_greedy_match(&g.edges, &mut SplitMix64::new(3), &meter());
+        assert_eq!(r.matches.len(), 1);
+        assert_eq!(r.matches[0].1.len(), 99); // whole star is the sample space
+    }
+
+    #[test]
+    fn work_meter_scales_linearly() {
+        // Metered work on 4x the edges should be ~4x, not 16x.
+        let g1 = gen::erdos_renyi(2_000, 8_000, 1);
+        let g2 = gen::erdos_renyi(8_000, 32_000, 1);
+        let m1 = meter();
+        let m2 = meter();
+        parallel_greedy_match(&g1.edges, &mut SplitMix64::new(5), &m1);
+        parallel_greedy_match(&g2.edges, &mut SplitMix64::new(5), &m2);
+        let ratio = m2.work() as f64 / m1.work() as f64;
+        assert!(ratio < 8.0, "work ratio {ratio} suggests superlinear work");
+    }
+
+    #[test]
+    fn matched_edge_is_sample_minimum_priority() {
+        // Within each sample space the matched edge must have the highest
+        // priority (smallest Priority) — the defining greedy property.
+        let g = gen::erdos_renyi(100, 400, 9);
+        let mut rng = SplitMix64::new(10);
+        let pri = random_priorities(g.m(), &mut rng);
+        let r = parallel_greedy_match_with_priorities(&g.edges, &pri, &meter());
+        for (m, s) in &r.matches {
+            let best = s.iter().min_by_key(|&&e| pri[e]).unwrap();
+            assert_eq!(best, m);
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! The leveled matching structure of Definition 4.1 and Table 1.
+//!
+//! Invariants maintained between batch operations:
+//!
+//! 1. every edge is a *cross* edge or a *sampled* edge (matched edges are
+//!    sampled edges in their own sample space);
+//! 2. every edge is owned by an incident matched edge (a match owns itself);
+//! 3. a match's level is `⌊lg s⌋` where `s` was its sample size at creation;
+//! 4. a cross edge's owner is at the maximum level of any matched edge
+//!    incident on it.
+//!
+//! Levels differ by a factor of **2** (not `Θ(r)` as in Assadi–Solomon) —
+//! the paper's charging scheme (Lemma 5.6) depends on this.
+//!
+//! This module owns the raw state and the four structural operations of
+//! Figure 3 (`addMatch`, `removeMatch`, `addCrossEdge`, `removeCrossEdge`)
+//! plus `adjustCrossEdges`; the batch logic lives in [`crate::dynamic`].
+
+use pbdmm_graph::edge::{EdgeId, EdgeVertices, VertexId};
+use pbdmm_primitives::cost::log2_floor;
+use pbdmm_primitives::hash::{FxHashMap, FxHashSet};
+
+/// A level: `⌊lg(sample size)⌋`, so at most `lg m < 64`.
+pub type Level = u8;
+
+/// Tunable leveling parameters — the design choices §5.2 argues about,
+/// exposed so the ablation experiments (E13/E14) can measure them.
+///
+/// The paper's scheme is `gap_log2 = 1` (levels differ by a factor of
+/// **2**; Lemma 5.6's charging needs the gap constant, *not* `Θ(r)` as in
+/// Assadi–Solomon) and `heavy_factor = 4` (`isHeavy` at `4·r²·2^l`).
+/// `all_light` disables random settling entirely (footnote 8: designating
+/// every edge light preserves *correctness* — maximality — but forfeits the
+/// work bound; E14 measures how much).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelingConfig {
+    /// Levels differ by a factor of `2^gap_log2` (paper: 1, i.e. α = 2).
+    pub gap_log2: u32,
+    /// `isHeavy(e)` threshold coefficient `c` in `c·r²·α^l` (paper: 4).
+    pub heavy_factor: u32,
+    /// Treat every deleted match as light (no random settling).
+    pub all_light: bool,
+}
+
+impl Default for LevelingConfig {
+    fn default() -> Self {
+        LevelingConfig {
+            gap_log2: 1,
+            heavy_factor: 4,
+            all_light: false,
+        }
+    }
+}
+
+impl LevelingConfig {
+    /// The level assigned to a match with creation-time sample size `s`
+    /// (Invariant 3, generalized to gap α = 2^gap_log2: `⌊log_α s⌋`).
+    #[inline]
+    pub fn level_for_sample_size(&self, s: usize) -> Level {
+        debug_assert!(s >= 1);
+        (log2_floor(s) / self.gap_log2.max(1)) as Level
+    }
+
+    /// The `isHeavy` cross-edge threshold for a match at `level` in a
+    /// rank-`rank` hypergraph: `heavy_factor · r² · α^level`.
+    #[inline]
+    pub fn heavy_threshold(&self, level: Level, rank: usize) -> usize {
+        let alpha_pow = 1usize << ((self.gap_log2.max(1) as usize) * (level as usize)).min(40);
+        (self.heavy_factor as usize) * rank * rank * alpha_pow
+    }
+}
+
+/// The state an edge can be in (Table 1's `type(e)`; `Unsettled` occurs only
+/// transiently inside a batch operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeType {
+    /// In the matching `M` (and in its own sample space).
+    Matched,
+    /// In the sample space `S(m)` of some match `m`.
+    Sampled,
+    /// Owned by `C(m)` of an incident match at maximal level.
+    Cross,
+    /// Temporarily removed from the structure mid-operation.
+    Unsettled,
+}
+
+/// Per-edge record: vertices, type, and owner `p(e)`.
+#[derive(Debug, Clone)]
+pub struct EdgeRec {
+    /// Canonical (sorted, deduplicated) vertex list.
+    pub vertices: EdgeVertices,
+    /// Current type.
+    pub etype: EdgeType,
+    /// Owner `p(e)`: the matched edge owning this edge. Meaningful for
+    /// `Sampled` and `Cross`; self for `Matched`; unspecified for `Unsettled`.
+    pub owner: EdgeId,
+}
+
+/// Per-match record: sample space `S(m)`, cross edges `C(m)`, level `l(m)`.
+#[derive(Debug, Clone)]
+pub struct MatchRec {
+    /// `S(m)` — the sample edges this match owns, including itself.
+    pub sample: FxHashSet<EdgeId>,
+    /// `C(m)` — the cross edges this match owns.
+    pub cross: FxHashSet<EdgeId>,
+    /// `l(m) = ⌊lg s⌋` for creation-time sample size `s`. Fixed for life.
+    pub level: Level,
+    /// Creation-time sample size (for invariant checking and statistics).
+    pub initial_sample_size: usize,
+}
+
+/// Per-vertex record: covering match `p(v)` and the level bags `P(v, l)`.
+#[derive(Debug, Clone, Default)]
+pub struct VertexRec {
+    /// `p(v)` — the matched edge covering this vertex, if any.
+    pub matched: Option<EdgeId>,
+    /// `P(v, l)` — cross edges at owner-level `l` incident on `v`. Bags are
+    /// created lazily (the paper stores initialized bag ids in a hash table
+    /// to avoid `Θ(n log n)` initialization; a hash map per vertex is the
+    /// same trick).
+    pub bags: FxHashMap<Level, FxHashSet<EdgeId>>,
+}
+
+/// The leveled matching structure: all edge/match/vertex state.
+#[derive(Debug, Default)]
+pub struct LeveledStructure {
+    /// All live edges (plus transiently unsettled ones mid-operation).
+    pub edges: FxHashMap<EdgeId, EdgeRec>,
+    /// The matching `M` with per-match state.
+    pub matches: FxHashMap<EdgeId, MatchRec>,
+    /// Dense vertex table, grown on demand.
+    pub vertices: Vec<VertexRec>,
+    /// Leveling parameters (paper defaults unless configured for ablation).
+    pub config: LevelingConfig,
+}
+
+impl LeveledStructure {
+    /// Create an empty structure with the paper's parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty structure with explicit leveling parameters.
+    pub fn with_config(config: LevelingConfig) -> Self {
+        LeveledStructure {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// Ensure the vertex table covers `v`.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        if v as usize >= self.vertices.len() {
+            self.vertices.resize_with(v as usize + 1, VertexRec::default);
+        }
+    }
+
+    /// `p(v)`: the matched edge covering `v`, if any.
+    #[inline]
+    pub fn vertex_match(&self, v: VertexId) -> Option<EdgeId> {
+        self.vertices.get(v as usize).and_then(|r| r.matched)
+    }
+
+    /// Is every vertex of `vs` free (`p(v) = ⊥`)?
+    pub fn all_free(&self, vs: &[VertexId]) -> bool {
+        vs.iter().all(|&v| self.vertex_match(v).is_none())
+    }
+
+    /// The level of match `m`. Panics if `m` is not matched.
+    #[inline]
+    pub fn level(&self, m: EdgeId) -> Level {
+        self.matches[&m].level
+    }
+
+    /// The level a match would get for sample size `s` under the paper's
+    /// default parameters (Invariant 3). Instances use their own
+    /// [`LevelingConfig`]; this associated form exists for tests and docs.
+    #[inline]
+    pub fn level_for_sample_size(s: usize) -> Level {
+        LevelingConfig::default().level_for_sample_size(s)
+    }
+
+    /// Figure 3 `addMatch(m, S_e)`: install `m` as a match owning sample
+    /// space `sample` (which must contain `m`). All sample edges must
+    /// currently be unsettled. Overwrites `p(v)` for `m`'s vertices.
+    pub fn add_match(&mut self, m: EdgeId, sample: Vec<EdgeId>) {
+        debug_assert!(sample.contains(&m), "match must be in its own sample");
+        let size = sample.len();
+        let level = self.config.level_for_sample_size(size);
+        for &e in &sample {
+            let rec = self.edges.get_mut(&e).expect("sample edge must exist");
+            rec.etype = EdgeType::Sampled;
+            rec.owner = m;
+        }
+        let mrec = self.edges.get_mut(&m).expect("match edge must exist");
+        mrec.etype = EdgeType::Matched;
+        let mvs = mrec.vertices.clone();
+        for &v in &mvs {
+            self.ensure_vertex(v);
+            self.vertices[v as usize].matched = Some(m);
+        }
+        self.matches.insert(
+            m,
+            MatchRec {
+                sample: sample.into_iter().collect(),
+                cross: FxHashSet::default(),
+                level,
+                initial_sample_size: size,
+            },
+        );
+    }
+
+    /// Figure 3 `removeMatch(m)`: delete the match, free its vertices (only
+    /// those still pointing at `m` — a stolen match's vertices may already
+    /// point at the newer match), remove and return its owned cross edges
+    /// (now unsettled). Assumes `m`'s sample edges have already been
+    /// converted to cross edges (or individually deleted).
+    pub fn remove_match(&mut self, m: EdgeId) -> Vec<EdgeId> {
+        let rec = self.matches.remove(&m).expect("removing unknown match");
+        let mvs = self.edges[&m].vertices.clone();
+        for &v in &mvs {
+            let vr = &mut self.vertices[v as usize];
+            if vr.matched == Some(m) {
+                vr.matched = None;
+            }
+        }
+        let cross: Vec<EdgeId> = rec.cross.into_iter().collect();
+        for &e in &cross {
+            self.remove_cross_edge_inner(e, rec.level);
+        }
+        cross
+    }
+
+    /// Figure 3 `addCrossEdge(e)`: insert `e` as a cross edge owned by the
+    /// maximum-level matched edge incident on it (Invariant 4). At least one
+    /// vertex of `e` must be covered.
+    pub fn add_cross_edge(&mut self, e: EdgeId) {
+        let vs = self.edges[&e].vertices.clone();
+        let owner = self
+            .max_level_incident_match(&vs)
+            .expect("cross edge must touch a matched vertex");
+        let level = self.matches[&owner].level;
+        {
+            let rec = self.edges.get_mut(&e).unwrap();
+            rec.etype = EdgeType::Cross;
+            rec.owner = owner;
+        }
+        self.matches.get_mut(&owner).unwrap().cross.insert(e);
+        for &v in &vs {
+            self.ensure_vertex(v);
+            self.vertices[v as usize]
+                .bags
+                .entry(level)
+                .or_default()
+                .insert(e);
+        }
+    }
+
+    /// Figure 3 `removeCrossEdge(e)`: detach `e` from its owner's `C` set and
+    /// all `P(v, l)` bags; `e` becomes unsettled.
+    pub fn remove_cross_edge(&mut self, e: EdgeId) {
+        let owner = self.edges[&e].owner;
+        let mrec = self
+            .matches
+            .get_mut(&owner)
+            .expect("cross edge owner must be matched");
+        mrec.cross.remove(&e);
+        let level = mrec.level;
+        self.remove_cross_edge_inner(e, level);
+    }
+
+    /// Shared tail of cross-edge removal: clear the `P(v, l)` bags and mark
+    /// unsettled. (`remove_match` already consumed the owner's `C` set, so it
+    /// skips the `C` removal done by [`Self::remove_cross_edge`].)
+    fn remove_cross_edge_inner(&mut self, e: EdgeId, level: Level) {
+        let vs = self.edges[&e].vertices.clone();
+        for &v in &vs {
+            if let Some(bag) = self.vertices[v as usize].bags.get_mut(&level) {
+                bag.remove(&e);
+            }
+        }
+        let rec = self.edges.get_mut(&e).unwrap();
+        rec.etype = EdgeType::Unsettled;
+    }
+
+    /// The incident matched edge of maximum level across `vs`, if any.
+    /// Invariant-4 owner selection (`argmax_{v} l(p(v))`).
+    pub fn max_level_incident_match(&self, vs: &[VertexId]) -> Option<EdgeId> {
+        let mut best: Option<(Level, EdgeId)> = None;
+        for &v in vs {
+            if let Some(m) = self.vertex_match(v) {
+                let l = self.matches[&m].level;
+                if best.map(|(bl, _)| l > bl).unwrap_or(true) {
+                    best = Some((l, m));
+                }
+            }
+        }
+        best.map(|(_, m)| m)
+    }
+
+    /// Figure 3 `adjustCrossEdges(E)`: after new matches `new_matches` are
+    /// installed, re-home every cross edge incident on their vertices whose
+    /// owner sits at a *lower* level than the new match (Invariant 4 repair).
+    pub fn adjust_cross_edges(&mut self, new_matches: &[EdgeId]) -> usize {
+        let mut to_move: FxHashSet<EdgeId> = FxHashSet::default();
+        for &m in new_matches {
+            let lvl = self.matches[&m].level;
+            let vs = self.edges[&m].vertices.clone();
+            for &v in &vs {
+                let vr = &self.vertices[v as usize];
+                for (&bag_level, bag) in &vr.bags {
+                    if bag_level < lvl {
+                        to_move.extend(bag.iter().copied());
+                    }
+                }
+            }
+        }
+        let moved: Vec<EdgeId> = to_move.into_iter().collect();
+        for &e in &moved {
+            self.remove_cross_edge(e);
+        }
+        for &e in &moved {
+            self.add_cross_edge(e);
+        }
+        moved.len()
+    }
+
+    /// Figure 3 `isHeavy(e)`: `|C(e)| ≥ c·r²·α^{l(e)}` with the paper's
+    /// defaults `c = 4, α = 2`. Always false in all-light mode (footnote 8).
+    pub fn is_heavy(&self, m: EdgeId, rank: usize) -> bool {
+        if self.config.all_light {
+            return false;
+        }
+        let rec = &self.matches[&m];
+        rec.cross.len() >= self.config.heavy_threshold(rec.level, rank)
+    }
+
+    /// The current matching as a vector of edge ids.
+    pub fn matching(&self) -> Vec<EdgeId> {
+        self.matches.keys().copied().collect()
+    }
+
+    /// Number of live edges currently in the structure (excluding transient
+    /// unsettled edges is the caller's concern; between batches all edges are
+    /// settled).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eid(i: u64) -> EdgeId {
+        EdgeId(i)
+    }
+
+    /// Install an edge record in unsettled state.
+    fn add_edge(s: &mut LeveledStructure, id: u64, vs: Vec<VertexId>) {
+        for &v in &vs {
+            s.ensure_vertex(v);
+        }
+        s.edges.insert(
+            eid(id),
+            EdgeRec {
+                vertices: vs,
+                etype: EdgeType::Unsettled,
+                owner: eid(id),
+            },
+        );
+    }
+
+    #[test]
+    fn level_for_sample_size_is_floor_lg() {
+        assert_eq!(LeveledStructure::level_for_sample_size(1), 0);
+        assert_eq!(LeveledStructure::level_for_sample_size(2), 1);
+        assert_eq!(LeveledStructure::level_for_sample_size(3), 1);
+        assert_eq!(LeveledStructure::level_for_sample_size(4), 2);
+        assert_eq!(LeveledStructure::level_for_sample_size(1023), 9);
+        assert_eq!(LeveledStructure::level_for_sample_size(1024), 10);
+    }
+
+    #[test]
+    fn add_match_installs_state() {
+        let mut s = LeveledStructure::new();
+        add_edge(&mut s, 0, vec![0, 1]);
+        add_edge(&mut s, 1, vec![1, 2]);
+        add_edge(&mut s, 2, vec![0, 3]);
+        s.add_match(eid(0), vec![eid(0), eid(1), eid(2)]);
+        assert_eq!(s.edges[&eid(0)].etype, EdgeType::Matched);
+        assert_eq!(s.edges[&eid(1)].etype, EdgeType::Sampled);
+        assert_eq!(s.edges[&eid(1)].owner, eid(0));
+        assert_eq!(s.vertex_match(0), Some(eid(0)));
+        assert_eq!(s.vertex_match(1), Some(eid(0)));
+        assert_eq!(s.vertex_match(2), None);
+        assert_eq!(s.level(eid(0)), 1); // floor(lg 3)
+    }
+
+    #[test]
+    fn cross_edge_goes_to_max_level_owner() {
+        let mut s = LeveledStructure::new();
+        // Match A at level 0 on vertices {0,1}; match B at level 2 on {2,3}.
+        add_edge(&mut s, 0, vec![0, 1]);
+        s.add_match(eid(0), vec![eid(0)]);
+        add_edge(&mut s, 1, vec![2, 3]);
+        add_edge(&mut s, 2, vec![2, 4]);
+        add_edge(&mut s, 3, vec![3, 4]);
+        add_edge(&mut s, 4, vec![2, 5]);
+        add_edge(&mut s, 5, vec![3, 5]);
+        s.add_match(eid(1), vec![eid(1), eid(2), eid(3), eid(4), eid(5)]); // level 2
+        // Cross edge touching both matches must be owned by B (level 2).
+        add_edge(&mut s, 6, vec![1, 2]);
+        s.add_cross_edge(eid(6));
+        assert_eq!(s.edges[&eid(6)].owner, eid(1));
+        assert!(s.matches[&eid(1)].cross.contains(&eid(6)));
+        // Bags on both endpoints at level 2.
+        assert!(s.vertices[1].bags[&2].contains(&eid(6)));
+        assert!(s.vertices[2].bags[&2].contains(&eid(6)));
+    }
+
+    #[test]
+    fn remove_cross_edge_unsettles() {
+        let mut s = LeveledStructure::new();
+        add_edge(&mut s, 0, vec![0, 1]);
+        s.add_match(eid(0), vec![eid(0)]);
+        add_edge(&mut s, 1, vec![1, 2]);
+        s.add_cross_edge(eid(1));
+        s.remove_cross_edge(eid(1));
+        assert_eq!(s.edges[&eid(1)].etype, EdgeType::Unsettled);
+        assert!(s.matches[&eid(0)].cross.is_empty());
+        assert!(s.vertices[1].bags[&0].is_empty());
+    }
+
+    #[test]
+    fn remove_match_returns_cross_and_frees_vertices() {
+        let mut s = LeveledStructure::new();
+        add_edge(&mut s, 0, vec![0, 1]);
+        s.add_match(eid(0), vec![eid(0)]);
+        add_edge(&mut s, 1, vec![1, 2]);
+        add_edge(&mut s, 2, vec![0, 3]);
+        s.add_cross_edge(eid(1));
+        s.add_cross_edge(eid(2));
+        let mut cross = s.remove_match(eid(0));
+        cross.sort();
+        assert_eq!(cross, vec![eid(1), eid(2)]);
+        assert_eq!(s.vertex_match(0), None);
+        assert_eq!(s.vertex_match(1), None);
+        assert_eq!(s.edges[&eid(1)].etype, EdgeType::Unsettled);
+        assert!(s.matches.is_empty());
+    }
+
+    #[test]
+    fn remove_match_spares_stolen_vertices() {
+        let mut s = LeveledStructure::new();
+        add_edge(&mut s, 0, vec![0, 1]);
+        s.add_match(eid(0), vec![eid(0)]);
+        // A newer match steals vertex 1.
+        add_edge(&mut s, 1, vec![1, 2]);
+        s.add_match(eid(1), vec![eid(1)]);
+        assert_eq!(s.vertex_match(1), Some(eid(1)));
+        s.remove_match(eid(0));
+        // Vertex 0 freed; vertex 1 still covered by the thief.
+        assert_eq!(s.vertex_match(0), None);
+        assert_eq!(s.vertex_match(1), Some(eid(1)));
+    }
+
+    #[test]
+    fn adjust_cross_edges_rehomes_lower_levels() {
+        let mut s = LeveledStructure::new();
+        // Low-level match A on {0,1} owns cross edge X on {1,2}.
+        add_edge(&mut s, 0, vec![0, 1]);
+        s.add_match(eid(0), vec![eid(0)]); // level 0
+        add_edge(&mut s, 10, vec![1, 2]);
+        s.add_cross_edge(eid(10));
+        assert_eq!(s.edges[&eid(10)].owner, eid(0));
+        // New high-level match B on {2,3,4...} (sample size 4 → level 2).
+        for (i, vs) in [(1u64, vec![2, 3]), (2, vec![3, 4]), (3, vec![2, 4]), (4, vec![3, 5])] {
+            add_edge(&mut s, i, vs);
+        }
+        s.add_match(eid(1), vec![eid(1), eid(2), eid(3), eid(4)]);
+        let moved = s.adjust_cross_edges(&[eid(1)]);
+        assert_eq!(moved, 1);
+        assert_eq!(s.edges[&eid(10)].owner, eid(1));
+        assert!(s.vertices[1].bags[&2].contains(&eid(10)));
+        assert!(s.vertices[1].bags[&0].is_empty());
+    }
+
+    #[test]
+    fn config_level_gaps() {
+        let paper = LevelingConfig::default();
+        assert_eq!(paper.level_for_sample_size(1), 0);
+        assert_eq!(paper.level_for_sample_size(7), 2);
+        assert_eq!(paper.level_for_sample_size(8), 3);
+        // α = 4 (gap_log2 = 2): level = ⌊log₄ s⌋.
+        let wide = LevelingConfig { gap_log2: 2, ..Default::default() };
+        assert_eq!(wide.level_for_sample_size(3), 0);
+        assert_eq!(wide.level_for_sample_size(4), 1);
+        assert_eq!(wide.level_for_sample_size(15), 1);
+        assert_eq!(wide.level_for_sample_size(16), 2);
+    }
+
+    #[test]
+    fn config_heavy_thresholds() {
+        let paper = LevelingConfig::default();
+        assert_eq!(paper.heavy_threshold(0, 2), 16); // 4·4·1
+        assert_eq!(paper.heavy_threshold(3, 2), 128); // 4·4·8
+        let tight = LevelingConfig { heavy_factor: 1, ..Default::default() };
+        assert_eq!(tight.heavy_threshold(0, 2), 4);
+        let wide = LevelingConfig { gap_log2: 2, ..Default::default() };
+        assert_eq!(wide.heavy_threshold(2, 2), 4 * 4 * 16); // α² = 16
+    }
+
+    #[test]
+    fn all_light_mode_never_heavy() {
+        let mut s = LeveledStructure::with_config(LevelingConfig {
+            all_light: true,
+            ..Default::default()
+        });
+        add_edge(&mut s, 0, vec![0, 1]);
+        s.add_match(eid(0), vec![eid(0)]);
+        for i in 0..100u64 {
+            add_edge(&mut s, 100 + i, vec![1, 100 + i as u32]);
+            s.add_cross_edge(eid(100 + i));
+        }
+        assert!(!s.is_heavy(eid(0), 2));
+    }
+
+    #[test]
+    fn is_heavy_threshold() {
+        let mut s = LeveledStructure::new();
+        add_edge(&mut s, 0, vec![0, 1]);
+        s.add_match(eid(0), vec![eid(0)]); // level 0
+        // threshold for r=2, level 0: 4·4·1 = 16 cross edges.
+        for i in 0..15u64 {
+            add_edge(&mut s, 100 + i, vec![1, 100 + i as u32]);
+            s.add_cross_edge(eid(100 + i));
+        }
+        assert!(!s.is_heavy(eid(0), 2));
+        add_edge(&mut s, 200, vec![1, 200]);
+        s.add_cross_edge(eid(200));
+        assert!(s.is_heavy(eid(0), 2));
+    }
+}

@@ -1,0 +1,50 @@
+//! # pbdmm-matching
+//!
+//! Parallel batch-dynamic maximal matching on graphs and hypergraphs with
+//! constant (resp. `O(r³)`) expected amortized work per edge update —
+//! a reproduction of *Blelloch & Brady, SPAA 2025*.
+//!
+//! * [`greedy`] — the static random greedy maximal matcher (§3): the
+//!   sequential oracle (Fig. 1) and the work-efficient parallel
+//!   implementation (Fig. 2, Lemma 1.3) that computes the identical
+//!   lexicographically-first matching with sample spaces.
+//! * [`level`] — the leveled matching structure (Definition 4.1, Table 1).
+//! * [`dynamic`] — the batch-dynamic algorithm (Fig. 3/4, Theorem 1.1):
+//!   [`DynamicMatching`].
+//! * [`baseline`] — comparators: static recompute per batch, a naive
+//!   neighbor-rescan dynamic algorithm, and single-update (sequential
+//!   dynamic model) driving.
+//! * [`verify`] — invariant checking (used pervasively in tests).
+//! * [`stats`] — epoch/payment accounting mirroring the paper's charging
+//!   scheme, consumed by the experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pbdmm_matching::DynamicMatching;
+//!
+//! let mut m = DynamicMatching::with_seed(42);
+//! let ids = m.insert_edges(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+//! assert!(m.matching_size() >= 1);
+//! m.delete_edges(&[ids[0]]);
+//! // The matching is maintained maximal after every batch.
+//! assert!(pbdmm_matching::verify::check_invariants(&m).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod driver;
+pub mod dynamic;
+pub mod greedy;
+pub mod level;
+pub mod stats;
+pub mod verify;
+
+pub use dynamic::{BatchReport, DynamicMatching, LevelOccupancy};
+pub use greedy::{
+    parallel_greedy_match, parallel_greedy_match_with_priorities, sequential_greedy_match,
+    sequential_greedy_match_with_priorities, MatchResult,
+};
+pub use level::{EdgeType, LeveledStructure, LevelingConfig};
+pub use stats::{EpochEnd, MatchingStats};

@@ -1,0 +1,256 @@
+//! Invariant checking for the leveled matching structure (Definition 4.1).
+//!
+//! [`check_invariants`] validates, between batches, every structural
+//! invariant the correctness argument rests on. The dynamic tests call it
+//! after every batch; it is `O(total state)`, for tests only.
+
+use pbdmm_graph::edge::EdgeId;
+use pbdmm_primitives::hash::FxHashSet;
+
+use crate::dynamic::DynamicMatching;
+use crate::level::{EdgeType, LeveledStructure};
+
+/// Check all invariants of Definition 4.1 plus matching validity/maximality
+/// and data-structure cross-consistency. Returns the first violation found.
+pub fn check_invariants(dm: &DynamicMatching) -> Result<(), String> {
+    check_structure(dm.structure())
+}
+
+/// The structure-level checker (see [`check_invariants`]).
+pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
+    // Invariant 1: every edge is sampled (incl. matched) or cross; no
+    // unsettled edges between batches.
+    for (&e, rec) in &s.edges {
+        if rec.etype == EdgeType::Unsettled {
+            return Err(format!("{e} is unsettled between batches"));
+        }
+    }
+
+    // M is consistent: every match has an edge record typed Matched, is in
+    // its own sample, and level = ⌊lg(initial sample size)⌋.
+    for (&m, mrec) in &s.matches {
+        let rec = s
+            .edges
+            .get(&m)
+            .ok_or_else(|| format!("match {m} has no edge record"))?;
+        if rec.etype != EdgeType::Matched {
+            return Err(format!("match {m} typed {:?}", rec.etype));
+        }
+        if !mrec.sample.contains(&m) {
+            return Err(format!("match {m} not in its own sample space"));
+        }
+        let want = s.config.level_for_sample_size(mrec.initial_sample_size);
+        if mrec.level != want {
+            return Err(format!(
+                "match {m}: level {} but initial sample {} wants {}",
+                mrec.level, mrec.initial_sample_size, want
+            ));
+        }
+        if mrec.sample.len() > mrec.initial_sample_size {
+            return Err(format!(
+                "match {m}: sample grew ({} > initial {})",
+                mrec.sample.len(),
+                mrec.initial_sample_size
+            ));
+        }
+        // Invariant 2 (samples): sample edges incident on their match.
+        for &e in &mrec.sample {
+            if e == m {
+                continue;
+            }
+            let erec = s
+                .edges
+                .get(&e)
+                .ok_or_else(|| format!("sample edge {e} of {m} missing"))?;
+            if erec.etype != EdgeType::Sampled {
+                return Err(format!("sample edge {e} of {m} typed {:?}", erec.etype));
+            }
+            if erec.owner != m {
+                return Err(format!("sample edge {e} owner {} != {m}", erec.owner));
+            }
+            if !pbdmm_graph::edge::edges_intersect(&erec.vertices, &rec.vertices) {
+                return Err(format!("sample edge {e} not incident on match {m}"));
+            }
+        }
+        // Cross edges owned by m: incident, typed cross, owner back-pointer.
+        for &e in &mrec.cross {
+            let erec = s
+                .edges
+                .get(&e)
+                .ok_or_else(|| format!("cross edge {e} of {m} missing"))?;
+            if erec.etype != EdgeType::Cross {
+                return Err(format!("cross edge {e} of {m} typed {:?}", erec.etype));
+            }
+            if erec.owner != m {
+                return Err(format!("cross edge {e} owner {} != {m}", erec.owner));
+            }
+            if !pbdmm_graph::edge::edges_intersect(&erec.vertices, &rec.vertices) {
+                return Err(format!("cross edge {e} not incident on its owner {m}"));
+            }
+        }
+    }
+
+    // Matching validity: matched edges pairwise vertex-disjoint, and p(v)
+    // consistent both ways.
+    let mut covered: std::collections::HashMap<u32, EdgeId> = std::collections::HashMap::new();
+    for &m in s.matches.keys() {
+        for &v in &s.edges[&m].vertices {
+            if let Some(&other) = covered.get(&v) {
+                return Err(format!("vertex {v} covered by matches {other} and {m}"));
+            }
+            covered.insert(v, m);
+            if s.vertex_match(v) != Some(m) {
+                return Err(format!(
+                    "p({v}) = {:?} but match {m} covers it",
+                    s.vertex_match(v)
+                ));
+            }
+        }
+    }
+    for (v, vr) in s.vertices.iter().enumerate() {
+        if let Some(m) = vr.matched {
+            if covered.get(&(v as u32)) != Some(&m) {
+                return Err(format!("p({v}) = {m} but {m} does not cover {v}"));
+            }
+        }
+    }
+
+    // Invariant 2 (every edge owned by an incident match) + Invariant 4
+    // (cross owner at max incident level) + maximality.
+    let mut owned: FxHashSet<EdgeId> = FxHashSet::default();
+    for (&e, rec) in &s.edges {
+        match rec.etype {
+            EdgeType::Matched => {
+                owned.insert(e);
+            }
+            EdgeType::Sampled => {
+                let mrec = s
+                    .matches
+                    .get(&rec.owner)
+                    .ok_or_else(|| format!("sampled {e}: owner {} not matched", rec.owner))?;
+                if !mrec.sample.contains(&e) {
+                    return Err(format!("sampled {e} missing from S({})", rec.owner));
+                }
+                owned.insert(e);
+            }
+            EdgeType::Cross => {
+                let mrec = s
+                    .matches
+                    .get(&rec.owner)
+                    .ok_or_else(|| format!("cross {e}: owner {} not matched", rec.owner))?;
+                if !mrec.cross.contains(&e) {
+                    return Err(format!("cross {e} missing from C({})", rec.owner));
+                }
+                // Invariant 4: owner level is the max over incident matches.
+                let max_incident = rec
+                    .vertices
+                    .iter()
+                    .filter_map(|&v| s.vertex_match(v))
+                    .map(|m| s.matches[&m].level)
+                    .max()
+                    .ok_or_else(|| format!("cross {e} touches no matched vertex (not maximal)"))?;
+                if mrec.level != max_incident {
+                    return Err(format!(
+                        "cross {e}: owner level {} < max incident level {max_incident}",
+                        mrec.level
+                    ));
+                }
+                // P-bag consistency: present at the owner's level on each
+                // endpoint.
+                for &v in &rec.vertices {
+                    let vr = &s.vertices[v as usize];
+                    let ok = vr
+                        .bags
+                        .get(&mrec.level)
+                        .map(|b| b.contains(&e))
+                        .unwrap_or(false);
+                    if !ok {
+                        return Err(format!("cross {e} missing from P({v}, {})", mrec.level));
+                    }
+                }
+                owned.insert(e);
+            }
+            EdgeType::Unsettled => unreachable!(),
+        }
+    }
+    if owned.len() != s.edges.len() {
+        return Err("some edge is not owned by any match".into());
+    }
+
+    // P-bags contain only live cross edges at the right level.
+    for (v, vr) in s.vertices.iter().enumerate() {
+        for (&lvl, bag) in &vr.bags {
+            for &e in bag {
+                let rec = s
+                    .edges
+                    .get(&e)
+                    .ok_or_else(|| format!("P({v},{lvl}) holds dead edge {e}"))?;
+                if rec.etype != EdgeType::Cross {
+                    return Err(format!("P({v},{lvl}) holds non-cross {e} ({:?})", rec.etype));
+                }
+                if s.matches[&rec.owner].level != lvl {
+                    return Err(format!(
+                        "P({v},{lvl}) holds {e} whose owner is at level {}",
+                        s.matches[&rec.owner].level
+                    ));
+                }
+                if !rec.vertices.contains(&(v as u32)) {
+                    return Err(format!("P({v},{lvl}) holds {e} not incident on {v}"));
+                }
+            }
+        }
+    }
+
+    // Maximality: every live edge has at least one covered vertex (sampled
+    // and cross edges are incident on their owners; matched cover
+    // themselves — checked above via Invariant-4 path for cross edges).
+    for (&e, rec) in &s.edges {
+        if !rec.vertices.iter().any(|&v| s.vertex_match(v).is_some()) {
+            return Err(format!("edge {e} is free: matching not maximal"));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::DynamicMatching;
+
+    #[test]
+    fn fresh_structure_passes() {
+        let dm = DynamicMatching::new();
+        check_invariants(&dm).unwrap();
+    }
+
+    #[test]
+    fn simple_inserts_pass() {
+        let mut dm = DynamicMatching::new();
+        dm.insert_edges(&[vec![0, 1], vec![1, 2], vec![3, 4]]);
+        check_invariants(&dm).unwrap();
+    }
+
+    #[test]
+    fn detects_seeded_corruption() {
+        // Corrupt a structure manually and confirm the checker notices.
+        let mut dm = DynamicMatching::new();
+        let ids = dm.insert_edges(&[vec![0, 1], vec![1, 2]]);
+        // Reach inside: flip an owner pointer via the public structure
+        // accessor is read-only, so rebuild a corrupt structure directly.
+        let mut s = LeveledStructure::new();
+        for &v in &[0u32, 1, 2] {
+            s.ensure_vertex(v);
+        }
+        s.edges.insert(
+            ids[0],
+            crate::level::EdgeRec {
+                vertices: vec![0, 1],
+                etype: EdgeType::Matched,
+                owner: ids[0],
+            },
+        );
+        // Matched edge with no match record: must fail.
+        assert!(check_structure(&s).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! The paper's `findNext` primitive (§2).
+//!
+//! Given an index `i` into an array, find the next index `j >= i` satisfying
+//! a predicate, in `O(j - i)` work and `O(log(j - i))` depth: doubling rounds
+//! (search the next 2^k elements) followed by a "first hit" search over the
+//! successful round's range. `updateTop` in the greedy matcher uses this to
+//! slide each vertex's top-of-list pointer, which is what makes the static
+//! matcher work-efficient (Lemma 3.1: the pointers slide a total of O(m')).
+
+use rayon::prelude::*;
+
+use crate::par::should_par;
+
+/// Find the smallest `j` in `[start, n)` with `pred(j)`, or `None`.
+///
+/// Work `O(j - start)`, depth `O(log(j - start))` in the model. The parallel
+/// probe of each doubling round uses rayon `find_first`, which matches the
+/// paper's concurrent-write flag + binary-search refinement.
+///
+/// # Examples
+/// ```
+/// use pbdmm_primitives::find_next;
+///
+/// assert_eq!(find_next(3, 100, |j| j % 10 == 0), Some(10));
+/// assert_eq!(find_next(0, 5, |_| false), None);
+/// ```
+pub fn find_next<F>(start: usize, n: usize, pred: F) -> Option<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    if start >= n {
+        return None;
+    }
+    let mut lo = start;
+    let mut width = 1usize;
+    loop {
+        let hi = lo.saturating_add(width).min(n);
+        if lo >= hi {
+            return None;
+        }
+        let found = if should_par(hi - lo) {
+            (lo..hi).into_par_iter().find_first(|&j| pred(j))
+        } else {
+            (lo..hi).find(|&j| pred(j))
+        };
+        if let Some(j) = found {
+            return Some(j);
+        }
+        if hi == n {
+            return None;
+        }
+        lo = hi;
+        width *= 2;
+    }
+}
+
+/// Convenience: find the next index in `slice` at or after `start` whose
+/// element satisfies `pred`.
+pub fn find_next_in<T, F>(slice: &[T], start: usize, pred: F) -> Option<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    find_next(start, slice.len(), |j| pred(&slice[j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_at_start() {
+        assert_eq!(find_next(0, 10, |j| j == 0), Some(0));
+    }
+
+    #[test]
+    fn finds_far_target() {
+        assert_eq!(find_next(3, 100_000, |j| j == 99_999), Some(99_999));
+    }
+
+    #[test]
+    fn returns_none_when_absent() {
+        assert_eq!(find_next(0, 1000, |_| false), None);
+    }
+
+    #[test]
+    fn empty_range_is_none() {
+        assert_eq!(find_next(5, 5, |_| true), None);
+        assert_eq!(find_next(9, 5, |_| true), None);
+    }
+
+    #[test]
+    fn finds_first_of_many() {
+        // Multiple hits: must return the smallest index.
+        assert_eq!(find_next(0, 10_000, |j| j % 37 == 5), Some(5));
+        assert_eq!(find_next(6, 10_000, |j| j % 37 == 5), Some(42));
+    }
+
+    #[test]
+    fn slice_helper() {
+        let xs = [0, 0, 0, 7, 0, 7];
+        assert_eq!(find_next_in(&xs, 0, |&x| x == 7), Some(3));
+        assert_eq!(find_next_in(&xs, 4, |&x| x == 7), Some(5));
+        assert_eq!(find_next_in(&xs, 6, |&x| x == 7), None);
+    }
+
+    #[test]
+    fn exhaustive_small_cases_match_linear_scan() {
+        // Compare against a straight linear scan for all (start, target) pairs
+        // in a small universe; catches off-by-ones at doubling boundaries.
+        let n = 70;
+        for target in 0..n {
+            for start in 0..=n {
+                let got = find_next(start, n, |j| j >= target);
+                let want = (start..n).find(|&j| j >= target);
+                assert_eq!(got, want, "start={start} target={target}");
+            }
+        }
+    }
+}

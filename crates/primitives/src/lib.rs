@@ -1,0 +1,45 @@
+//! # pbdmm-primitives
+//!
+//! Parallel primitives for the binary-forking model, as assumed by §2
+//! ("Standard Algorithms") of *Blelloch & Brady, Parallel Batch-Dynamic
+//! Maximal Matching with Constant Work per Update, SPAA 2025*.
+//!
+//! Everything the paper treats as a black box is implemented here:
+//!
+//! * [`scan`] — prefix sums and filtering, `O(n)` work / `O(log n)` depth;
+//! * [`semisort`] — semisort-backed `groupBy`, `sumBy`, `removeDuplicates`;
+//! * [`sort`] — expected-linear bucket sort for uniformly random keys;
+//! * [`permutation`] — random permutations / random priorities;
+//! * [`dict`] — batch-parallel growable dictionaries;
+//! * [`sharded`] — grouped batch mutation of many small sets;
+//! * [`mod@find_next`] — the doubling + binary search pointer-slide primitive;
+//! * [`hash`] — fast hashing for identifier keys;
+//! * [`rng`] — seedable splittable PRNGs (the algorithm's coins);
+//! * [`cost`] — work/depth metering so experiments can check the *model*
+//!   bounds rather than wall-clock proxies;
+//! * [`par`] — rayon-backed fork-join helpers with grain control.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod dict;
+pub mod find_next;
+pub mod hash;
+pub mod par;
+pub mod permutation;
+pub mod rng;
+pub mod scan;
+pub mod semisort;
+pub mod sharded;
+pub mod sort;
+
+pub use cost::{CostMeter, CostSnapshot};
+pub use dict::ConcurrentU64Set;
+pub use find_next::{find_next, find_next_in};
+pub use hash::{fx_hash, mix64, FxHashMap, FxHashSet};
+pub use permutation::{random_permutation, random_priorities, Priority};
+pub use rng::SplitMix64;
+pub use scan::{exclusive_scan, filter, inclusive_scan};
+pub use semisort::{count_by, group_by, remove_duplicates, sum_by};
+pub use sharded::ShardedMap;
+pub use sort::{bucket_sort_by_key, bucket_sort_indices};

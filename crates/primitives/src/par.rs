@@ -1,0 +1,287 @@
+//! Fork-join helpers realizing the binary-forking model on rayon.
+//!
+//! Every parallel primitive in this crate routes through these helpers so
+//! that (a) small inputs stay sequential (grain control — parallelism below a
+//! few thousand elements costs more than it gains) and (b) the whole
+//! workspace can be forced sequential for deterministic debugging via
+//! [`set_sequential`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use rayon::prelude::*;
+
+/// Below this input size parallel primitives fall back to their sequential
+/// implementations.
+pub const GRAIN: usize = 4096;
+
+static FORCE_SEQUENTIAL: AtomicBool = AtomicBool::new(false);
+
+/// Force all primitives in this crate to run sequentially (for debugging and
+/// for the sequential baselines in the benchmark harness). Global and sticky.
+pub fn set_sequential(seq: bool) {
+    FORCE_SEQUENTIAL.store(seq, Ordering::SeqCst);
+}
+
+/// Whether primitives are currently forced sequential.
+pub fn is_sequential() -> bool {
+    FORCE_SEQUENTIAL.load(Ordering::Relaxed)
+}
+
+/// Should a primitive over `n` elements run in parallel?
+#[inline]
+pub fn should_par(n: usize) -> bool {
+    n >= GRAIN && !is_sequential() && rayon::current_num_threads() > 1
+}
+
+/// Parallel map with grain control: sequential below [`GRAIN`].
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync + Send,
+{
+    if should_par(items.len()) {
+        items.par_iter().map(f).collect()
+    } else {
+        items.iter().map(f).collect()
+    }
+}
+
+/// Parallel indexed map: `f(i, &items[i])`.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync + Send,
+{
+    if should_par(items.len()) {
+        items.par_iter().enumerate().map(|(i, t)| f(i, t)).collect()
+    } else {
+        items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+    }
+}
+
+/// Parallel for-each over mutable elements.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync + Send,
+{
+    if should_par(items.len()) {
+        items.par_iter_mut().for_each(f);
+    } else {
+        items.iter_mut().for_each(f);
+    }
+}
+
+/// Parallel flat-map (order-preserving).
+pub fn par_flat_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Vec<U> + Sync + Send,
+{
+    if should_par(items.len()) {
+        items.par_iter().flat_map_iter(|t| f(t).into_iter()).collect()
+    } else {
+        items.iter().flat_map(|t| f(t).into_iter()).collect()
+    }
+}
+
+/// Parallel filter-map (order-preserving).
+pub fn par_filter_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Option<U> + Sync + Send,
+{
+    if should_par(items.len()) {
+        items.par_iter().filter_map(f).collect()
+    } else {
+        items.iter().filter_map(f).collect()
+    }
+}
+
+/// Binary fork: run two closures as parallel tasks (rayon `join`), the
+/// primitive operation of the binary-forking model.
+#[inline]
+pub fn fork2<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if is_sequential() {
+        (a(), b())
+    } else {
+        rayon::join(a, b)
+    }
+}
+
+/// Run `f(i)` for all `i in 0..n` in parallel, collecting results in order.
+pub fn par_tabulate<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync + Send,
+{
+    if should_par(n) {
+        (0..n).into_par_iter().map(f).collect()
+    } else {
+        (0..n).map(f).collect()
+    }
+}
+
+/// Apply keyed update groups to disjoint elements of `items` in parallel.
+///
+/// `groups` carries `(index, payload)` pairs whose indices **must be unique**
+/// (e.g. the output of [`crate::semisort::group_by`]) and in range; each
+/// payload is applied to its element by `f`. This realizes the paper's
+/// "groupBy, then update each target set as a batch, targets in parallel"
+/// pattern over dense per-vertex tables.
+///
+/// # Panics
+/// Debug builds assert index uniqueness and range.
+pub fn par_apply_disjoint<T, G, F>(items: &mut [T], groups: Vec<(usize, G)>, f: F)
+where
+    T: Send,
+    G: Send,
+    F: Fn(&mut T, G) + Sync + Send,
+{
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = std::collections::HashSet::new();
+        for (i, _) in &groups {
+            assert!(*i < items.len(), "group index {i} out of range");
+            assert!(seen.insert(*i), "duplicate group index {i}");
+        }
+    }
+    if !should_par(groups.len()) {
+        for (i, g) in groups {
+            f(&mut items[i], g);
+        }
+        return;
+    }
+    struct Ptr<T>(*mut T);
+    unsafe impl<T> Send for Ptr<T> {}
+    unsafe impl<T> Sync for Ptr<T> {}
+    impl<T> Ptr<T> {
+        fn get(&self) -> *mut T {
+            self.0
+        }
+    }
+    let base = Ptr(items.as_mut_ptr());
+    groups.into_par_iter().for_each(|(i, g)| {
+        // SAFETY: indices are unique (contract), so each element is accessed
+        // by exactly one task.
+        let item = unsafe { &mut *base.get().add(i) };
+        f(item, g);
+    });
+}
+
+/// Sort a slice, in parallel above the grain size.
+pub fn par_sort<T: Ord + Send>(items: &mut [T]) {
+    if should_par(items.len()) {
+        items.par_sort_unstable();
+    } else {
+        items.sort_unstable();
+    }
+}
+
+/// Sort by key, in parallel above the grain size.
+pub fn par_sort_by_key<T, K, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    if should_par(items.len()) {
+        items.par_sort_unstable_by_key(f);
+    } else {
+        items.sort_unstable_by_key(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled = par_map(&xs, |x| x * 2);
+        assert_eq!(doubled, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_indexed_passes_indices() {
+        let xs = vec![10u64; 100];
+        let ys = par_map_indexed(&xs, |i, x| i as u64 + x);
+        assert_eq!(ys[0], 10);
+        assert_eq!(ys[99], 109);
+    }
+
+    #[test]
+    fn par_flat_map_preserves_order() {
+        let xs: Vec<u32> = (0..5000).collect();
+        let ys = par_flat_map(&xs, |&x| vec![x, x]);
+        for (i, pair) in ys.chunks(2).enumerate() {
+            assert_eq!(pair, [i as u32, i as u32]);
+        }
+    }
+
+    #[test]
+    fn par_filter_map_filters() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let evens = par_filter_map(&xs, |&x| (x % 2 == 0).then_some(x));
+        assert_eq!(evens.len(), 5000);
+        assert!(evens.iter().all(|x| x % 2 == 0));
+    }
+
+    #[test]
+    fn fork2_returns_both() {
+        let (a, b) = fork2(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_tabulate_is_identity_indexed() {
+        let v = par_tabulate(8192, |i| i);
+        assert_eq!(v.len(), 8192);
+        assert!(v.iter().enumerate().all(|(i, &x)| i == x));
+    }
+
+    #[test]
+    fn par_sort_sorts() {
+        let mut v: Vec<i64> = (0..10_000).map(|i| (i * 7919) % 10_000).collect();
+        par_sort(&mut v);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn par_apply_disjoint_applies_each_once() {
+        let mut items = vec![0u64; 10_000];
+        let groups: Vec<(usize, u64)> = (0..10_000).map(|i| (i, i as u64 + 1)).collect();
+        par_apply_disjoint(&mut items, groups, |slot, g| *slot += g);
+        assert!(items.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate group index")]
+    #[cfg(debug_assertions)]
+    fn par_apply_disjoint_rejects_duplicates() {
+        let mut items = vec![0u64; 4];
+        par_apply_disjoint(&mut items, vec![(1, 1u64), (1, 2u64)], |s, g| *s += g);
+    }
+
+    #[test]
+    fn sequential_mode_round_trips() {
+        set_sequential(true);
+        assert!(is_sequential());
+        let xs: Vec<u64> = (0..10_000).collect();
+        assert_eq!(par_map(&xs, |x| x + 1)[9999], 10_000);
+        set_sequential(false);
+        assert!(!is_sequential());
+    }
+}

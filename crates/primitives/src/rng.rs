@@ -1,0 +1,201 @@
+//! Small, fast, seedable PRNGs.
+//!
+//! The algorithm's guarantees hold against an *oblivious* adversary: the
+//! update stream is fixed before the algorithm's coins are drawn. We therefore
+//! need (a) a fast per-structure RNG for the algorithm itself and (b)
+//! independently seeded RNGs for workload generation. SplitMix64 is used for
+//! cheap stateless streams; for bulk random priorities we draw 64-bit words
+//! directly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::hash::mix64;
+
+/// A SplitMix64 PRNG: tiny state, passes BigCrush, supports O(1) jump-ahead
+/// (`at`) which lets parallel loops draw independent values without
+/// coordination — exactly the "random priorities" pattern the static greedy
+/// matcher needs.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64_gamma(self.state)
+    }
+
+    /// The `i`-th output of the stream seeded at construction, independent of
+    /// calls to `next_u64`. Enables data-parallel random draws: iteration `i`
+    /// of a parallel loop calls `rng.at(i)`.
+    #[inline]
+    pub fn at(&self, i: u64) -> u64 {
+        mix64_gamma(
+            self.state
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i.wrapping_add(1))),
+        )
+    }
+
+    /// Uniform value in `[0, bound)` using the widening-multiply trick.
+    #[inline]
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Fork an independent stream (for handing to a sub-computation).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[inline]
+fn mix64_gamma(z: u64) -> u64 {
+    mix64(z)
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (SplitMix64::next_u64(self) >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&SplitMix64::next_u64(self).to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = SplitMix64::next_u64(self).to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Construct a seeded `StdRng` (used where `rand` distribution support is
+/// wanted, e.g. workload generators).
+pub fn std_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Sample `k` distinct indices from `[0, n)` (Floyd's algorithm).
+/// Returns fewer than `k` only if `k > n`.
+pub fn sample_distinct<R: Rng>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut chosen = crate::hash::FxHashSet::default();
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(12345);
+        let mut b = SplitMix64::new(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn at_matches_sequential_stream() {
+        let base = SplitMix64::new(99);
+        let mut seq = SplitMix64::new(99);
+        for i in 0..50u64 {
+            assert_eq!(base.at(i), seq.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(rng.bounded(13) < 13);
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut rng = SplitMix64::new(3);
+        let mut counts = [0usize; 8];
+        let draws = 80_000;
+        for _ in 0..draws {
+            counts[rng.bounded(8) as usize] += 1;
+        }
+        let expected = draws / 8;
+        for &c in &counts {
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 5) as u64,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fork_produces_distinct_stream() {
+        let mut a = SplitMix64::new(1);
+        let mut b = a.fork();
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn sample_distinct_returns_distinct_in_range() {
+        let mut rng = std_rng(5);
+        let s = sample_distinct(&mut rng, 100, 20);
+        assert_eq!(s.len(), 20);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(s.iter().all(|&x| x < 100));
+    }
+
+    #[test]
+    fn sample_distinct_saturates() {
+        let mut rng = std_rng(5);
+        let s = sample_distinct(&mut rng, 5, 10);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = SplitMix64::new(11);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Prefix sums, filtering and packing (§2 "Standard Algorithms").
+//!
+//! The paper uses prefix sums and filter as black boxes costing `O(n)` work
+//! and `O(log n)` depth [Blelloch '93]. We implement the classic blocked
+//! two-pass scan: partition into blocks, scan blocks in parallel, scan the
+//! block sums sequentially (there are few), then offset each block in
+//! parallel.
+
+use rayon::prelude::*;
+
+use crate::par::{should_par, GRAIN};
+
+/// Exclusive prefix sum. Returns the scanned vector and the total.
+///
+/// # Examples
+/// ```
+/// use pbdmm_primitives::exclusive_scan;
+///
+/// let (scanned, total) = exclusive_scan(&[1, 2, 3]);
+/// assert_eq!(scanned, vec![0, 1, 3]);
+/// assert_eq!(total, 6);
+/// ```
+pub fn exclusive_scan(xs: &[u64]) -> (Vec<u64>, u64) {
+    if !should_par(xs.len()) {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut acc = 0u64;
+        for &x in xs {
+            out.push(acc);
+            acc += x;
+        }
+        return (out, acc);
+    }
+    let n = xs.len();
+    let nblocks = n.div_ceil(GRAIN);
+    // Pass 1: per-block sums.
+    let block_sums: Vec<u64> = xs.par_chunks(GRAIN).map(|c| c.iter().sum()).collect();
+    // Scan block sums sequentially (nblocks is small).
+    let mut block_offsets = Vec::with_capacity(nblocks);
+    let mut acc = 0u64;
+    for &s in &block_sums {
+        block_offsets.push(acc);
+        acc += s;
+    }
+    // Pass 2: scan within blocks with the block offset.
+    let mut out = vec![0u64; n];
+    out.par_chunks_mut(GRAIN)
+        .zip(xs.par_chunks(GRAIN))
+        .zip(block_offsets.par_iter())
+        .for_each(|((out_chunk, in_chunk), &offset)| {
+            let mut acc = offset;
+            for (o, &x) in out_chunk.iter_mut().zip(in_chunk) {
+                *o = acc;
+                acc += x;
+            }
+        });
+    (out, acc)
+}
+
+/// Inclusive prefix sum.
+pub fn inclusive_scan(xs: &[u64]) -> Vec<u64> {
+    let (mut out, _) = exclusive_scan(xs);
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o += x;
+    }
+    out
+}
+
+/// Parallel sum.
+pub fn par_sum(xs: &[u64]) -> u64 {
+    if should_par(xs.len()) {
+        xs.par_iter().sum()
+    } else {
+        xs.iter().sum()
+    }
+}
+
+/// Filter: keep elements where `keep` returns true, preserving order
+/// (the paper's "filter" / "pack" operation).
+pub fn filter<T, F>(xs: &[T], keep: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Sync + Send,
+{
+    if !should_par(xs.len()) {
+        return xs.iter().filter(|x| keep(x)).cloned().collect();
+    }
+    // Flag + scan + scatter, the textbook parallel pack.
+    let flags: Vec<u64> = xs.par_iter().map(|x| keep(x) as u64).collect();
+    let (offsets, total) = exclusive_scan(&flags);
+    let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(total as usize);
+    // SAFETY: every slot 0..total is written exactly once below (offsets are
+    // strictly increasing over kept elements and total is their count).
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(total as usize);
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    xs.par_iter().enumerate().for_each(|(i, x)| {
+        if flags[i] == 1 {
+            // SAFETY: distinct kept indices have distinct offsets.
+            unsafe {
+                let p = out_ptr;
+                (p.0.add(offsets[i] as usize)).write(std::mem::MaybeUninit::new(x.clone()));
+            }
+        }
+    });
+    // SAFETY: all slots initialized.
+    unsafe { std::mem::transmute::<Vec<std::mem::MaybeUninit<T>>, Vec<T>>(out) }
+}
+
+/// Pack the indices `i` where `flags[i]` is true.
+pub fn pack_indices(flags: &[bool]) -> Vec<usize> {
+    if !should_par(flags.len()) {
+        return flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| f.then_some(i))
+            .collect();
+    }
+    (0..flags.len())
+        .into_par_iter()
+        .filter(|&i| flags[i])
+        .collect()
+}
+
+/// A raw pointer wrapper so the scatter in [`filter`] can be shared across
+/// rayon tasks. Safe because writes hit disjoint offsets.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_exclusive(xs: &[u64]) -> (Vec<u64>, u64) {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut acc = 0;
+        for &x in xs {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty_scan() {
+        let (v, t) = exclusive_scan(&[]);
+        assert!(v.is_empty());
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn small_scan() {
+        let (v, t) = exclusive_scan(&[1, 2, 3]);
+        assert_eq!(v, vec![0, 1, 3]);
+        assert_eq!(t, 6);
+    }
+
+    #[test]
+    fn large_scan_matches_reference() {
+        let xs: Vec<u64> = (0..100_000).map(|i| (i * 31) % 97).collect();
+        let (got, got_total) = exclusive_scan(&xs);
+        let (want, want_total) = reference_exclusive(&xs);
+        assert_eq!(got_total, want_total);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn inclusive_matches() {
+        let xs = [5u64, 0, 7, 1];
+        assert_eq!(inclusive_scan(&xs), vec![5, 5, 12, 13]);
+    }
+
+    #[test]
+    fn par_sum_matches() {
+        let xs: Vec<u64> = (0..50_000).collect();
+        assert_eq!(par_sum(&xs), xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn filter_small() {
+        let xs = [1, 2, 3, 4, 5, 6];
+        assert_eq!(filter(&xs, |x| x % 2 == 0), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn filter_large_preserves_order() {
+        let xs: Vec<u64> = (0..100_000).collect();
+        let kept = filter(&xs, |x| x % 7 == 0);
+        let want: Vec<u64> = xs.iter().copied().filter(|x| x % 7 == 0).collect();
+        assert_eq!(kept, want);
+    }
+
+    #[test]
+    fn filter_none_and_all() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        assert!(filter(&xs, |_| false).is_empty());
+        assert_eq!(filter(&xs, |_| true), xs);
+    }
+
+    #[test]
+    fn pack_indices_matches() {
+        let flags: Vec<bool> = (0..20_000).map(|i| i % 3 == 0).collect();
+        let got = pack_indices(&flags);
+        let want: Vec<usize> = (0..20_000).filter(|i| i % 3 == 0).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,229 @@
+//! Sharded maps: the "groupBy, then batch-update each set in parallel"
+//! pattern (§2, "Parallel insertions, deletions and increments").
+//!
+//! The paper performs parallel-loop insertions/deletions on many small sets
+//! by first gathering updates per target (a semisort) and then applying each
+//! target's updates as a batch, targets in parallel. [`ShardedMap`] packages
+//! that: keys are hashed to one of `2^k` shards, a batch of updates is
+//! grouped by shard, and shards are processed in parallel — updates to
+//! *different* shards never contend, and the per-shard mutex is uncontended
+//! because each shard is owned by one task during a batch.
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use std::hash::Hash;
+
+use crate::hash::{fx_hash, FxHashMap};
+use crate::par::should_par;
+
+/// Number of shards. A power of two comfortably above any machine's core
+/// count keeps per-shard batches balanced.
+const SHARDS: usize = 64;
+
+/// A hash map sharded for batch-parallel mutation.
+pub struct ShardedMap<K, V> {
+    shards: Vec<Mutex<FxHashMap<K, V>>>,
+}
+
+impl<K, V> ShardedMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync,
+    V: Send + Sync,
+{
+    /// Create an empty sharded map.
+    pub fn new() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS).map(|_| Mutex::new(FxHashMap::default())).collect(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &K) -> usize {
+        (fx_hash(key) as usize) & (SHARDS - 1)
+    }
+
+    /// Insert a single entry; returns the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let s = self.shard_of(&key);
+        self.shards[s].lock().insert(key, value)
+    }
+
+    /// Remove a single entry.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let s = self.shard_of(key);
+        self.shards[s].lock().remove(key)
+    }
+
+    /// Clone-read a single value.
+    pub fn get_cloned(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let s = self.shard_of(key);
+        self.shards[s].lock().get(key).cloned()
+    }
+
+    /// Apply `f` to the value under `key`, inserting `default()` first if
+    /// absent. Returns `f`'s result.
+    pub fn update_or_insert<R>(&self, key: K, default: impl FnOnce() -> V, f: impl FnOnce(&mut V) -> R) -> R {
+        let s = self.shard_of(&key);
+        let mut shard = self.shards[s].lock();
+        let slot = shard.entry(key).or_insert_with(default);
+        f(slot)
+    }
+
+    /// Batch-apply keyed updates in parallel: updates are grouped by shard,
+    /// then each shard applies its group under its own lock. `f` is invoked
+    /// once per update with the map entry.
+    pub fn batch_update<U>(&self, updates: Vec<(K, U)>, default: impl Fn() -> V + Sync, f: impl Fn(&mut V, U) + Sync)
+    where
+        U: Send + Sync,
+    {
+        if !should_par(updates.len()) {
+            for (k, u) in updates {
+                let s = self.shard_of(&k);
+                let mut shard = self.shards[s].lock();
+                let slot = shard.entry(k).or_insert_with(&default);
+                f(slot, u);
+            }
+            return;
+        }
+        let mut by_shard: Vec<Vec<(K, U)>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        for (k, u) in updates {
+            let s = self.shard_of(&k);
+            by_shard[s].push((k, u));
+        }
+        by_shard.into_par_iter().enumerate().for_each(|(s, group)| {
+            if group.is_empty() {
+                return;
+            }
+            let mut shard = self.shards[s].lock();
+            for (k, u) in group {
+                let slot = shard.entry(k).or_insert_with(&default);
+                f(slot, u);
+            }
+        });
+    }
+
+    /// Batch-remove keys in parallel (grouped by shard).
+    pub fn batch_remove(&self, keys: Vec<K>) {
+        if !should_par(keys.len()) {
+            for k in keys {
+                self.remove(&k);
+            }
+            return;
+        }
+        let mut by_shard: Vec<Vec<K>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        for k in keys {
+            let s = self.shard_of(&k);
+            by_shard[s].push(k);
+        }
+        by_shard.into_par_iter().enumerate().for_each(|(s, group)| {
+            if group.is_empty() {
+                return;
+            }
+            let mut shard = self.shards[s].lock();
+            for k in group {
+                shard.remove(&k);
+            }
+        });
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain all entries into a vector (parallel across shards).
+    pub fn drain_all(&self) -> Vec<(K, V)> {
+        self.shards
+            .par_iter()
+            .flat_map_iter(|s| std::mem::take(&mut *s.lock()).into_iter())
+            .collect()
+    }
+
+    /// Snapshot all entries (requires `V: Clone`).
+    pub fn entries(&self) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        self.shards
+            .par_iter()
+            .flat_map_iter(|s| s.lock().iter().map(|(k, v)| (k.clone(), v.clone())).collect::<Vec<_>>())
+            .collect()
+    }
+}
+
+impl<K, V> Default for ShardedMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync,
+    V: Send + Sync,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let m: ShardedMap<u32, String> = ShardedMap::new();
+        assert!(m.insert(1, "a".into()).is_none());
+        assert_eq!(m.get_cloned(&1), Some("a".into()));
+        assert_eq!(m.insert(1, "b".into()), Some("a".into()));
+        assert_eq!(m.remove(&1), Some("b".into()));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn batch_update_accumulates() {
+        let m: ShardedMap<u32, Vec<u32>> = ShardedMap::new();
+        let updates: Vec<(u32, u32)> = (0..50_000).map(|i| (i % 100, i)).collect();
+        m.batch_update(updates, Vec::new, |v, u| v.push(u));
+        assert_eq!(m.len(), 100);
+        let total: usize = m.entries().iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 50_000);
+    }
+
+    #[test]
+    fn batch_remove_removes() {
+        let m: ShardedMap<u32, u32> = ShardedMap::new();
+        for i in 0..10_000 {
+            m.insert(i, i);
+        }
+        m.batch_remove((0..9000).collect());
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get_cloned(&9500), Some(9500));
+        assert_eq!(m.get_cloned(&500), None);
+    }
+
+    #[test]
+    fn update_or_insert_inserts_then_updates() {
+        let m: ShardedMap<u8, u64> = ShardedMap::new();
+        m.update_or_insert(1, || 0, |v| *v += 10);
+        m.update_or_insert(1, || 0, |v| *v += 5);
+        assert_eq!(m.get_cloned(&1), Some(15));
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let m: ShardedMap<u32, u32> = ShardedMap::new();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        let mut drained = m.drain_all();
+        drained.sort();
+        assert_eq!(drained.len(), 1000);
+        assert!(m.is_empty());
+        assert_eq!(drained[999], (999, 1998));
+    }
+}

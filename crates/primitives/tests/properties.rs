@@ -1,0 +1,168 @@
+//! Property tests for the parallel primitives against sequential oracles:
+//! whatever rayon does with scheduling, results must equal the obvious
+//! single-threaded computation.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pbdmm_primitives::dict::ConcurrentU64Set;
+use pbdmm_primitives::find_next::find_next_in;
+use pbdmm_primitives::permutation::{priorities_to_order, random_priorities};
+use pbdmm_primitives::rng::SplitMix64;
+use pbdmm_primitives::scan::{exclusive_scan, filter, inclusive_scan, pack_indices};
+use pbdmm_primitives::semisort::{count_by, group_by, remove_duplicates, sum_by};
+use pbdmm_primitives::sort::{bucket_sort_by_key, bucket_sort_ord};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exclusive_scan_matches_fold(xs in vec(0u64..1_000_000, 0..5000)) {
+        let (scan, total) = exclusive_scan(&xs);
+        let mut acc = 0u64;
+        for (s, &x) in scan.iter().zip(&xs) {
+            prop_assert_eq!(*s, acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn inclusive_scan_is_exclusive_plus_self(xs in vec(0u64..1000, 0..3000)) {
+        let inc = inclusive_scan(&xs);
+        let (exc, _) = exclusive_scan(&xs);
+        for i in 0..xs.len() {
+            prop_assert_eq!(inc[i], exc[i] + xs[i]);
+        }
+    }
+
+    #[test]
+    fn filter_matches_iterator_filter(xs in vec(0i64..100, 0..8000), k in 1i64..10) {
+        let got = filter(&xs, |&x| x % k == 0);
+        let want: Vec<i64> = xs.iter().copied().filter(|&x| x % k == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_indices_matches_positions(flags in vec(any::<bool>(), 0..8000)) {
+        let got = pack_indices(&flags);
+        let want: Vec<usize> = flags.iter().enumerate().filter_map(|(i, &f)| f.then_some(i)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn group_by_preserves_multiset(pairs in vec((0u8..32, any::<u32>()), 0..6000)) {
+        let groups = group_by(pairs.clone());
+        let mut got: Vec<(u8, u32)> = groups
+            .iter()
+            .flat_map(|(k, vs)| vs.iter().map(move |&v| (*k, v)))
+            .collect();
+        let mut want = pairs;
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sum_by_matches_hashmap_fold(pairs in vec((0u16..100, 0u64..1000), 0..6000)) {
+        let mut want = std::collections::HashMap::new();
+        for &(k, v) in &pairs {
+            *want.entry(k).or_insert(0u64) += v;
+        }
+        let got = sum_by(pairs);
+        prop_assert_eq!(got.len(), want.len());
+        for (k, v) in got {
+            prop_assert_eq!(want.get(&k), Some(&v));
+        }
+    }
+
+    #[test]
+    fn count_by_and_dedup_agree(keys in vec(0u32..64, 0..6000)) {
+        let counts = count_by(keys.clone());
+        let dedup = remove_duplicates(keys.clone());
+        prop_assert_eq!(counts.len(), dedup.len());
+        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total as usize, keys.len());
+        let from_counts: std::collections::HashSet<u32> = counts.iter().map(|&(k, _)| k).collect();
+        let from_dedup: std::collections::HashSet<u32> = dedup.into_iter().collect();
+        prop_assert_eq!(from_counts, from_dedup);
+    }
+
+    #[test]
+    fn bucket_sort_equals_comparison_sort(seed in any::<u64>(), n in 0usize..5000) {
+        let mut rng = SplitMix64::new(seed);
+        let xs: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let got = bucket_sort_by_key(xs.clone(), |&x| x);
+        let mut want = xs;
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bucket_sort_ord_equals_comparison_sort(pairs in vec((any::<u64>(), any::<u32>()), 0..5000)) {
+        let got = bucket_sort_ord(pairs.clone(), |t| t.0);
+        let mut want = pairs;
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn find_next_equals_linear_scan(xs in vec(0u8..4, 0..500), start in 0usize..520) {
+        let got = find_next_in(&xs, start, |&x| x == 3);
+        let want = (start..xs.len()).find(|&j| xs[j] == 3);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn priorities_induce_uniform_support_permutation(n in 0usize..2000, seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let pri = random_priorities(n, &mut rng);
+        let order = priorities_to_order(&pri);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dict_agrees_with_hashset(ops in vec((any::<bool>(), 0u64..500), 0..2000)) {
+        // Pre-size: single-item insert is a phase operation and does not
+        // grow the table (see the method docs).
+        let dict = ConcurrentU64Set::with_capacity(600);
+        let mut oracle = std::collections::HashSet::new();
+        for (insert, key) in ops {
+            if insert {
+                prop_assert_eq!(dict.insert(key), oracle.insert(key));
+            } else {
+                prop_assert_eq!(dict.remove(key), oracle.remove(&key));
+            }
+        }
+        prop_assert_eq!(dict.len(), oracle.len());
+        for key in 0..500u64 {
+            prop_assert_eq!(dict.contains(key), oracle.contains(&key));
+        }
+        let mut elems = dict.elements();
+        elems.sort_unstable();
+        let mut want: Vec<u64> = oracle.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(elems, want);
+    }
+
+    #[test]
+    fn dict_batch_ops_agree_with_hashset(
+        ins in vec(0u64..2000, 0..1500),
+        del in vec(0u64..2000, 0..1500),
+    ) {
+        let mut dict = ConcurrentU64Set::new();
+        dict.batch_insert(&ins);
+        dict.batch_remove(&del);
+        let mut oracle: std::collections::HashSet<u64> = ins.iter().copied().collect();
+        for d in &del {
+            oracle.remove(d);
+        }
+        prop_assert_eq!(dict.len(), oracle.len());
+        let member = dict.batch_contains(&(0..2000u64).collect::<Vec<_>>());
+        for (k, &m) in member.iter().enumerate() {
+            prop_assert_eq!(m, oracle.contains(&(k as u64)), "key {}", k);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! `pbdmm` — command-line front end for the batch-dynamic maximal matcher.
+//!
+//! ```text
+//! pbdmm gen er --n 1000 --m 4000 --seed 1 -o graph.hgr    # make a graph
+//! pbdmm match graph.hgr                                   # static matching
+//! pbdmm dynamic graph.hgr --batch 256 --order uniform     # replay a stream
+//! pbdmm cover graph.hgr                                   # set cover view
+//! ```
+//!
+//! Graph files are plain hyperedge lists (see `pbdmm::graph::io`): one edge
+//! per line, whitespace-separated vertex ids, `#` comments.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pbdmm::graph::workload::{insert_then_delete, DeletionOrder};
+use pbdmm::graph::{gen, io, Hypergraph};
+use pbdmm::matching::driver::run_workload;
+use pbdmm::primitives::cost::CostMeter;
+use pbdmm::primitives::rng::SplitMix64;
+use pbdmm::DynamicMatching;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pbdmm: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  pbdmm match <graph-file> [--seed S]
+  pbdmm dynamic <graph-file> [--batch B] [--order uniform|fifo|lifo|clustered|degree] [--seed S]
+  pbdmm cover <graph-file> [--seed S]
+  pbdmm gen <er|hyper|powerlaw|star|bipartite> [--n N] [--m M] [--rank R] [--seed S] -o <file>";
+
+/// Minimal flag parser: `--key value` pairs after positional arguments.
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), value);
+        } else if a == "-o" {
+            let value = it.next().ok_or("-o needs a value")?;
+            flags.insert("out".to_string(), value);
+        } else {
+            positional.push(a);
+        }
+    }
+    Ok(Args { positional, flags })
+}
+
+impl Args {
+    fn flag<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key} {v:?}: {e}")),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let cmd = args.positional.first().ok_or("missing command")?.as_str();
+    match cmd {
+        "match" => cmd_match(&args),
+        "dynamic" => cmd_dynamic(&args),
+        "cover" => cmd_cover(&args),
+        "gen" => cmd_gen(&args),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load(args: &Args) -> Result<Hypergraph, String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing graph file argument")?;
+    io::read_hypergraph_file(&PathBuf::from(path))
+}
+
+fn cmd_match(args: &Args) -> Result<(), String> {
+    let g = load(args)?;
+    let seed: u64 = args.flag("seed", 42)?;
+    let meter = CostMeter::new();
+    let mut rng = SplitMix64::new(seed);
+    let start = std::time::Instant::now();
+    let result = pbdmm::matching::parallel_greedy_match(&g.edges, &mut rng, &meter);
+    let secs = start.elapsed().as_secs_f64();
+    println!("graph: n={} m={} m'={} rank={}", g.n, g.m(), g.total_cardinality(), g.rank());
+    println!("matching size: {}", result.matches.len());
+    println!("parallel rounds: {}", result.rounds);
+    println!("model work: {} ({:.2} per unit cardinality)", meter.work(), meter.work() as f64 / g.total_cardinality().max(1) as f64);
+    println!("wall clock: {:.1} ms", secs * 1e3);
+    if !g.is_maximal_matching(&result.matched_edges()) {
+        return Err("internal error: produced matching not maximal".into());
+    }
+    Ok(())
+}
+
+fn parse_order(s: &str) -> Result<DeletionOrder, String> {
+    Ok(match s {
+        "uniform" => DeletionOrder::Uniform,
+        "fifo" => DeletionOrder::Fifo,
+        "lifo" => DeletionOrder::Lifo,
+        "clustered" => DeletionOrder::VertexClustered,
+        "degree" => DeletionOrder::DegreeBiased,
+        other => return Err(format!("unknown deletion order {other:?}")),
+    })
+}
+
+fn cmd_dynamic(args: &Args) -> Result<(), String> {
+    let g = load(args)?;
+    let batch: usize = args.flag("batch", 256)?;
+    let seed: u64 = args.flag("seed", 42)?;
+    let order = parse_order(&args.flag("order", "uniform".to_string())?)?;
+    let w = insert_then_delete(&g, batch, order, seed ^ 0xAD5E_11ED);
+    let mut dm = DynamicMatching::with_seed(seed);
+    let report = run_workload(&mut dm, &w);
+    let stats = dm.stats();
+    println!("graph: n={} m={} rank={}", g.n, g.m(), g.rank());
+    println!("stream: {} updates in {} batches of {} ({:?} deletions), empty-to-empty", report.updates, report.batches, batch, order);
+    println!("throughput: {:.0} updates/s ({:.2} us/update)", report.updates_per_second(), report.seconds / report.updates.max(1) as f64 * 1e6);
+    println!("model work/update: {:.2}", report.work_per_update());
+    println!("mean payment phi: {:.3} (bound: 2)", stats.mean_payment());
+    println!(
+        "epochs: {} created / {} natural / {} stolen / {} bloated; settle rounds: {}",
+        stats.epochs_created, stats.natural_epochs, stats.stolen_epochs, stats.bloated_epochs, stats.settle_rounds
+    );
+    Ok(())
+}
+
+fn cmd_cover(args: &Args) -> Result<(), String> {
+    let g = load(args)?;
+    let seed: u64 = args.flag("seed", 42)?;
+    let (cover, lb) = pbdmm::setcover::static_cover(&g.edges, seed);
+    pbdmm::setcover::validate_cover(&g.edges, &cover)
+        .map_err(|e| format!("internal error: invalid cover: {e}"))?;
+    println!("instance: {} sets, {} elements, max frequency {}", g.n, g.m(), g.rank());
+    println!("cover size: {} (matching lower bound on OPT: {lb}, guarantee <= {}x)", cover.len(), g.rank());
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let family = args.positional.get(1).ok_or("missing graph family")?.as_str();
+    let n: usize = args.flag("n", 1000)?;
+    let m: usize = args.flag("m", 4 * n)?;
+    let rank: usize = args.flag("rank", 3)?;
+    let seed: u64 = args.flag("seed", 1)?;
+    let out = args.flags.get("out").ok_or("missing -o <file>")?;
+    let g = match family {
+        "er" => gen::erdos_renyi(n, m, seed),
+        "hyper" => gen::random_hypergraph(n, m, rank, seed),
+        "powerlaw" => gen::preferential_attachment(n, rank.max(2), seed),
+        "star" => gen::star(n),
+        "bipartite" => gen::bipartite(n / 2, n - n / 2, m, seed),
+        other => return Err(format!("unknown family {other:?}")),
+    };
+    io::write_hypergraph_file(&PathBuf::from(out), &g)?;
+    println!("wrote {} ({} vertices, {} edges, rank {})", out, g.n, g.m(), g.rank());
+    Ok(())
+}

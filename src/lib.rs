@@ -1,0 +1,39 @@
+//! # pbdmm — Parallel Batch-Dynamic Maximal Matching
+//!
+//! A production-quality Rust reproduction of *Blelloch & Brady, "Parallel
+//! Batch-Dynamic Maximal Matching with Constant Work per Update", SPAA 2025*
+//! (arXiv:2503.09908).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`matching`] ([`DynamicMatching`]) — the batch-dynamic maximal matching
+//!   structure: `O(1)` expected amortized work per update on graphs,
+//!   `O(r³)` on rank-`r` hypergraphs, `O(log³ m)` depth per batch whp;
+//! * [`matching::greedy`] — work-efficient static maximal hypergraph
+//!   matching (`O(m')` work, `O(log² m)` depth whp);
+//! * [`setcover`] ([`DynamicSetCover`]) — static and batch-dynamic
+//!   r-approximate set cover via the matching reduction;
+//! * [`graph`] — hypergraphs, generators, oblivious workload streams;
+//! * [`primitives`] — the parallel toolbox (scan, semisort, dictionaries,
+//!   random permutations, work/depth metering).
+//!
+//! ```
+//! use pbdmm::DynamicMatching;
+//!
+//! let mut m = DynamicMatching::with_seed(7);
+//! let ids = m.insert_edges(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+//! assert!(m.matching_size() >= 1); // maximal after every batch
+//! m.delete_edges(&ids);
+//! assert_eq!(m.num_edges(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pbdmm_graph as graph;
+pub use pbdmm_matching as matching;
+pub use pbdmm_primitives as primitives;
+pub use pbdmm_setcover as setcover;
+
+pub use pbdmm_graph::{DeletionOrder, EdgeId, Hypergraph, VertexId, Workload};
+pub use pbdmm_matching::{DynamicMatching, LevelingConfig, MatchResult};
+pub use pbdmm_setcover::{DynamicSetCover, ElementId, SetId};

@@ -1,0 +1,86 @@
+//! End-to-end tests of the `pbdmm` command-line binary: generate → match →
+//! dynamic → cover pipelines through real files and process invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn pbdmm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pbdmm"))
+        .args(args)
+        .output()
+        .expect("failed to run pbdmm binary")
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pbdmm_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn gen_then_match_pipeline() {
+    let path = tmpfile("er.hgr");
+    let out = pbdmm(&[
+        "gen", "er", "--n", "200", "--m", "800", "--seed", "3", "-o",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = pbdmm(&["match", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("matching size:"), "{stdout}");
+    assert!(stdout.contains("m=800"), "{stdout}");
+}
+
+#[test]
+fn dynamic_replay_reports_stats() {
+    let path = tmpfile("dyn.hgr");
+    pbdmm(&["gen", "er", "--n", "100", "--m", "400", "--seed", "5", "-o", path.to_str().unwrap()]);
+    for order in ["uniform", "fifo", "lifo", "clustered", "degree"] {
+        let out = pbdmm(&["dynamic", path.to_str().unwrap(), "--batch", "64", "--order", order]);
+        assert!(out.status.success(), "order {order}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("mean payment phi"), "{stdout}");
+        assert!(stdout.contains("800 updates"), "{stdout}");
+    }
+}
+
+#[test]
+fn cover_on_hypergraph() {
+    let path = tmpfile("cover.hgr");
+    pbdmm(&[
+        "gen", "hyper", "--n", "50", "--m", "200", "--rank", "3", "--seed", "7", "-o",
+        path.to_str().unwrap(),
+    ]);
+    let out = pbdmm(&["cover", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cover size:"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_with_message() {
+    let out = pbdmm(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = pbdmm(&["match", "/nonexistent/file.hgr"]);
+    assert!(!out.status.success());
+
+    let out = pbdmm(&["dynamic"]);
+    assert!(!out.status.success());
+
+    let out = pbdmm(&["frobnicate", "x"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn malformed_graph_file_is_rejected() {
+    let path = tmpfile("bad.hgr");
+    std::fs::write(&path, "0 1\nnot numbers\n").unwrap();
+    let out = pbdmm(&["match", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+}

@@ -1,0 +1,83 @@
+//! Cross-crate integration for the set cover reduction: coverage is
+//! maintained under batch churn of elements, approximation guarantees hold,
+//! and the dynamic cover agrees with the underlying matching structure.
+
+use pbdmm::graph::gen;
+use pbdmm::matching::verify::check_invariants;
+use pbdmm::setcover::{greedy_cover, static_cover, validate_cover};
+use pbdmm::{DynamicSetCover, ElementId};
+
+#[test]
+fn dynamic_cover_valid_after_every_batch() {
+    let inst = gen::set_cover_instance(80, 1200, 4, 0x10);
+    let w = pbdmm::graph::workload::churn(&inst, 96, 0x11);
+    let mut dc = DynamicSetCover::with_seed(1);
+    let mut assigned: Vec<Option<ElementId>> = vec![None; inst.m()];
+    let mut live: Vec<(ElementId, Vec<u32>)> = Vec::new();
+    for step in &w.steps {
+        let ins: Vec<Vec<u32>> = step.insert.iter().map(|&i| inst.edges[i].clone()).collect();
+        let ids = dc.insert_elements(&ins);
+        for ((&ui, &id), vs) in step.insert.iter().zip(&ids).zip(&ins) {
+            assigned[ui] = Some(id);
+            live.push((id, vs.clone()));
+        }
+        let dels: Vec<ElementId> = step.delete.iter().map(|&i| assigned[i].unwrap()).collect();
+        dc.delete_elements(&dels);
+        live.retain(|(id, _)| !dels.contains(id));
+
+        // Every live element covered; cover within r of the lower bound;
+        // underlying matching structurally sound.
+        let cover = dc.cover();
+        let elements: Vec<Vec<u32>> = live.iter().map(|(_, vs)| vs.clone()).collect();
+        validate_cover(&elements, &cover).unwrap();
+        assert!(cover.len() <= 4 * dc.opt_lower_bound().max(1));
+        check_invariants(dc.matching()).unwrap();
+    }
+    assert_eq!(dc.num_elements(), 0);
+    assert!(dc.cover().is_empty());
+}
+
+#[test]
+fn static_and_dynamic_covers_comparable_quality() {
+    let inst = gen::set_cover_instance(100, 3000, 3, 0x20);
+    let (static_c, lb) = static_cover(&inst.edges, 2);
+    let mut dc = DynamicSetCover::with_seed(3);
+    for chunk in inst.edges.chunks(250) {
+        dc.insert_elements(chunk);
+    }
+    let dynamic_c = dc.cover();
+    validate_cover(&inst.edges, &static_c).unwrap();
+    validate_cover(&inst.edges, &dynamic_c).unwrap();
+    // Both are r-approximations of the same instance; sizes agree within r.
+    assert!(static_c.len() <= 3 * lb);
+    assert!(dynamic_c.len() <= 3 * dc.opt_lower_bound());
+    // And neither is wildly worse than the other.
+    assert!(dynamic_c.len() <= 3 * static_c.len());
+    assert!(static_c.len() <= 3 * dynamic_c.len());
+}
+
+#[test]
+fn greedy_baseline_vs_matching_cover_sizes() {
+    // Greedy usually produces smaller covers (H_n vs r guarantee) but the
+    // matching cover must stay within its r-approximation promise.
+    let inst = gen::set_cover_instance(60, 2000, 4, 0x30);
+    let (mc, lb) = static_cover(&inst.edges, 4);
+    let gc = greedy_cover(&inst.edges);
+    validate_cover(&inst.edges, &gc).unwrap();
+    assert!(mc.len() <= 4 * lb, "r-approximation violated: {} > 4*{lb}", mc.len());
+    assert!(!gc.is_empty() && gc.len() <= 60);
+}
+
+#[test]
+fn element_frequency_one_is_supported() {
+    // Elements in exactly one set (rank-1 hyperedges) must be handled: the
+    // set containing them is forced into the cover.
+    let elements = vec![vec![0u32], vec![1], vec![0], vec![2, 1]];
+    let mut dc = DynamicSetCover::with_seed(5);
+    let ids = dc.insert_elements(&elements);
+    let cover = dc.cover();
+    validate_cover(&elements, &cover).unwrap();
+    assert!(cover.contains(&0) && cover.contains(&1));
+    dc.delete_elements(&ids);
+    assert_eq!(dc.cover_size(), 0);
+}

@@ -1,0 +1,66 @@
+//! Long-running soak tests, `#[ignore]`d by default. Run with
+//! `cargo test --release --test soak -- --ignored` for extended validation
+//! beyond the regular suite's scales.
+
+use pbdmm::graph::workload::{churn, insert_then_delete, DeletionOrder};
+use pbdmm::graph::gen;
+use pbdmm::matching::driver::{run_workload, run_workload_with};
+use pbdmm::matching::verify::check_invariants;
+use pbdmm::DynamicMatching;
+
+#[test]
+#[ignore = "long-running soak; run with --ignored"]
+fn quarter_million_update_churn_with_invariants() {
+    let g = gen::erdos_renyi(1 << 14, 1 << 16, 0x50AC);
+    let w = churn(&g, 1024, 0x50AD);
+    let mut dm = DynamicMatching::with_seed(1);
+    let mut batches = 0u64;
+    run_workload_with(&mut dm, &w, |m| {
+        batches += 1;
+        // Full invariant checks are O(state); sample every 16th batch.
+        if batches % 16 == 0 {
+            check_invariants(m).unwrap();
+        }
+    });
+    check_invariants(&dm).unwrap();
+    assert_eq!(dm.num_edges(), 0);
+}
+
+#[test]
+#[ignore = "long-running soak; run with --ignored"]
+fn hypergraph_soak_all_orders() {
+    let g = gen::random_hypergraph(1 << 12, 1 << 14, 5, 0x50AE);
+    for order in [
+        DeletionOrder::Uniform,
+        DeletionOrder::Lifo,
+        DeletionOrder::VertexClustered,
+        DeletionOrder::DegreeBiased,
+    ] {
+        let w = insert_then_delete(&g, 512, order, 0x50AF);
+        let mut dm = DynamicMatching::with_seed(2);
+        let r = run_workload(&mut dm, &w);
+        check_invariants(&dm).unwrap();
+        assert_eq!(dm.num_edges(), 0);
+        assert!(dm.stats().mean_payment() <= 2.5, "{order:?}");
+        assert!(r.work_per_update() < 1000.0, "{order:?} blew up: {r:?}");
+    }
+}
+
+#[test]
+#[ignore = "long-running soak; run with --ignored"]
+fn powerlaw_settle_storm() {
+    // Dense hubs + clustered deletions: the heaviest settle pressure we can
+    // generate; every structural lemma must hold throughout.
+    let g = gen::preferential_attachment(1 << 13, 12, 0x50B0);
+    let w = insert_then_delete(&g, 2048, DeletionOrder::VertexClustered, 0x50B1);
+    let mut dm = DynamicMatching::with_seed(3);
+    run_workload(&mut dm, &w);
+    check_invariants(&dm).unwrap();
+    let s = dm.stats();
+    assert_eq!(dm.num_edges(), 0);
+    let min_ratio = s.min_round_sample_ratio();
+    if min_ratio.is_finite() {
+        assert!(min_ratio >= 2.0, "Lemma 5.6: {min_ratio}");
+    }
+    assert!(s.natural_to_induced_ratio() > 1.0 / 3.0, "Lemma 5.7");
+}
