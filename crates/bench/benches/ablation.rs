@@ -2,36 +2,54 @@
 //! argues for (level gap α = 2, heaviness coefficient 4) and footnote 8's
 //! all-light mode, under a settle-heavy power-law workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbdmm_bench::BenchGroup;
 use pbdmm_graph::gen;
 use pbdmm_graph::workload::{insert_then_delete, DeletionOrder};
 use pbdmm_matching::driver::run_workload;
 use pbdmm_matching::{DynamicMatching, LevelingConfig};
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("ablation").sample_size(10);
     let g = gen::preferential_attachment(1 << 11, 6, 51);
     let w = insert_then_delete(&g, 256, DeletionOrder::VertexClustered, 53);
-    group.throughput(Throughput::Elements(w.total_updates() as u64));
+    let updates = w.total_updates() as u64;
 
     let configs: Vec<(&str, LevelingConfig)> = vec![
         ("paper_a2_c4", LevelingConfig::default()),
-        ("tight_a2_c1", LevelingConfig { heavy_factor: 1, ..Default::default() }),
-        ("loose_a2_c16", LevelingConfig { heavy_factor: 16, ..Default::default() }),
-        ("wide_a4_c4", LevelingConfig { gap_log2: 2, ..Default::default() }),
-        ("all_light", LevelingConfig { all_light: true, ..Default::default() }),
+        (
+            "tight_a2_c1",
+            LevelingConfig {
+                heavy_factor: 1,
+                ..Default::default()
+            },
+        ),
+        (
+            "loose_a2_c16",
+            LevelingConfig {
+                heavy_factor: 16,
+                ..Default::default()
+            },
+        ),
+        (
+            "wide_a4_c4",
+            LevelingConfig {
+                gap_log2: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            "all_light",
+            LevelingConfig {
+                all_light: true,
+                ..Default::default()
+            },
+        ),
     ];
     for (name, cfg) in configs {
-        group.bench_with_input(BenchmarkId::new("config", name), &w, |b, w| {
-            b.iter(|| {
-                let mut dm = DynamicMatching::with_seed_and_config(7, cfg);
-                run_workload(&mut dm, w)
-            });
+        group.bench(&format!("config/{name}"), Some(updates), || {
+            let mut dm = DynamicMatching::with_seed_and_config(7, cfg);
+            run_workload(&mut dm, &w)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

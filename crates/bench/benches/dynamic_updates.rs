@@ -1,25 +1,26 @@
 //! E1/E6 bench: batch-dynamic update throughput on empty-to-empty streams
 //! across graph sizes and deletion orders (Theorem 1.1 / Corollary 1.2).
+//! The contender is driven through the generic `BatchDynamic` driver.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbdmm_bench::BenchGroup;
 use pbdmm_graph::gen;
 use pbdmm_graph::workload::{insert_then_delete, DeletionOrder};
 use pbdmm_matching::driver::run_workload;
 use pbdmm_matching::DynamicMatching;
 
-fn bench_dynamic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dynamic_updates");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("dynamic_updates").sample_size(10);
     for &n in &[1usize << 10, 1 << 12, 1 << 14] {
         let g = gen::erdos_renyi(n, 4 * n, 9);
         let w = insert_then_delete(&g, 512, DeletionOrder::Uniform, 11);
-        group.throughput(Throughput::Elements(w.total_updates() as u64));
-        group.bench_with_input(BenchmarkId::new("empty_to_empty", n), &w, |b, w| {
-            b.iter(|| {
+        group.bench(
+            &format!("empty_to_empty/{n}"),
+            Some(w.total_updates() as u64),
+            || {
                 let mut dm = DynamicMatching::with_seed(1);
-                run_workload(&mut dm, w)
-            });
-        });
+                run_workload(&mut dm, &w)
+            },
+        );
     }
     let n = 1 << 12;
     let g = gen::erdos_renyi(n, 4 * n, 9);
@@ -29,16 +30,14 @@ fn bench_dynamic(c: &mut Criterion) {
         ("clustered", DeletionOrder::VertexClustered),
     ] {
         let w = insert_then_delete(&g, 512, order, 13);
-        group.throughput(Throughput::Elements(w.total_updates() as u64));
-        group.bench_with_input(BenchmarkId::new("order", name), &w, |b, w| {
-            b.iter(|| {
+        group.bench(
+            &format!("order/{name}"),
+            Some(w.total_updates() as u64),
+            || {
                 let mut dm = DynamicMatching::with_seed(2);
-                run_workload(&mut dm, w)
-            });
-        });
+                run_workload(&mut dm, &w)
+            },
+        );
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_dynamic);
-criterion_main!(benches);

@@ -1,62 +1,53 @@
 //! Substrate bench: the §2 parallel primitives the algorithm is built on —
 //! scan, filter, semisort/groupBy, random priorities, the batch dictionary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbdmm_bench::BenchGroup;
 use pbdmm_primitives::dict::ConcurrentU64Set;
 use pbdmm_primitives::permutation::random_priorities;
 use pbdmm_primitives::rng::SplitMix64;
 use pbdmm_primitives::scan::{exclusive_scan, filter};
 use pbdmm_primitives::semisort::group_by;
 
-fn bench_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitives");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("primitives").sample_size(10);
     let n = 1 << 18;
 
     let xs: Vec<u64> = (0..n as u64).map(|i| i % 97).collect();
-    group.throughput(Throughput::Elements(n as u64));
-    group.bench_function(BenchmarkId::new("exclusive_scan", n), |b| {
-        b.iter(|| exclusive_scan(&xs));
+    group.bench(&format!("exclusive_scan/{n}"), Some(n as u64), || {
+        exclusive_scan(&xs)
     });
-    group.bench_function(BenchmarkId::new("filter", n), |b| {
-        b.iter(|| filter(&xs, |&x| x % 3 == 0));
+    group.bench(&format!("filter/{n}"), Some(n as u64), || {
+        filter(&xs, |&x| x % 3 == 0)
     });
 
     let pairs: Vec<(u32, u32)> = (0..n as u32).map(|i| (i % 4096, i)).collect();
-    group.bench_function(BenchmarkId::new("group_by", n), |b| {
-        b.iter(|| group_by(pairs.clone()));
+    group.bench(&format!("group_by/{n}"), Some(n as u64), || {
+        group_by(pairs.clone())
     });
 
-    group.bench_function(BenchmarkId::new("random_priorities", n), |b| {
-        let mut rng = SplitMix64::new(5);
-        b.iter(|| random_priorities(n, &mut rng));
+    let mut rng = SplitMix64::new(5);
+    group.bench(&format!("random_priorities/{n}"), Some(n as u64), || {
+        random_priorities(n, &mut rng)
     });
 
     let keys: Vec<u64> = (0..n as u64).collect();
-    group.bench_function(BenchmarkId::new("dict_batch_insert", n), |b| {
-        b.iter(|| {
-            let mut s = ConcurrentU64Set::with_capacity(n);
-            s.batch_insert(&keys);
-            s
-        });
+    group.bench(&format!("dict_batch_insert/{n}"), Some(n as u64), || {
+        let mut s = ConcurrentU64Set::with_capacity(n);
+        s.batch_insert(&keys);
+        s
     });
 
     // Bucket sort vs comparison sort on random priorities (§3's expected-
     // linear claim).
     let mut rng2 = SplitMix64::new(9);
     let random_keys: Vec<u64> = (0..n).map(|_| rng2.next_u64()).collect();
-    group.bench_function(BenchmarkId::new("bucket_sort", n), |b| {
-        b.iter(|| pbdmm_primitives::sort::bucket_sort_by_key(random_keys.clone(), |&x| x));
+    group.bench(&format!("bucket_sort/{n}"), Some(n as u64), || {
+        pbdmm_primitives::sort::bucket_sort_by_key(random_keys.clone(), |&x| x)
     });
-    group.bench_function(BenchmarkId::new("comparison_sort", n), |b| {
-        b.iter(|| {
-            let mut v = random_keys.clone();
-            v.sort_unstable();
-            v
-        });
+    group.bench(&format!("comparison_sort/{n}"), Some(n as u64), || {
+        let mut v = random_keys.clone();
+        v.sort_unstable();
+        v
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_primitives);
-criterion_main!(benches);

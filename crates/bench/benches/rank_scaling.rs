@@ -1,30 +1,27 @@
 //! E2 bench: dynamic update cost as hypergraph rank grows (Theorem 1.1's
 //! O(r³) per-update bound).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbdmm_bench::BenchGroup;
 use pbdmm_graph::gen;
 use pbdmm_graph::workload::churn;
 use pbdmm_matching::driver::run_workload;
 use pbdmm_matching::DynamicMatching;
 
-fn bench_rank(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rank_scaling");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("rank_scaling").sample_size(10);
     let n = 2000;
     let m = 8000;
     for &r in &[2usize, 3, 4, 6] {
         let g = gen::random_hypergraph(n, m, r, 21);
         let w = churn(&g, 256, 23);
-        group.throughput(Throughput::Elements(w.total_updates() as u64));
-        group.bench_with_input(BenchmarkId::new("churn_rank", r), &w, |b, w| {
-            b.iter(|| {
+        group.bench(
+            &format!("churn_rank/{r}"),
+            Some(w.total_updates() as u64),
+            || {
                 let mut dm = DynamicMatching::with_seed(3);
-                run_workload(&mut dm, w)
-            });
-        });
+                run_workload(&mut dm, &w)
+            },
+        );
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_rank);
-criterion_main!(benches);

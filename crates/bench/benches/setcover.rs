@@ -1,46 +1,31 @@
 //! E10 bench: static r-approximate set cover vs the sequential greedy
-//! baseline, and batch-dynamic element updates (Corollaries 1.4/1.5).
+//! baseline, and batch-dynamic element updates (Corollaries 1.4/1.5)
+//! through the generic `BatchDynamic` driver.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbdmm_bench::BenchGroup;
 use pbdmm_graph::gen;
 use pbdmm_graph::workload::churn;
+use pbdmm_matching::driver::run_workload;
 use pbdmm_setcover::{greedy_cover, static_cover, DynamicSetCover};
 
-fn bench_setcover(c: &mut Criterion) {
-    let mut group = c.benchmark_group("setcover");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("setcover").sample_size(10);
     for &e in &[4096usize, 32_768] {
         let inst = gen::set_cover_instance(e / 16, e, 4, 77);
-        group.throughput(Throughput::Elements(e as u64));
-        group.bench_with_input(BenchmarkId::new("matching_cover", e), &inst, |b, inst| {
-            b.iter(|| static_cover(&inst.edges, 5));
+        group.bench(&format!("matching_cover/{e}"), Some(e as u64), || {
+            static_cover(&inst.edges, 5)
         });
-        group.bench_with_input(BenchmarkId::new("greedy_cover", e), &inst, |b, inst| {
-            b.iter(|| greedy_cover(&inst.edges));
+        group.bench(&format!("greedy_cover/{e}"), Some(e as u64), || {
+            greedy_cover(&inst.edges)
         });
     }
 
     let inst = gen::set_cover_instance(512, 8192, 4, 79);
     let w = churn(&inst, 256, 81);
-    group.throughput(Throughput::Elements(w.total_updates() as u64));
-    group.bench_function("dynamic_churn", |b| {
-        b.iter(|| {
-            let mut dc = DynamicSetCover::with_seed(6);
-            let mut assigned = vec![None; inst.m()];
-            for step in &w.steps {
-                let ins: Vec<_> = step.insert.iter().map(|&i| inst.edges[i].clone()).collect();
-                let ids = dc.insert_elements(&ins);
-                for (&ui, &id) in step.insert.iter().zip(&ids) {
-                    assigned[ui] = Some(id);
-                }
-                let dels: Vec<_> = step.delete.iter().map(|&i| assigned[i].unwrap()).collect();
-                dc.delete_elements(&dels);
-            }
-            dc.cover_size()
-        });
+    group.bench("dynamic_churn", Some(w.total_updates() as u64), || {
+        let mut dc = DynamicSetCover::with_seed(6);
+        run_workload(&mut dc, &w);
+        dc.cover_size()
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_setcover);
-criterion_main!(benches);

@@ -1,37 +1,30 @@
-//! E9 bench: static matcher across explicit rayon pool sizes (self-relative
+//! E9 bench: static matcher across worker-count caps (self-relative
 //! speedup; a single point on single-core hosts).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbdmm_bench::BenchGroup;
 use pbdmm_graph::gen;
 use pbdmm_matching::parallel_greedy_match;
 use pbdmm_primitives::cost::CostMeter;
+use pbdmm_primitives::par;
 use pbdmm_primitives::rng::SplitMix64;
 
-fn bench_speedup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("speedup");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("speedup").sample_size(10);
     let m = 1 << 16;
     let g = gen::erdos_renyi(m / 4, m, 91);
-    let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut threads = 1;
     while threads <= max_threads {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("pool");
-        group.bench_with_input(BenchmarkId::new("threads", threads), &g, |b, g| {
-            b.iter(|| {
-                pool.install(|| {
-                    let meter = CostMeter::new();
-                    let mut rng = SplitMix64::new(7);
-                    parallel_greedy_match(&g.edges, &mut rng, &meter)
-                })
-            });
+        par::set_num_threads(threads);
+        group.bench(&format!("threads/{threads}"), Some(m as u64), || {
+            let meter = CostMeter::new();
+            let mut rng = SplitMix64::new(7);
+            parallel_greedy_match(&g.edges, &mut rng, &meter)
         });
         threads *= 2;
     }
+    par::set_num_threads(0);
     group.finish();
 }
-
-criterion_group!(benches, bench_speedup);
-criterion_main!(benches);

@@ -2,40 +2,38 @@
 //! work-efficient parallel implementation (Lemma 1.3), across graph sizes
 //! and hypergraph ranks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbdmm_bench::BenchGroup;
 use pbdmm_graph::gen;
 use pbdmm_matching::{parallel_greedy_match, sequential_greedy_match};
 use pbdmm_primitives::cost::CostMeter;
 use pbdmm_primitives::rng::SplitMix64;
 
-fn bench_static(c: &mut Criterion) {
-    let mut group = c.benchmark_group("static_matching");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("static_matching").sample_size(10);
     for &m in &[1usize << 12, 1 << 14, 1 << 16] {
         let g = gen::erdos_renyi(m / 4, m, 42);
-        group.throughput(Throughput::Elements(m as u64));
-        group.bench_with_input(BenchmarkId::new("parallel_er", m), &g, |b, g| {
+        group.bench(&format!("parallel_er/{m}"), Some(m as u64), || {
             let meter = CostMeter::new();
             let mut rng = SplitMix64::new(1);
-            b.iter(|| parallel_greedy_match(&g.edges, &mut rng, &meter));
+            parallel_greedy_match(&g.edges, &mut rng, &meter)
         });
-        group.bench_with_input(BenchmarkId::new("sequential_er", m), &g, |b, g| {
+        group.bench(&format!("sequential_er/{m}"), Some(m as u64), || {
             let mut rng = SplitMix64::new(1);
-            b.iter(|| sequential_greedy_match(&g.edges, &mut rng));
+            sequential_greedy_match(&g.edges, &mut rng)
         });
     }
     for &r in &[3usize, 5] {
         let m = 1 << 13;
         let g = gen::random_hypergraph(m / 2, m, r, 7);
-        group.throughput(Throughput::Elements((m * r) as u64));
-        group.bench_with_input(BenchmarkId::new("parallel_hyper", r), &g, |b, g| {
-            let meter = CostMeter::new();
-            let mut rng = SplitMix64::new(2);
-            b.iter(|| parallel_greedy_match(&g.edges, &mut rng, &meter));
-        });
+        group.bench(
+            &format!("parallel_hyper/r{r}"),
+            Some((m * r) as u64),
+            || {
+                let meter = CostMeter::new();
+                let mut rng = SplitMix64::new(2);
+                parallel_greedy_match(&g.edges, &mut rng, &meter)
+            },
+        );
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_static);
-criterion_main!(benches);

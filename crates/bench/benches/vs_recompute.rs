@@ -1,36 +1,36 @@
 //! E8 bench: batch-dynamic maintenance vs recomputing the static matching
-//! per batch, across batch sizes (the crossover experiment).
+//! per batch, across batch sizes (the crossover experiment). Both
+//! contenders run through the generic `BatchDynamic` driver.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbdmm_bench::BenchGroup;
 use pbdmm_graph::gen;
 use pbdmm_graph::workload::{sliding_window, DeletionOrder};
 use pbdmm_matching::baseline::RecomputeMatching;
 use pbdmm_matching::driver::run_workload;
 use pbdmm_matching::DynamicMatching;
 
-fn bench_vs_recompute(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vs_recompute");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("vs_recompute").sample_size(10);
     let n = 1 << 12;
     let g = gen::erdos_renyi(n, 4 * n, 31);
     for &batch in &[64usize, 1024] {
         let w = sliding_window(&g, batch, 8, DeletionOrder::Fifo, 33);
-        group.throughput(Throughput::Elements(w.total_updates() as u64));
-        group.bench_with_input(BenchmarkId::new("dynamic", batch), &w, |b, w| {
-            b.iter(|| {
+        group.bench(
+            &format!("dynamic/{batch}"),
+            Some(w.total_updates() as u64),
+            || {
                 let mut dm = DynamicMatching::with_seed(4);
-                run_workload(&mut dm, w)
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("recompute", batch), &w, |b, w| {
-            b.iter(|| {
+                run_workload(&mut dm, &w)
+            },
+        );
+        group.bench(
+            &format!("recompute/{batch}"),
+            Some(w.total_updates() as u64),
+            || {
                 let mut rc = RecomputeMatching::with_seed(4);
-                run_workload(&mut rc, w)
-            });
-        });
+                run_workload(&mut rc, &w)
+            },
+        );
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_vs_recompute);
-criterion_main!(benches);

@@ -47,7 +47,10 @@ fn main() {
     let run_all = wanted.is_empty() || wanted.iter().any(|a| a == "all");
     let want = |name: &str| run_all || wanted.iter().any(|a| a == name);
 
-    println!("# pbdmm experiments (threads = {})", rayon::current_num_threads());
+    println!(
+        "# pbdmm experiments (threads = {})",
+        pbdmm_primitives::par::num_threads()
+    );
 
     if want("e1") {
         e1_constant_work(&scale);
@@ -102,7 +105,13 @@ fn main() {
 fn e15_level_occupancy(scale: &Scale) {
     let mut t = Table::new(
         "E15: leveling-structure occupancy mid-churn (Definition 4.1 geometry)",
-        &["level", "matches", "sample mass", "cross mass", "avg sample"],
+        &[
+            "level",
+            "matches",
+            "sample mass",
+            "cross mass",
+            "avg sample",
+        ],
     );
     let n = if scale.quick { 1 << 11 } else { 1 << 13 };
     let g = gen::preferential_attachment(n, 6, 0xE15);
@@ -151,7 +160,14 @@ fn e13_leveling_ablation(scale: &Scale) {
     use pbdmm_matching::LevelingConfig;
     let mut t = Table::new(
         "E13 ablation: level gap and heaviness coefficient (paper: alpha=2, c=4)",
-        &["alpha", "c", "work/update", "settle iters", "induced epochs", "mean phi"],
+        &[
+            "alpha",
+            "c",
+            "work/update",
+            "settle iters",
+            "induced epochs",
+            "mean phi",
+        ],
     );
     let n = if scale.quick { 1 << 11 } else { 1 << 12 };
     let g = gen::preferential_attachment(n, 6, 0xE13);
@@ -226,7 +242,14 @@ fn e14_all_light_ablation(scale: &Scale) {
 fn e1_constant_work(scale: &Scale) {
     let mut t = Table::new(
         "E1: constant work per update, r=2 (Theorem 1.1 / Corollary 1.2)",
-        &["n", "m", "updates", "work/update", "us/update", "settle-iters"],
+        &[
+            "n",
+            "m",
+            "updates",
+            "work/update",
+            "us/update",
+            "settle-iters",
+        ],
     );
     let mut pts = Vec::new();
     for &n in &doubling_sizes(1 << 10, scale.steps(6)) {
@@ -262,7 +285,11 @@ fn e2_rank_scaling(scale: &Scale) {
     let mut pts = Vec::new();
     let n = 4000;
     let m = 16_000;
-    let ranks: Vec<usize> = if scale.quick { vec![2, 3, 4, 6] } else { vec![2, 3, 4, 5, 6, 8] };
+    let ranks: Vec<usize> = if scale.quick {
+        vec![2, 3, 4, 6]
+    } else {
+        vec![2, 3, 4, 5, 6, 8]
+    };
     for &r in &ranks {
         let g = gen::random_hypergraph(n, m, r, 0xE2);
         let w = churn(&g, 512, 0xBEEF);
@@ -358,7 +385,13 @@ fn e4_greedy_rounds(scale: &Scale) {
 fn e5_batch_depth(scale: &Scale) {
     let mut t = Table::new(
         "E5: per-batch depth proxies (Lemma 5.11: O(log^3 m) whp)",
-        &["m", "lg m", "max settle iters", "mean settle iters", "batches"],
+        &[
+            "m",
+            "lg m",
+            "max settle iters",
+            "mean settle iters",
+            "batches",
+        ],
     );
     for &n in &doubling_sizes(1 << 10, scale.steps(5)) {
         let m = 4 * n;
@@ -419,7 +452,14 @@ fn e6_payment(scale: &Scale) {
 fn e7_sample_ledger(scale: &Scale) {
     let mut t = Table::new(
         "E7: sample-mass ledger (Lemma 5.6: S_a >= 2 S_d per round; Lemma 5.7: S_n > S_i/3)",
-        &["graph", "settle rounds", "min S_a/S_d", "S_n", "S_i", "S_n/S_i"],
+        &[
+            "graph",
+            "settle rounds",
+            "min S_a/S_d",
+            "S_n",
+            "S_i",
+            "S_n/S_i",
+        ],
     );
     let n = if scale.quick { 1 << 11 } else { 1 << 13 };
     for (name, g) in [
@@ -435,7 +475,11 @@ fn e7_sample_ledger(scale: &Scale) {
         t.row(&[
             name.into(),
             s.settle_rounds.to_string(),
-            if min_ratio.is_finite() { fmt_f(min_ratio) } else { "inf".into() },
+            if min_ratio.is_finite() {
+                fmt_f(min_ratio)
+            } else {
+                "inf".into()
+            },
             s.natural_sample_mass.to_string(),
             s.induced_sample_mass().to_string(),
             fmt_f(s.natural_to_induced_ratio()),
@@ -449,7 +493,14 @@ fn e7_sample_ledger(scale: &Scale) {
 fn e8_vs_recompute(scale: &Scale) {
     let mut t = Table::new(
         "E8: dynamic vs static recompute per batch (crossover)",
-        &["batch", "dyn us/upd", "dyn work/upd", "recomp us/upd", "recomp work/upd", "work ratio"],
+        &[
+            "batch",
+            "dyn us/upd",
+            "dyn work/upd",
+            "recomp us/upd",
+            "recomp work/upd",
+            "work ratio",
+        ],
     );
     let n = if scale.quick { 1 << 12 } else { 1 << 13 };
     let g = gen::erdos_renyi(n, 4 * n, 0xE8);
@@ -463,7 +514,13 @@ fn e8_vs_recompute(scale: &Scale) {
         vec![16, 128, 1024, 8192]
     };
     for &b in &batches {
-        let w = sliding_window(&g, b, (window_edges / b).max(1), DeletionOrder::Fifo, 0xE8E8);
+        let w = sliding_window(
+            &g,
+            b,
+            (window_edges / b).max(1),
+            DeletionOrder::Fifo,
+            0xE8E8,
+        );
         let mut dm = DynamicMatching::with_seed(9);
         let rd = run_workload(&mut dm, &w);
         let mut rc = RecomputeMatching::with_seed(9);
@@ -489,20 +546,19 @@ fn e9_speedup(scale: &Scale) {
     );
     let m = if scale.quick { 1 << 16 } else { 1 << 18 };
     let g = gen::erdos_renyi(m / 4, m, 0xE9);
-    let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut base = None;
     let mut threads = 1;
     while threads <= max_threads {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("pool");
-        let secs = pool.install(|| {
+        pbdmm_primitives::par::set_num_threads(threads);
+        let secs = {
             let meter = CostMeter::new();
             let mut rng = SplitMix64::new(10);
             let (_, s) = time(|| parallel_greedy_match(&g.edges, &mut rng, &meter));
             s
-        });
+        };
         let base_secs = *base.get_or_insert(secs);
         t.row(&[
             threads.to_string(),
@@ -511,6 +567,7 @@ fn e9_speedup(scale: &Scale) {
         ]);
         threads *= 2;
     }
+    pbdmm_primitives::par::set_num_threads(0);
     t.print();
     if max_threads == 1 {
         println!("(single-core host: speedup sweep is a single point)");
@@ -521,7 +578,15 @@ fn e9_speedup(scale: &Scale) {
 fn e10_set_cover(scale: &Scale) {
     let mut t = Table::new(
         "E10: r-approximate set cover (Corollaries 1.4/1.5)",
-        &["sets", "elements", "r", "matching LB", "our cover", "greedy cover", "ratio vs LB"],
+        &[
+            "sets",
+            "elements",
+            "r",
+            "matching LB",
+            "our cover",
+            "greedy cover",
+            "ratio vs LB",
+        ],
     );
     // Sparse (elements ≈ 2–3× sets: nontrivial covers) and dense
     // (elements ≫ sets: covers saturate) regimes.

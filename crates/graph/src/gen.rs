@@ -256,7 +256,10 @@ mod tests {
         let deg = g.degrees();
         let max = *deg.iter().max().unwrap();
         let avg = deg.iter().map(|&d| d as f64).sum::<f64>() / deg.len() as f64;
-        assert!(max as f64 > 3.0 * avg, "expected a hub: max={max} avg={avg}");
+        assert!(
+            max as f64 > 3.0 * avg,
+            "expected a hub: max={max} avg={avg}"
+        );
         assert!(Hypergraph::new(g.n, g.edges.clone()).is_ok());
     }
 

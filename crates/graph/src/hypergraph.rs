@@ -29,7 +29,10 @@ impl Hypergraph {
                 return Err(format!("edge {i} is not sorted/deduplicated: {e:?}"));
             }
             if *e.last().unwrap() as usize >= n {
-                return Err(format!("edge {i} references vertex {} >= n={n}", e.last().unwrap()));
+                return Err(format!(
+                    "edge {i} references vertex {} >= n={n}",
+                    e.last().unwrap()
+                ));
             }
         }
         Ok(Hypergraph { n, edges })

@@ -44,8 +44,8 @@ pub fn read_hypergraph<R: BufRead>(reader: R) -> Result<Hypergraph, String> {
             max_v = max_v.max(v as usize + 1);
             vs.push(v);
         }
-        let vs = normalize_vertices(vs)
-            .ok_or_else(|| format!("line {}: empty edge", lineno + 1))?;
+        let vs =
+            normalize_vertices(vs).ok_or_else(|| format!("line {}: empty edge", lineno + 1))?;
         edges.push(vs);
     }
     Hypergraph::new(declared_n.max(max_v), edges)

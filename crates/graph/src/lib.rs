@@ -10,7 +10,9 @@
 //!   preferential attachment, bipartite, structured graphs, set-cover
 //!   instances);
 //! * [`workload`] — oblivious batch update schedules (empty-to-empty,
-//!   sliding-window, churn) with several deletion orders.
+//!   sliding-window, churn) with several deletion orders;
+//! * [`update`] — the unified mixed-batch vocabulary ([`Update`], [`Batch`])
+//!   consumed by every `BatchDynamic` structure.
 
 #![warn(missing_docs)]
 
@@ -18,8 +20,10 @@ pub mod edge;
 pub mod gen;
 pub mod hypergraph;
 pub mod io;
+pub mod update;
 pub mod workload;
 
 pub use edge::{cardinality, edges_intersect, normalize_vertices, EdgeId, EdgeVertices, VertexId};
 pub use hypergraph::{Csr, Hypergraph};
+pub use update::{Batch, Update};
 pub use workload::{BatchStep, DeletionOrder, Workload};

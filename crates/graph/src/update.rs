@@ -1,0 +1,195 @@
+//! The unified batch-update vocabulary: [`Update`] and [`Batch`].
+//!
+//! The paper's batch-dynamic algorithm (Fig. 3/4, Theorem 1.1) processes a
+//! *single batch containing both insertions and deletions*. These types make
+//! that first-class: a [`Batch`] is an ordered list of mixed [`Update`]s,
+//! built either directly or with the builder-style helpers, and consumed by
+//! any `BatchDynamic` implementation (see the `pbdmm-matching` crate's `api`
+//! module).
+//!
+//! Semantics contract (documented here because every consumer shares it):
+//! within one `apply` call, **all deletions are processed before all
+//! insertions**, and both settle in a single leveled settlement round. The
+//! relative order of updates of the same kind is preserved — in particular,
+//! the `k`-th `Insert` in the batch corresponds to the `k`-th id in the
+//! outcome's `inserted` vector.
+
+use crate::edge::{EdgeId, EdgeVertices};
+
+/// One edge update: insert a new hyperedge (by vertex set) or delete a live
+/// edge (by id). Ids are assigned by the structure at insertion time, so a
+/// batch can never delete an edge it also inserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Update {
+    /// Insert a hyperedge over the given vertices (normalized by the
+    /// consumer: sorted, deduplicated, non-empty).
+    Insert(EdgeVertices),
+    /// Delete the live edge with this id.
+    Delete(EdgeId),
+}
+
+impl Update {
+    /// Is this an insertion?
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert(_))
+    }
+
+    /// Is this a deletion?
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Update::Delete(_))
+    }
+}
+
+/// An ordered batch of mixed edge updates, with builder-style construction.
+///
+/// # Examples
+/// ```
+/// use pbdmm_graph::update::{Batch, Update};
+/// use pbdmm_graph::edge::EdgeId;
+///
+/// let batch = Batch::new()
+///     .insert(vec![0, 1])
+///     .insert(vec![1, 2, 3])
+///     .delete(EdgeId(7));
+/// assert_eq!(batch.len(), 3);
+/// assert_eq!(batch.num_inserts(), 2);
+/// assert_eq!(batch.num_deletes(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Batch {
+    updates: Vec<Update>,
+}
+
+impl Batch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Batch::default()
+    }
+
+    /// An empty batch with room for `n` updates.
+    pub fn with_capacity(n: usize) -> Self {
+        Batch {
+            updates: Vec::with_capacity(n),
+        }
+    }
+
+    /// Builder-style: append an insertion.
+    pub fn insert(mut self, vertices: EdgeVertices) -> Self {
+        self.updates.push(Update::Insert(vertices));
+        self
+    }
+
+    /// Builder-style: append a deletion.
+    pub fn delete(mut self, id: EdgeId) -> Self {
+        self.updates.push(Update::Delete(id));
+        self
+    }
+
+    /// Builder-style: append many insertions.
+    pub fn inserts<I: IntoIterator<Item = EdgeVertices>>(mut self, vs: I) -> Self {
+        self.updates.extend(vs.into_iter().map(Update::Insert));
+        self
+    }
+
+    /// Builder-style: append many deletions.
+    pub fn deletes<I: IntoIterator<Item = EdgeId>>(mut self, ids: I) -> Self {
+        self.updates.extend(ids.into_iter().map(Update::Delete));
+        self
+    }
+
+    /// Append one update in place.
+    pub fn push(&mut self, u: Update) {
+        self.updates.push(u);
+    }
+
+    /// Number of updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Number of insertions in the batch.
+    pub fn num_inserts(&self) -> usize {
+        self.updates.iter().filter(|u| u.is_insert()).count()
+    }
+
+    /// Number of deletions in the batch.
+    pub fn num_deletes(&self) -> usize {
+        self.updates.iter().filter(|u| u.is_delete()).count()
+    }
+
+    /// Iterate over the updates in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Update> {
+        self.updates.iter()
+    }
+
+    /// The updates as a slice.
+    pub fn as_slice(&self) -> &[Update] {
+        &self.updates
+    }
+}
+
+impl From<Vec<Update>> for Batch {
+    fn from(updates: Vec<Update>) -> Self {
+        Batch { updates }
+    }
+}
+
+impl FromIterator<Update> for Batch {
+    fn from_iter<I: IntoIterator<Item = Update>>(iter: I) -> Self {
+        Batch {
+            updates: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Batch {
+    type Item = Update;
+    type IntoIter = std::vec::IntoIter<Update>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Batch {
+    type Item = &'a Update;
+    type IntoIter = std::slice::Iter<'a, Update>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_and_counts() {
+        let b = Batch::new()
+            .delete(EdgeId(3))
+            .insert(vec![0, 1])
+            .deletes([EdgeId(4), EdgeId(5)])
+            .inserts([vec![2, 3], vec![4, 5]]);
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.num_inserts(), 3);
+        assert_eq!(b.num_deletes(), 3);
+        assert!(b.as_slice()[0].is_delete());
+        assert!(b.as_slice()[1].is_insert());
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let updates = vec![Update::Insert(vec![1]), Update::Delete(EdgeId(9))];
+        let b = Batch::from(updates.clone());
+        let collected: Vec<Update> = b.clone().into_iter().collect();
+        assert_eq!(collected, updates);
+        let b2: Batch = updates.clone().into_iter().collect();
+        assert_eq!(b, b2);
+        assert!(!b.is_empty());
+        assert!(Batch::new().is_empty());
+    }
+}

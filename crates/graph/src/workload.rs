@@ -9,17 +9,49 @@
 
 use pbdmm_primitives::rng::SplitMix64;
 
-use crate::edge::EdgeVertices;
+use crate::edge::{EdgeId, EdgeVertices};
 use crate::hypergraph::Hypergraph;
+use crate::update::Batch;
 
-/// One step of the schedule: a batch of inserts then a batch of deletes,
-/// both as indices into the workload's universe.
+/// One step of the schedule: one mixed batch of deletions and insertions,
+/// both as indices into the workload's universe. Deletions may only
+/// reference edges inserted in *earlier* steps (enforced by
+/// [`Workload::validate`]) — within a batch, deletions are processed before
+/// insertions, so an edge inserted by a step has no id the same step could
+/// delete.
 #[derive(Debug, Clone, Default)]
 pub struct BatchStep {
     /// Universe indices to insert this step.
     pub insert: Vec<usize>,
     /// Universe indices to delete this step.
     pub delete: Vec<usize>,
+}
+
+impl BatchStep {
+    /// Render this step as one mixed [`Batch`] of updates: the deletions
+    /// (resolved from universe index to live [`EdgeId`] by `resolve`)
+    /// followed by the insertions, in schedule order. The `k`-th insertion in
+    /// the batch is `universe[self.insert[k]]`, so a driver can zip
+    /// `self.insert` with the outcome's `inserted` ids to maintain its
+    /// index → id mapping.
+    pub fn to_batch<F>(&self, universe: &[EdgeVertices], mut resolve: F) -> Batch
+    where
+        F: FnMut(usize) -> EdgeId,
+    {
+        Batch::with_capacity(self.insert.len() + self.delete.len())
+            .deletes(self.delete.iter().map(|&ui| resolve(ui)))
+            .inserts(self.insert.iter().map(|&ui| universe[ui].clone()))
+    }
+
+    /// Number of updates in this step.
+    pub fn len(&self) -> usize {
+        self.insert.len() + self.delete.len()
+    }
+
+    /// Is this step empty?
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.delete.is_empty()
+    }
 }
 
 /// A fixed (oblivious) schedule of batch updates over an edge universe.
@@ -53,7 +85,10 @@ pub enum DeletionOrder {
 impl Workload {
     /// Total number of edge updates (inserts + deletes) across all steps.
     pub fn total_updates(&self) -> usize {
-        self.steps.iter().map(|s| s.insert.len() + s.delete.len()).sum()
+        self.steps
+            .iter()
+            .map(|s| s.insert.len() + s.delete.len())
+            .sum()
     }
 
     /// Number of steps.
@@ -62,10 +97,23 @@ impl Workload {
     }
 
     /// Check schedule sanity: every edge inserted at most once, deleted at
-    /// most once, and only while alive; indexes in range.
+    /// most once, and only while alive *at the start of the step* (mixed
+    /// batches process deletions first, so a step cannot delete its own
+    /// insertions); indexes in range.
     pub fn validate(&self) -> Result<(), String> {
         let mut state = vec![0u8; self.universe.len()]; // 0=never,1=alive,2=deleted
         for (si, step) in self.steps.iter().enumerate() {
+            for &i in &step.delete {
+                if i >= self.universe.len() {
+                    return Err(format!("step {si}: delete index {i} out of range"));
+                }
+                if state[i] != 1 {
+                    return Err(format!(
+                        "step {si}: edge {i} deleted while not alive at step start"
+                    ));
+                }
+                state[i] = 2;
+            }
             for &i in &step.insert {
                 if i >= self.universe.len() {
                     return Err(format!("step {si}: insert index {i} out of range"));
@@ -74,15 +122,6 @@ impl Workload {
                     return Err(format!("step {si}: edge {i} inserted twice"));
                 }
                 state[i] = 1;
-            }
-            for &i in &step.delete {
-                if i >= self.universe.len() {
-                    return Err(format!("step {si}: delete index {i} out of range"));
-                }
-                if state[i] != 1 {
-                    return Err(format!("step {si}: edge {i} deleted while not alive"));
-                }
-                state[i] = 2;
             }
         }
         Ok(())
@@ -167,7 +206,13 @@ fn deletion_sequence(
                 rank[v as usize] = pos as u32;
             }
             let mut seq = inserted_order.to_vec();
-            seq.sort_by_key(|&ei| universe[ei].iter().map(|&v| rank[v as usize]).min().unwrap());
+            seq.sort_by_key(|&ei| {
+                universe[ei]
+                    .iter()
+                    .map(|&v| rank[v as usize])
+                    .min()
+                    .unwrap()
+            });
             seq
         }
     }
@@ -189,7 +234,10 @@ pub fn insert_then_delete(
     let all: Vec<usize> = (0..graph.edges.len()).collect();
     let mut steps: Vec<BatchStep> = chunk(&all, batch)
         .into_iter()
-        .map(|insert| BatchStep { insert, delete: vec![] })
+        .map(|insert| BatchStep {
+            insert,
+            delete: vec![],
+        })
         .collect();
     let del_seq = deletion_sequence(&graph.edges, &all, order, &mut rng);
     steps.extend(chunk(&del_seq, batch).into_iter().map(|delete| BatchStep {
@@ -223,8 +271,10 @@ pub fn sliding_window(
             insert: ins.clone(),
             delete: vec![],
         };
-        alive.extend_from_slice(ins);
-        if alive.len() - cursor > window * batch {
+        // Deletions draw only on edges alive *before* this step's inserts
+        // (mixed batches delete first), so decide them pre-extend; the
+        // window check still counts the incoming batch.
+        if alive.len() - cursor + ins.len() > window * batch && alive.len() > cursor {
             let take = batch.min(alive.len() - cursor);
             let del: Vec<usize> = match order {
                 DeletionOrder::Uniform => {
@@ -247,6 +297,7 @@ pub fn sliding_window(
             };
             step.delete = del;
         }
+        alive.extend_from_slice(ins);
         steps.push(step);
     }
     // Drain.
@@ -274,19 +325,20 @@ pub fn churn(graph: &Hypergraph, batch: usize, seed: u64) -> Workload {
     let mut steps = Vec::new();
     while next < m || !alive.is_empty() {
         let mut step = BatchStep::default();
-        if next < m {
-            let take = batch.min(m - next);
-            step.insert = (next..next + take).collect();
-            alive.extend(next..next + take);
-            next += take;
-        }
-        // Delete roughly half a batch of random alive edges each step once
-        // warm, and everything once the universe is exhausted.
+        // Delete roughly half a batch of random *previously alive* edges per
+        // warm step (mixed batches delete first, so a step never deletes its
+        // own insertions), and everything once the universe is exhausted.
         let want = if next >= m { batch } else { batch / 2 };
         let take = want.min(alive.len());
         for _ in 0..take {
             let j = rng.bounded(alive.len() as u64) as usize;
             step.delete.push(alive.swap_remove(j));
+        }
+        if next < m {
+            let take = batch.min(m - next);
+            step.insert = (next..next + take).collect();
+            alive.extend(next..next + take);
+            next += take;
         }
         if !step.insert.is_empty() || !step.delete.is_empty() {
             steps.push(step);
@@ -335,7 +387,11 @@ mod tests {
         edges.append(&mut small_star);
         let g2 = crate::hypergraph::Hypergraph { n: 56, edges };
         let w2 = insert_then_delete(&g2, 1, DeletionOrder::DegreeBiased, 4);
-        let deletes: Vec<usize> = w2.steps.iter().flat_map(|s| s.delete.iter().copied()).collect();
+        let deletes: Vec<usize> = w2
+            .steps
+            .iter()
+            .flat_map(|s| s.delete.iter().copied())
+            .collect();
         // The last five deletions are the small star's edges.
         assert!(deletes[deletes.len() - 5..].iter().all(|&ei| ei >= 49));
     }
@@ -382,8 +438,14 @@ mod tests {
         let w = Workload {
             universe: vec![vec![0, 1]],
             steps: vec![
-                BatchStep { insert: vec![0], delete: vec![] },
-                BatchStep { insert: vec![0], delete: vec![] },
+                BatchStep {
+                    insert: vec![0],
+                    delete: vec![],
+                },
+                BatchStep {
+                    insert: vec![0],
+                    delete: vec![],
+                },
             ],
         };
         assert!(w.validate().is_err());
@@ -393,7 +455,10 @@ mod tests {
     fn validate_catches_delete_before_insert() {
         let w = Workload {
             universe: vec![vec![0, 1]],
-            steps: vec![BatchStep { insert: vec![], delete: vec![0] }],
+            steps: vec![BatchStep {
+                insert: vec![],
+                delete: vec![0],
+            }],
         };
         assert!(w.validate().is_err());
     }

@@ -9,59 +9,32 @@
 //!   adaptive-free adversary already forces `Θ(deg)` per deletion (think of a
 //!   star: E11); this is the foil demonstrating why the paper's random
 //!   sampling matters.
-//! * [`MaximalMatcher`] — the trait the harness drives so all contenders run
-//!   the same workloads, plus [`drive_single_updates`], which replays batches
-//!   one update at a time (the sequential-dynamic cost model of
-//!   BGS/Solomon/AS).
+//!
+//! Both implement [`BatchDynamic`], the trait the harness drives so all
+//! contenders run the same mixed-batch workloads (it used to be called
+//! `MaximalMatcher` and live here; the re-export below keeps old imports
+//! compiling). [`drive_single_updates`] replays batches one update at a time
+//! (the sequential-dynamic cost model of BGS/Solomon/AS).
 
-use pbdmm_graph::edge::{normalize_vertices, EdgeId, EdgeVertices, VertexId};
+use pbdmm_graph::edge::{EdgeId, EdgeVertices, VertexId};
 use pbdmm_primitives::cost::CostMeter;
 use pbdmm_primitives::hash::{FxHashMap, FxHashSet};
 use pbdmm_primitives::rng::SplitMix64;
 
-use crate::dynamic::DynamicMatching;
+use crate::api::{validate_batch, Batch, BatchOutcome, UpdateError};
 use crate::greedy::parallel_greedy_match;
 
-/// A common interface over maximal-matching maintainers so the benchmark
-/// harness can drive any contender with identical workloads.
-pub trait MaximalMatcher {
-    /// Insert a batch of edges, returning their assigned ids in input order.
-    fn insert_edges(&mut self, batch: &[EdgeVertices]) -> Vec<EdgeId>;
-    /// Delete a batch of edges by id; returns how many were live.
-    fn delete_edges(&mut self, ids: &[EdgeId]) -> usize;
-    /// Current matching size.
-    fn matching_size(&self) -> usize;
-    /// Is this edge currently in the matching?
-    fn is_matched(&self, e: EdgeId) -> bool;
-    /// Number of live edges.
-    fn num_edges(&self) -> usize;
-    /// Total model work charged so far.
-    fn work(&self) -> u64;
-}
-
-impl MaximalMatcher for DynamicMatching {
-    fn insert_edges(&mut self, batch: &[EdgeVertices]) -> Vec<EdgeId> {
-        DynamicMatching::insert_edges(self, batch)
-    }
-    fn delete_edges(&mut self, ids: &[EdgeId]) -> usize {
-        DynamicMatching::delete_edges(self, ids)
-    }
-    fn matching_size(&self) -> usize {
-        DynamicMatching::matching_size(self)
-    }
-    fn is_matched(&self, e: EdgeId) -> bool {
-        DynamicMatching::is_matched(self, e)
-    }
-    fn num_edges(&self) -> usize {
-        DynamicMatching::num_edges(self)
-    }
-    fn work(&self) -> u64 {
-        self.meter().work()
-    }
-}
+/// The harness-facing trait, formerly `MaximalMatcher`. Re-exported under
+/// the old name so existing code keeps compiling; new code should name
+/// [`crate::api::BatchDynamic`].
+pub use crate::api::BatchDynamic;
+/// Deprecated-style alias for [`BatchDynamic`] (the pre-redesign name).
+pub use crate::api::BatchDynamic as MaximalMatcher;
 
 /// Recompute-from-scratch baseline: stores the live edge set and reruns the
-/// parallel static greedy matcher after every batch.
+/// parallel static greedy matcher after every batch. With the unified
+/// [`BatchDynamic::apply`] a mixed batch costs **one** recompute (the split
+/// `insert_edges`/`delete_edges` sequence used to pay two).
 pub struct RecomputeMatching {
     live: FxHashMap<EdgeId, EdgeVertices>,
     matched: FxHashSet<EdgeId>,
@@ -90,29 +63,27 @@ impl RecomputeMatching {
     }
 }
 
-impl MaximalMatcher for RecomputeMatching {
-    fn insert_edges(&mut self, batch: &[EdgeVertices]) -> Vec<EdgeId> {
-        let mut ids = Vec::with_capacity(batch.len());
-        for vs in batch {
-            let vs = normalize_vertices(vs.clone()).expect("edge with empty vertex set");
+impl BatchDynamic for RecomputeMatching {
+    type Report = ();
+
+    fn apply(&mut self, batch: Batch) -> Result<BatchOutcome<()>, UpdateError> {
+        let (inserts, deletes) = validate_batch(&batch, |id| self.live.contains_key(&id))?;
+        for e in &deletes {
+            self.live.remove(e);
+        }
+        let mut inserted = Vec::with_capacity(inserts.len());
+        for vs in inserts {
             let id = EdgeId(self.next_id);
             self.next_id += 1;
             self.live.insert(id, vs);
-            ids.push(id);
+            inserted.push(id);
         }
         self.recompute();
-        ids
-    }
-
-    fn delete_edges(&mut self, ids: &[EdgeId]) -> usize {
-        let mut n = 0;
-        for e in ids {
-            if self.live.remove(e).is_some() {
-                n += 1;
-            }
-        }
-        self.recompute();
-        n
+        Ok(BatchOutcome {
+            inserted,
+            deleted: deletes,
+            report: (),
+        })
     }
 
     fn matching_size(&self) -> usize {
@@ -121,6 +92,10 @@ impl MaximalMatcher for RecomputeMatching {
 
     fn is_matched(&self, e: EdgeId) -> bool {
         self.matched.contains(&e)
+    }
+
+    fn contains_edge(&self, e: EdgeId) -> bool {
+        self.live.contains_key(&e)
     }
 
     fn num_edges(&self) -> usize {
@@ -190,6 +165,29 @@ impl NaiveDynamic {
             self.try_match(e);
         }
     }
+
+    fn delete_one(&mut self, e: EdgeId) {
+        let Some(vs) = self.edges.remove(&e) else {
+            return;
+        };
+        self.meter.add_work(vs.len() as u64);
+        for &v in &vs {
+            if let Some(set) = self.incident.get_mut(&v) {
+                set.remove(&e);
+                if set.is_empty() {
+                    self.incident.remove(&v);
+                }
+            }
+        }
+        if self.matched.remove(&e) {
+            for &v in &vs {
+                if self.cover.get(&v) == Some(&e) {
+                    self.cover.remove(&v);
+                }
+            }
+            self.rematch_around(&vs);
+        }
+    }
 }
 
 impl Default for NaiveDynamic {
@@ -198,11 +196,16 @@ impl Default for NaiveDynamic {
     }
 }
 
-impl MaximalMatcher for NaiveDynamic {
-    fn insert_edges(&mut self, batch: &[EdgeVertices]) -> Vec<EdgeId> {
-        let mut ids = Vec::with_capacity(batch.len());
-        for vs in batch {
-            let vs = normalize_vertices(vs.clone()).expect("edge with empty vertex set");
+impl BatchDynamic for NaiveDynamic {
+    type Report = ();
+
+    fn apply(&mut self, batch: Batch) -> Result<BatchOutcome<()>, UpdateError> {
+        let (inserts, deletes) = validate_batch(&batch, |id| self.edges.contains_key(&id))?;
+        for &e in &deletes {
+            self.delete_one(e);
+        }
+        let mut inserted = Vec::with_capacity(inserts.len());
+        for vs in inserts {
             let id = EdgeId(self.next_id);
             self.next_id += 1;
             for &v in &vs {
@@ -210,37 +213,13 @@ impl MaximalMatcher for NaiveDynamic {
             }
             self.edges.insert(id, vs);
             self.try_match(id);
-            ids.push(id);
+            inserted.push(id);
         }
-        ids
-    }
-
-    fn delete_edges(&mut self, ids: &[EdgeId]) -> usize {
-        let mut n = 0;
-        for &e in ids {
-            let Some(vs) = self.edges.remove(&e) else {
-                continue;
-            };
-            n += 1;
-            self.meter.add_work(vs.len() as u64);
-            for &v in &vs {
-                if let Some(set) = self.incident.get_mut(&v) {
-                    set.remove(&e);
-                    if set.is_empty() {
-                        self.incident.remove(&v);
-                    }
-                }
-            }
-            if self.matched.remove(&e) {
-                for &v in &vs {
-                    if self.cover.get(&v) == Some(&e) {
-                        self.cover.remove(&v);
-                    }
-                }
-                self.rematch_around(&vs);
-            }
-        }
-        n
+        Ok(BatchOutcome {
+            inserted,
+            deleted: deletes,
+            report: (),
+        })
     }
 
     fn matching_size(&self) -> usize {
@@ -249,6 +228,10 @@ impl MaximalMatcher for NaiveDynamic {
 
     fn is_matched(&self, e: EdgeId) -> bool {
         self.matched.contains(&e)
+    }
+
+    fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.contains_key(&e)
     }
 
     fn num_edges(&self) -> usize {
@@ -262,7 +245,7 @@ impl MaximalMatcher for NaiveDynamic {
 
 /// Replay a batch as single-edge updates (the sequential dynamic model of
 /// the prior work the paper subsumes). Returns ids in input order.
-pub fn drive_single_updates<M: MaximalMatcher>(
+pub fn drive_single_updates<M: BatchDynamic>(
     m: &mut M,
     inserts: &[EdgeVertices],
     deletes: &[EdgeId],
@@ -277,9 +260,12 @@ pub fn drive_single_updates<M: MaximalMatcher>(
     ids
 }
 
-/// Check a [`MaximalMatcher`]'s matching is maximal and valid over the live
+/// Check a [`BatchDynamic`]'s matching is maximal and valid over the live
 /// edges it reports (oracle-free, works for any implementation).
-pub fn check_maximal<M: MaximalMatcher>(m: &M, live: &FxHashMap<EdgeId, EdgeVertices>) -> Result<(), String> {
+pub fn check_maximal<M: BatchDynamic>(
+    m: &M,
+    live: &FxHashMap<EdgeId, EdgeVertices>,
+) -> Result<(), String> {
     let mut covered: FxHashMap<VertexId, EdgeId> = FxHashMap::default();
     for (&e, vs) in live {
         if m.is_matched(e) {
@@ -302,23 +288,23 @@ pub fn check_maximal<M: MaximalMatcher>(m: &M, live: &FxHashMap<EdgeId, EdgeVert
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dynamic::DynamicMatching;
     use pbdmm_graph::gen;
 
-    fn drive_and_check<M: MaximalMatcher>(mut m: M, seed: u64) {
+    fn drive_and_check<M: BatchDynamic>(mut m: M, seed: u64) {
         let g = gen::erdos_renyi(80, 400, seed);
         let w = pbdmm_graph::workload::churn(&g, 50, seed + 1);
         let mut assigned: Vec<Option<EdgeId>> = vec![None; g.m()];
         let mut live: FxHashMap<EdgeId, EdgeVertices> = FxHashMap::default();
         for step in &w.steps {
-            let ins: Vec<EdgeVertices> = step.insert.iter().map(|&i| g.edges[i].clone()).collect();
-            let ids = m.insert_edges(&ins);
-            for ((&ui, id), vs) in step.insert.iter().zip(&ids).zip(&ins) {
-                assigned[ui] = Some(*id);
-                live.insert(*id, vs.clone());
+            // One mixed apply per step: deletions then insertions.
+            let batch = step.to_batch(&w.universe, |ui| assigned[ui].unwrap());
+            let out = m.apply(batch).unwrap();
+            for (&ui, &id) in step.insert.iter().zip(&out.inserted) {
+                assigned[ui] = Some(id);
+                live.insert(id, g.edges[ui].clone());
             }
-            let dels: Vec<EdgeId> = step.delete.iter().map(|&i| assigned[i].unwrap()).collect();
-            m.delete_edges(&dels);
-            for d in &dels {
+            for d in &out.deleted {
                 live.remove(d);
             }
             check_maximal(&m, &live).unwrap();
@@ -342,6 +328,21 @@ mod tests {
     }
 
     #[test]
+    fn baselines_reject_invalid_batches_unchanged() {
+        let mut rc = RecomputeMatching::with_seed(9);
+        let mut nv = NaiveDynamic::new();
+        let a = rc.insert_edges(&[vec![0, 1]]);
+        let b = nv.insert_edges(&[vec![0, 1]]);
+        assert!(rc.apply(Batch::new().delete(EdgeId(77))).is_err());
+        assert!(nv.apply(Batch::new().delete(EdgeId(77))).is_err());
+        assert!(rc.apply(Batch::new().deletes([a[0], a[0]])).is_err());
+        assert!(nv.apply(Batch::new().insert(vec![])).is_err());
+        assert_eq!(rc.num_edges(), 1);
+        assert_eq!(nv.num_edges(), 1);
+        assert!(rc.contains_edge(a[0]) && nv.contains_edge(b[0]));
+    }
+
+    #[test]
     fn naive_pays_dearly_on_star() {
         // Deleting the hub match of a star of n leaves repeatedly costs the
         // naive algorithm Θ(n) per deletion; the leveled algorithm's *total*
@@ -352,7 +353,7 @@ mod tests {
         let mut naive = NaiveDynamic::new();
         let mut smart = DynamicMatching::with_seed(6);
         let ids_naive = naive.insert_edges(&g.edges);
-        let ids_smart = MaximalMatcher::insert_edges(&mut smart, &g.edges);
+        let ids_smart = BatchDynamic::insert_edges(&mut smart, &g.edges);
         // Adversary deletes whichever edge is matched, one at a time — legal
         // for the *naive* algorithm because its matching is deterministic
         // (always rematches greedily); for the randomized algorithm we
@@ -363,10 +364,10 @@ mod tests {
             naive.delete_edges(&[victim]);
         }
         for chunk in ids_smart.chunks(64) {
-            MaximalMatcher::delete_edges(&mut smart, chunk);
+            BatchDynamic::delete_edges(&mut smart, chunk);
         }
         let per_update_naive = naive.work() as f64 / (2 * n) as f64;
-        let per_update_smart = MaximalMatcher::work(&smart) as f64 / (2 * n) as f64;
+        let per_update_smart = BatchDynamic::work(&smart) as f64 / (2 * n) as f64;
         assert!(
             per_update_naive > 2.0 * per_update_smart,
             "naive {per_update_naive:.1} vs leveled {per_update_smart:.1}"
@@ -384,7 +385,7 @@ mod tests {
         for id in &ids {
             drive_single_updates(&mut m, &[], &[*id]);
         }
-        assert_eq!(MaximalMatcher::num_edges(&m), 0);
+        assert_eq!(BatchDynamic::num_edges(&m), 0);
         crate::verify::check_invariants(&m).unwrap();
     }
 }

@@ -1,14 +1,16 @@
-//! Replay an oblivious [`Workload`] against any [`MaximalMatcher`].
+//! Replay an oblivious [`Workload`] against any [`BatchDynamic`].
 //!
 //! Workloads reference edges by universe index; matchers hand out
 //! [`EdgeId`]s at insertion time. The driver owns that mapping and reports
 //! aggregate cost, so experiments drive the paper's algorithm and every
-//! baseline through identical update streams.
+//! baseline through identical update streams. Each schedule step is rendered
+//! as one mixed [`crate::api::Batch`] (deletions then insertions) and goes
+//! through a single [`BatchDynamic::apply`] call.
 
-use pbdmm_graph::edge::{EdgeId, EdgeVertices};
+use pbdmm_graph::edge::EdgeId;
 use pbdmm_graph::workload::Workload;
 
-use crate::baseline::MaximalMatcher;
+use crate::api::BatchDynamic;
 
 /// Result of replaying a workload.
 #[derive(Debug, Clone, Default)]
@@ -51,7 +53,7 @@ impl DriveReport {
 /// every batch (used by tests to assert invariants/maximality).
 pub fn run_workload_with<M, F>(matcher: &mut M, workload: &Workload, mut check: F) -> DriveReport
 where
-    M: MaximalMatcher,
+    M: BatchDynamic,
     F: FnMut(&M),
 {
     let work_before = matcher.work();
@@ -59,26 +61,15 @@ where
     let mut assigned: Vec<Option<EdgeId>> = vec![None; workload.universe.len()];
     let mut report = DriveReport::default();
     for step in &workload.steps {
-        if !step.insert.is_empty() {
-            let ins: Vec<EdgeVertices> = step
-                .insert
-                .iter()
-                .map(|&i| workload.universe[i].clone())
-                .collect();
-            let ids = matcher.insert_edges(&ins);
-            for (&ui, &id) in step.insert.iter().zip(&ids) {
-                assigned[ui] = Some(id);
-            }
-            report.updates += ins.len() as u64;
-        }
-        if !step.delete.is_empty() {
-            let dels: Vec<EdgeId> = step
-                .delete
-                .iter()
-                .map(|&i| assigned[i].expect("workload deletes an edge it never inserted"))
-                .collect();
-            matcher.delete_edges(&dels);
-            report.updates += dels.len() as u64;
+        let batch = step.to_batch(&workload.universe, |ui| {
+            assigned[ui].expect("workload deletes an edge it never inserted")
+        });
+        report.updates += batch.len() as u64;
+        let outcome = matcher
+            .apply(batch)
+            .expect("validated workload produced an invalid batch");
+        for (&ui, &id) in step.insert.iter().zip(&outcome.inserted) {
+            assigned[ui] = Some(id);
         }
         report.batches += 1;
         report.peak_edges = report.peak_edges.max(matcher.num_edges());
@@ -91,7 +82,7 @@ where
 }
 
 /// Replay without per-batch checks.
-pub fn run_workload<M: MaximalMatcher>(matcher: &mut M, workload: &Workload) -> DriveReport {
+pub fn run_workload<M: BatchDynamic>(matcher: &mut M, workload: &Workload) -> DriveReport {
     run_workload_with(matcher, workload, |_| {})
 }
 
@@ -115,7 +106,10 @@ mod tests {
     }
 
     #[test]
-    fn drive_all_matchers_same_workload() {
+    fn drive_all_contenders_same_workload() {
+        // Acceptance: every contender runs through the BatchDynamic trait in
+        // run_workload — including the set-cover element adapter, which is
+        // exercised in the setcover crate (it depends on this one).
         let g = gen::erdos_renyi(80, 300, 4);
         let w = workload::churn(&g, 50, 6);
         let mut a = DynamicMatching::with_seed(2);
@@ -129,6 +123,22 @@ mod tests {
             assert_eq!(r.updates, 600);
             assert_eq!(r.final_matching, 0);
         }
+    }
+
+    #[test]
+    fn mixed_steps_apply_as_one_batch() {
+        // A churn workload has steps with both inserts and deletes; the
+        // driver must apply them as one batch (batch count == step count).
+        let g = gen::erdos_renyi(60, 240, 7);
+        let w = workload::churn(&g, 40, 8);
+        assert!(w
+            .steps
+            .iter()
+            .any(|s| !s.insert.is_empty() && !s.delete.is_empty()));
+        let mut m = DynamicMatching::with_seed(3);
+        let r = run_workload(&mut m, &w);
+        assert_eq!(r.batches, w.num_steps() as u64);
+        assert_eq!(m.stats().batches, w.num_steps() as u64);
     }
 
     #[test]

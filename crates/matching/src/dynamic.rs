@@ -22,17 +22,18 @@
 //!   the fresh sample mass dominates the remaining work (the `2|E'| >
 //!   sampledEdges` rule), after at most `O(log m)` rounds.
 
-use pbdmm_graph::edge::{normalize_vertices, EdgeId, EdgeVertices, VertexId};
+use pbdmm_graph::edge::{EdgeId, EdgeVertices, VertexId};
 use pbdmm_primitives::cost::{CostMeter, CostSnapshot};
 use pbdmm_primitives::hash::FxHashSet;
 use pbdmm_primitives::rng::SplitMix64;
 
+use crate::api::{validate_batch, Batch, BatchOutcome, MeterMode, UpdateError};
 use crate::greedy::parallel_greedy_match;
 use crate::level::{EdgeType, LeveledStructure};
 use crate::stats::{EpochEnd, MatchingStats};
 
 /// Per-batch report: the depth-relevant quantities (E5) for the most recent
-/// `insert_edges`/`delete_edges` call.
+/// [`DynamicMatching::apply`] (or legacy wrapper) call.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BatchReport {
     /// Iterations of the `randomSettle` loop (bounded `O(log m)`).
@@ -77,6 +78,20 @@ impl DynamicMatching {
     pub fn with_seed_and_config(seed: u64, config: crate::level::LevelingConfig) -> Self {
         let mut dm = Self::with_seed(seed);
         dm.s = LeveledStructure::with_config(config);
+        dm
+    }
+
+    /// Create with every knob explicit (what
+    /// [`crate::api::DynamicMatchingBuilder`] calls).
+    pub fn with_options(
+        seed: u64,
+        config: crate::level::LevelingConfig,
+        metering: MeterMode,
+    ) -> Self {
+        let mut dm = Self::with_seed_and_config(seed, config);
+        if metering == MeterMode::Disabled {
+            dm.meter = CostMeter::disabled();
+        }
         dm
     }
 
@@ -187,14 +202,59 @@ impl DynamicMatching {
         out
     }
 
-    // --- User interface: insertEdges -----------------------------------------
+    // --- User interface: apply (the unified mixed-batch entry point) --------
 
-    /// Insert a batch of edges. Vertex lists are normalized (sorted,
-    /// deduplicated); empty vertex lists are rejected. Returns the assigned
-    /// edge ids, in input order.
+    /// Apply one mixed batch of insertions and deletions: the paper's
+    /// single-batch semantics (Fig. 3/4). All deletions are processed first,
+    /// then the edges they freed and the fresh insertions settle in **one**
+    /// leveled settlement round (one shared greedy pass), instead of paying
+    /// two rounds for a split `insert_edges`/`delete_edges` sequence.
+    ///
+    /// Strict: an empty vertex set, an unknown id, or a duplicate deletion
+    /// rejects the whole batch with [`UpdateError`] *before any mutation*.
+    ///
+    /// # Examples
+    /// ```
+    /// use pbdmm_matching::api::Batch;
+    /// use pbdmm_matching::DynamicMatching;
+    ///
+    /// let mut m = DynamicMatching::with_seed(1);
+    /// let out = m.apply(Batch::new().inserts([vec![0, 1], vec![1, 2]])).unwrap();
+    ///
+    /// // One call: delete a live edge and insert two new ones.
+    /// let out = m
+    ///     .apply(Batch::new().delete(out.inserted[0]).inserts([vec![2, 3], vec![3, 4, 5]]))
+    ///     .unwrap();
+    /// assert_eq!(out.inserted.len(), 2);
+    /// assert_eq!(out.deleted_count(), 1);
+    /// assert!(pbdmm_matching::verify::check_invariants(&m).is_ok());
+    /// ```
+    pub fn apply(&mut self, batch: Batch) -> Result<BatchOutcome<BatchReport>, UpdateError> {
+        let (inserts, deletes) = validate_batch(&batch, |id| self.s.edges.contains_key(&id))?;
+        Ok(self.apply_validated(inserts, deletes))
+    }
+
+    /// Fallible insertion tier: like the legacy `insert_edges` but returns
+    /// [`UpdateError::EmptyEdge`] instead of panicking.
+    pub fn try_insert_edges(&mut self, batch: &[EdgeVertices]) -> Result<Vec<EdgeId>, UpdateError> {
+        self.apply(Batch::new().inserts(batch.iter().cloned()))
+            .map(|o| o.inserted)
+    }
+
+    /// Fallible deletion tier: strict (unknown ids and in-batch duplicates
+    /// are errors). Returns the deleted ids in input order.
+    pub fn try_delete_edges(&mut self, ids: &[EdgeId]) -> Result<Vec<EdgeId>, UpdateError> {
+        self.apply(Batch::new().deletes(ids.iter().copied()))
+            .map(|o| o.deleted)
+    }
+
+    /// Legacy wrapper: insert a batch of edges. Vertex lists are normalized
+    /// (sorted, deduplicated); returns the assigned edge ids, in input
+    /// order. Prefer [`Self::apply`].
     ///
     /// # Panics
-    /// If any edge has an empty vertex set.
+    /// If any edge has an empty vertex set (use [`Self::try_insert_edges`]
+    /// for a fallible variant).
     ///
     /// # Examples
     /// ```
@@ -207,106 +267,38 @@ impl DynamicMatching {
     /// assert!(m.matching_size() >= 2); // {0,1} or {1,2}, plus {3,4,5}
     /// ```
     pub fn insert_edges(&mut self, batch: &[EdgeVertices]) -> Vec<EdgeId> {
-        let before = self.meter.snapshot();
-        let mut ids = Vec::with_capacity(batch.len());
-        for vs in batch {
-            let vs = normalize_vertices(vs.clone()).expect("edge with empty vertex set");
-            self.max_rank = self.max_rank.max(vs.len());
-            let id = EdgeId(self.next_id);
-            self.next_id += 1;
-            for &v in &vs {
-                self.s.ensure_vertex(v);
-            }
-            self.s.edges.insert(
-                id,
-                crate::level::EdgeRec {
-                    vertices: vs,
-                    etype: EdgeType::Unsettled,
-                    owner: id,
-                },
-            );
-            ids.push(id);
-        }
-        self.stats.user_insertions += ids.len() as u64;
-        self.stats.batches += 1;
-        self.meter.charge_primitive(ids.len().max(1) * self.max_rank);
-        self.internal_insert(ids.clone());
-        self.last_batch = BatchReport {
-            settle_iterations: 0,
-            cost: self.meter.snapshot().since(&before),
-        };
-        ids
+        self.try_insert_edges(batch)
+            .expect("edge with empty vertex set")
     }
 
-    /// Figure 3 `insertEdges`: match the free edges with a random greedy
-    /// matching (level 0, singleton samples); everything else becomes a
-    /// cross edge.
-    fn internal_insert(&mut self, ids: Vec<EdgeId>) {
-        if ids.is_empty() {
-            return;
-        }
-        let free: Vec<EdgeId> = ids
-            .iter()
-            .copied()
-            .filter(|&e| self.s.all_free(&self.s.edges[&e].vertices))
-            .collect();
-        let free_vs: Vec<EdgeVertices> = free
-            .iter()
-            .map(|e| self.s.edges[e].vertices.clone())
-            .collect();
-        let result = parallel_greedy_match(&free_vs, &mut self.rng, &self.meter);
-        let mut matched: FxHashSet<EdgeId> = FxHashSet::default();
-        for &(mi, _) in &result.matches {
-            let m = free[mi];
-            self.s.add_match(m, vec![m]);
-            self.stats.epoch_created(1);
-            matched.insert(m);
-        }
-        for &e in &ids {
-            if !matched.contains(&e) {
-                self.s.add_cross_edge(e);
-            }
-        }
-        self.meter
-            .charge_primitive(ids.len() * self.max_rank.max(1));
-    }
-
-    // --- User interface: deleteEdges ------------------------------------------
-
-    /// Delete a batch of edges by id. Unknown or already-deleted ids are
-    /// ignored. Returns the number of edges actually deleted.
-    ///
-    /// # Examples
-    /// ```
-    /// use pbdmm_matching::DynamicMatching;
-    ///
-    /// let mut m = DynamicMatching::with_seed(1);
-    /// let ids = m.insert_edges(&[vec![0, 1], vec![1, 2]]);
-    /// assert_eq!(m.delete_edges(&ids), 2);
-    /// assert_eq!(m.delete_edges(&ids), 0); // already gone
-    /// assert_eq!(m.num_edges(), 0);
-    /// ```
-    pub fn delete_edges(&mut self, ids: &[EdgeId]) -> usize {
+    /// The shared strict core behind [`Self::apply`] and the wrappers.
+    /// `inserts` are normalized non-empty vertex lists; `deletes` are live,
+    /// deduplicated ids.
+    fn apply_validated(
+        &mut self,
+        inserts: Vec<EdgeVertices>,
+        deletes: Vec<EdgeId>,
+    ) -> BatchOutcome<BatchReport> {
         let before = self.meter.snapshot();
         let mut settle_iterations = 0u64;
-
-        // Dedupe and keep only live edges.
-        let mut seen: FxHashSet<EdgeId> = FxHashSet::default();
-        let ids: Vec<EdgeId> = ids
-            .iter()
-            .copied()
-            .filter(|e| self.s.edges.contains_key(e) && seen.insert(*e))
-            .collect();
-        let deleted = ids.len();
-        self.stats.user_deletions += deleted as u64;
         self.stats.batches += 1;
-        self.meter.charge_primitive(deleted.max(1) * self.max_rank);
+        self.stats.user_insertions += inserts.len() as u64;
+        self.stats.user_deletions += deletes.len() as u64;
 
+        // The rank bound first: fresh insertions can raise `r`, and the
+        // heaviness thresholds of this very batch's settlement use it.
+        for vs in &inserts {
+            self.max_rank = self.max_rank.max(vs.len());
+        }
+        self.meter
+            .charge_primitive((inserts.len() + deletes.len()).max(1) * self.max_rank);
+
+        // --- Deletions (Figure 3 deleteEdges) --------------------------------
         // Unmatched deletions first (cheap): cross edges detach with payment
         // 0 (late), sampled edges leave their owner's sample with payment 1
         // (early).
         let mut matched: Vec<EdgeId> = Vec::new();
-        for &e in &ids {
+        for &e in &deletes {
             match self.s.edges[&e].etype {
                 EdgeType::Cross => {
                     self.s.remove_cross_edge(e);
@@ -348,6 +340,29 @@ impl DynamicMatching {
             settle_iterations += 1;
             e_prime = self.random_settle(e_prime);
         }
+
+        // --- Insertions (Figure 3 insertEdges), fused --------------------------
+        // Register the fresh edges, then run the *one* shared settlement
+        // round: the settle remainder and the new edges go through a single
+        // greedy pass together.
+        let mut inserted = Vec::with_capacity(inserts.len());
+        for vs in inserts {
+            let id = EdgeId(self.next_id);
+            self.next_id += 1;
+            for &v in &vs {
+                self.s.ensure_vertex(v);
+            }
+            self.s.edges.insert(
+                id,
+                crate::level::EdgeRec {
+                    vertices: vs,
+                    etype: EdgeType::Unsettled,
+                    owner: id,
+                },
+            );
+            inserted.push(id);
+        }
+        e_prime.extend(inserted.iter().copied());
         self.internal_insert(e_prime);
 
         self.stats.settle_rounds += settle_iterations;
@@ -355,7 +370,67 @@ impl DynamicMatching {
             settle_iterations,
             cost: self.meter.snapshot().since(&before),
         };
-        deleted
+        BatchOutcome {
+            inserted,
+            deleted: deletes,
+            report: self.last_batch,
+        }
+    }
+
+    /// Figure 3 `insertEdges`: match the free edges with a random greedy
+    /// matching (level 0, singleton samples); everything else becomes a
+    /// cross edge.
+    fn internal_insert(&mut self, ids: Vec<EdgeId>) {
+        if ids.is_empty() {
+            return;
+        }
+        let free: Vec<EdgeId> = ids
+            .iter()
+            .copied()
+            .filter(|&e| self.s.all_free(&self.s.edges[&e].vertices))
+            .collect();
+        let free_vs: Vec<EdgeVertices> = free
+            .iter()
+            .map(|e| self.s.edges[e].vertices.clone())
+            .collect();
+        let result = parallel_greedy_match(&free_vs, &mut self.rng, &self.meter);
+        let mut matched: FxHashSet<EdgeId> = FxHashSet::default();
+        for &(mi, _) in &result.matches {
+            let m = free[mi];
+            self.s.add_match(m, vec![m]);
+            self.stats.epoch_created(1);
+            matched.insert(m);
+        }
+        for &e in &ids {
+            if !matched.contains(&e) {
+                self.s.add_cross_edge(e);
+            }
+        }
+        self.meter
+            .charge_primitive(ids.len() * self.max_rank.max(1));
+    }
+
+    // --- User interface: deleteEdges (legacy tolerant wrapper) ---------------
+
+    /// Legacy wrapper: delete a batch of edges by id, *tolerantly* — unknown,
+    /// already-deleted, and duplicate ids are skipped (use
+    /// [`Self::try_delete_edges`] to make those errors). Returns the ids
+    /// that were actually live and are now deleted, in input order, so
+    /// callers can reconcile; the count is `.len()`. Prefer [`Self::apply`].
+    ///
+    /// # Examples
+    /// ```
+    /// use pbdmm_matching::DynamicMatching;
+    ///
+    /// let mut m = DynamicMatching::with_seed(1);
+    /// let ids = m.insert_edges(&[vec![0, 1], vec![1, 2]]);
+    /// assert_eq!(m.delete_edges(&ids), ids); // both were live
+    /// assert!(m.delete_edges(&ids).is_empty()); // already gone
+    /// assert_eq!(m.num_edges(), 0);
+    /// ```
+    pub fn delete_edges(&mut self, ids: &[EdgeId]) -> Vec<EdgeId> {
+        let live = crate::api::filter_live_dedup(ids, |e| self.s.edges.contains_key(&e));
+        self.apply_validated(Vec::new(), live).deleted
     }
 
     /// Figure 3 `deleteMatchedEdges`: convert the victims' samples to cross
@@ -487,9 +562,10 @@ impl DynamicMatching {
             .iter()
             .map(|m| self.s.matches[m].initial_sample_size as u64)
             .sum();
-        self.stats
-            .settle_round_samples
-            .push((e_prime.len() as u64, stolen_mass + self.pending_bloated_mass));
+        self.stats.settle_round_samples.push((
+            e_prime.len() as u64,
+            stolen_mass + self.pending_bloated_mass,
+        ));
         self.pending_bloated_mass = bloated_mass;
 
         let victims: Vec<(EdgeId, EpochEnd)> = bloated
@@ -498,6 +574,42 @@ impl DynamicMatching {
             .chain(stolen.into_iter().map(|m| (m, EpochEnd::Stolen)))
             .collect();
         self.delete_matched_edges(victims)
+    }
+}
+
+impl crate::api::BatchDynamic for DynamicMatching {
+    type Report = BatchReport;
+
+    fn apply(&mut self, batch: Batch) -> Result<BatchOutcome<BatchReport>, UpdateError> {
+        DynamicMatching::apply(self, batch)
+    }
+
+    fn matching_size(&self) -> usize {
+        DynamicMatching::matching_size(self)
+    }
+
+    fn is_matched(&self, e: EdgeId) -> bool {
+        DynamicMatching::is_matched(self, e)
+    }
+
+    fn contains_edge(&self, e: EdgeId) -> bool {
+        DynamicMatching::contains_edge(self, e)
+    }
+
+    fn num_edges(&self) -> usize {
+        DynamicMatching::num_edges(self)
+    }
+
+    fn work(&self) -> u64 {
+        self.meter().work()
+    }
+
+    fn insert_edges(&mut self, batch: &[EdgeVertices]) -> Vec<EdgeId> {
+        DynamicMatching::insert_edges(self, batch)
+    }
+
+    fn delete_edges(&mut self, ids: &[EdgeId]) -> Vec<EdgeId> {
+        DynamicMatching::delete_edges(self, ids)
     }
 }
 
@@ -554,8 +666,8 @@ mod tests {
         let mut dm = DynamicMatching::with_seed(3);
         let ids = dm.insert_edges(&[vec![0, 1], vec![1, 2], vec![0, 2]]);
         let unmatched: Vec<EdgeId> = ids.iter().copied().filter(|&e| !dm.is_matched(e)).collect();
-        let n = dm.delete_edges(&unmatched);
-        assert_eq!(n, 2);
+        let gone = dm.delete_edges(&unmatched);
+        assert_eq!(gone, unmatched);
         assert_eq!(dm.num_edges(), 1);
         assert_ok(&dm);
     }
@@ -587,8 +699,8 @@ mod tests {
     fn unknown_and_duplicate_ids_ignored() {
         let mut dm = DynamicMatching::with_seed(6);
         let ids = dm.insert_edges(&[vec![0, 1]]);
-        assert_eq!(dm.delete_edges(&[EdgeId(999)]), 0);
-        assert_eq!(dm.delete_edges(&[ids[0], ids[0]]), 1);
+        assert!(dm.delete_edges(&[EdgeId(999)]).is_empty());
+        assert_eq!(dm.delete_edges(&[ids[0], ids[0]]), vec![ids[0]]);
         assert_eq!(dm.num_edges(), 0);
         assert_ok(&dm);
     }
@@ -600,8 +712,7 @@ mod tests {
         let w = pbdmm_graph::workload::churn(&g, 60, 13);
         let mut assigned: Vec<Option<EdgeId>> = vec![None; g.m()];
         for step in &w.steps {
-            let ins: Vec<EdgeVertices> =
-                step.insert.iter().map(|&i| g.edges[i].clone()).collect();
+            let ins: Vec<EdgeVertices> = step.insert.iter().map(|&i| g.edges[i].clone()).collect();
             let new_ids = dm.insert_edges(&ins);
             for (&ui, &id) in step.insert.iter().zip(&new_ids) {
                 assigned[ui] = Some(id);
@@ -621,8 +732,7 @@ mod tests {
         let w = pbdmm_graph::workload::churn(&g, 40, 19);
         let mut assigned: Vec<Option<EdgeId>> = vec![None; g.m()];
         for step in &w.steps {
-            let ins: Vec<EdgeVertices> =
-                step.insert.iter().map(|&i| g.edges[i].clone()).collect();
+            let ins: Vec<EdgeVertices> = step.insert.iter().map(|&i| g.edges[i].clone()).collect();
             let new_ids = dm.insert_edges(&ins);
             for (&ui, &id) in step.insert.iter().zip(&new_ids) {
                 assigned[ui] = Some(id);
@@ -706,6 +816,68 @@ mod tests {
     }
 
     #[test]
+    fn mixed_batch_settles_once_and_stays_maximal() {
+        let mut dm = DynamicMatching::with_seed(30);
+        let out = dm
+            .apply(Batch::new().inserts([vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]))
+            .unwrap();
+        assert_ok(&dm);
+        let matched: Vec<EdgeId> = out
+            .inserted
+            .iter()
+            .copied()
+            .filter(|&e| dm.is_matched(e))
+            .collect();
+        // Delete every matched edge AND insert replacements, one call.
+        let out2 = dm
+            .apply(Batch::new().deletes(matched.iter().copied()).inserts([
+                vec![0, 2],
+                vec![1, 4],
+                vec![5, 6],
+            ]))
+            .unwrap();
+        assert_eq!(out2.deleted, matched);
+        assert_eq!(out2.inserted.len(), 3);
+        assert_ok(&dm);
+        assert!(dm.matching_size() >= 1);
+        // Every update was accounted once.
+        assert_eq!(dm.stats().user_insertions, 7);
+        assert_eq!(dm.stats().user_deletions, matched.len() as u64);
+        assert_eq!(dm.stats().batches, 2);
+    }
+
+    #[test]
+    fn mixed_batch_rank_bump_applies_before_settlement() {
+        // A batch whose insertions raise the rank while its deletions force
+        // settling: the heaviness threshold must already use the new rank.
+        let mut dm = DynamicMatching::with_seed(31);
+        let g = gen::star(80);
+        let ids = dm.insert_edges(&g.edges);
+        let matched: Vec<EdgeId> = ids.iter().copied().filter(|&e| dm.is_matched(e)).collect();
+        dm.apply(
+            Batch::new()
+                .deletes(matched.iter().copied())
+                .insert(vec![100, 101, 102, 103]),
+        )
+        .unwrap();
+        assert_eq!(dm.rank(), 4);
+        assert_ok(&dm);
+    }
+
+    #[test]
+    fn try_tier_reports_errors_without_mutating() {
+        let mut dm = DynamicMatching::with_seed(32);
+        let ids = dm.insert_edges(&[vec![0, 1]]);
+        assert!(dm.try_insert_edges(&[vec![2, 3], vec![]]).is_err());
+        assert!(dm.try_delete_edges(&[EdgeId(999)]).is_err());
+        assert!(dm.try_delete_edges(&[ids[0], ids[0]]).is_err());
+        assert_eq!(dm.num_edges(), 1);
+        assert_eq!(dm.try_delete_edges(&[ids[0]]).unwrap(), vec![ids[0]]);
+        assert_eq!(dm.num_edges(), 0);
+        assert_ok(&dm);
+    }
+
+    #[test]
     fn rank_one_edges_supported() {
         let mut dm = DynamicMatching::with_seed(13);
         let ids = dm.insert_edges(&[vec![0], vec![0], vec![1]]);
@@ -752,8 +924,7 @@ mod tests {
         );
         let mut assigned: Vec<Option<EdgeId>> = vec![None; g.m()];
         for step in &w.steps {
-            let ins: Vec<EdgeVertices> =
-                step.insert.iter().map(|&i| g.edges[i].clone()).collect();
+            let ins: Vec<EdgeVertices> = step.insert.iter().map(|&i| g.edges[i].clone()).collect();
             let ids = dm.insert_edges(&ins);
             for (&ui, &id) in step.insert.iter().zip(&ids) {
                 assigned[ui] = Some(id);
@@ -823,8 +994,7 @@ mod tests {
         );
         let mut assigned: Vec<Option<EdgeId>> = vec![None; g.m()];
         for step in &w.steps {
-            let ins: Vec<EdgeVertices> =
-                step.insert.iter().map(|&i| g.edges[i].clone()).collect();
+            let ins: Vec<EdgeVertices> = step.insert.iter().map(|&i| g.edges[i].clone()).collect();
             let ids = dm.insert_edges(&ins);
             for (&ui, &id) in step.insert.iter().zip(&ids) {
                 assigned[ui] = Some(id);
@@ -852,8 +1022,7 @@ mod tests {
         let w = pbdmm_graph::workload::churn(&g, 48, 63);
         let mut assigned: Vec<Option<EdgeId>> = vec![None; g.m()];
         for step in &w.steps {
-            let ins: Vec<EdgeVertices> =
-                step.insert.iter().map(|&i| g.edges[i].clone()).collect();
+            let ins: Vec<EdgeVertices> = step.insert.iter().map(|&i| g.edges[i].clone()).collect();
             let ids = dm.insert_edges(&ins);
             for (&ui, &id) in step.insert.iter().zip(&ids) {
                 assigned[ui] = Some(id);

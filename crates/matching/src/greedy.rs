@@ -234,8 +234,7 @@ pub fn parallel_greedy_match_with_priorities(
                 if t < list.len() && !done_ref[list[t] as usize] {
                     return None; // top unchanged: no new candidate
                 }
-                let nt = find_next_in(list, t, |&e| !done_ref[e as usize])
-                    .unwrap_or(list.len());
+                let nt = find_next_in(list, t, |&e| !done_ref[e as usize]).unwrap_or(list.len());
                 Some((v, nt))
             });
             tops

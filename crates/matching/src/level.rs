@@ -151,7 +151,8 @@ impl LeveledStructure {
     /// Ensure the vertex table covers `v`.
     pub fn ensure_vertex(&mut self, v: VertexId) {
         if v as usize >= self.vertices.len() {
-            self.vertices.resize_with(v as usize + 1, VertexRec::default);
+            self.vertices
+                .resize_with(v as usize + 1, VertexRec::default);
         }
     }
 
@@ -409,7 +410,7 @@ mod tests {
         add_edge(&mut s, 4, vec![2, 5]);
         add_edge(&mut s, 5, vec![3, 5]);
         s.add_match(eid(1), vec![eid(1), eid(2), eid(3), eid(4), eid(5)]); // level 2
-        // Cross edge touching both matches must be owned by B (level 2).
+                                                                           // Cross edge touching both matches must be owned by B (level 2).
         add_edge(&mut s, 6, vec![1, 2]);
         s.add_cross_edge(eid(6));
         assert_eq!(s.edges[&eid(6)].owner, eid(1));
@@ -475,7 +476,12 @@ mod tests {
         s.add_cross_edge(eid(10));
         assert_eq!(s.edges[&eid(10)].owner, eid(0));
         // New high-level match B on {2,3,4...} (sample size 4 → level 2).
-        for (i, vs) in [(1u64, vec![2, 3]), (2, vec![3, 4]), (3, vec![2, 4]), (4, vec![3, 5])] {
+        for (i, vs) in [
+            (1u64, vec![2, 3]),
+            (2, vec![3, 4]),
+            (3, vec![2, 4]),
+            (4, vec![3, 5]),
+        ] {
             add_edge(&mut s, i, vs);
         }
         s.add_match(eid(1), vec![eid(1), eid(2), eid(3), eid(4)]);
@@ -493,7 +499,10 @@ mod tests {
         assert_eq!(paper.level_for_sample_size(7), 2);
         assert_eq!(paper.level_for_sample_size(8), 3);
         // α = 4 (gap_log2 = 2): level = ⌊log₄ s⌋.
-        let wide = LevelingConfig { gap_log2: 2, ..Default::default() };
+        let wide = LevelingConfig {
+            gap_log2: 2,
+            ..Default::default()
+        };
         assert_eq!(wide.level_for_sample_size(3), 0);
         assert_eq!(wide.level_for_sample_size(4), 1);
         assert_eq!(wide.level_for_sample_size(15), 1);
@@ -505,9 +514,15 @@ mod tests {
         let paper = LevelingConfig::default();
         assert_eq!(paper.heavy_threshold(0, 2), 16); // 4·4·1
         assert_eq!(paper.heavy_threshold(3, 2), 128); // 4·4·8
-        let tight = LevelingConfig { heavy_factor: 1, ..Default::default() };
+        let tight = LevelingConfig {
+            heavy_factor: 1,
+            ..Default::default()
+        };
         assert_eq!(tight.heavy_threshold(0, 2), 4);
-        let wide = LevelingConfig { gap_log2: 2, ..Default::default() };
+        let wide = LevelingConfig {
+            gap_log2: 2,
+            ..Default::default()
+        };
         assert_eq!(wide.heavy_threshold(2, 2), 4 * 4 * 16); // α² = 16
     }
 
@@ -531,7 +546,7 @@ mod tests {
         let mut s = LeveledStructure::new();
         add_edge(&mut s, 0, vec![0, 1]);
         s.add_match(eid(0), vec![eid(0)]); // level 0
-        // threshold for r=2, level 0: 4·4·1 = 16 cross edges.
+                                           // threshold for r=2, level 0: 4·4·1 = 16 cross edges.
         for i in 0..15u64 {
             add_edge(&mut s, 100 + i, vec![1, 100 + i as u32]);
             s.add_cross_edge(eid(100 + i));

@@ -4,6 +4,9 @@
 //! constant (resp. `O(r³)`) expected amortized work per edge update —
 //! a reproduction of *Blelloch & Brady, SPAA 2025*.
 //!
+//! * [`api`] — the unified batch-update surface: [`Update`]/[`Batch`], the
+//!   [`BatchDynamic`] trait every contender implements, [`BatchOutcome`],
+//!   [`UpdateError`], and [`DynamicMatchingBuilder`].
 //! * [`greedy`] — the static random greedy maximal matcher (§3): the
 //!   sequential oracle (Fig. 1) and the work-efficient parallel
 //!   implementation (Fig. 2, Lemma 1.3) that computes the identical
@@ -14,25 +17,51 @@
 //! * [`baseline`] — comparators: static recompute per batch, a naive
 //!   neighbor-rescan dynamic algorithm, and single-update (sequential
 //!   dynamic model) driving.
+//! * [`driver`] — replay an oblivious workload against any [`BatchDynamic`].
 //! * [`verify`] — invariant checking (used pervasively in tests).
 //! * [`stats`] — epoch/payment accounting mirroring the paper's charging
 //!   scheme, consumed by the experiment harness.
 //!
 //! ## Quickstart
 //!
+//! One structure, one entry point: [`DynamicMatching::apply`] consumes a
+//! mixed [`Batch`] of insertions and deletions and settles them in a single
+//! leveled round, exactly the paper's single-batch semantics.
+//!
+//! ```
+//! use pbdmm_matching::api::Batch;
+//! use pbdmm_matching::DynamicMatching;
+//!
+//! let mut m = DynamicMatching::with_seed(42);
+//! let out = m
+//!     .apply(Batch::new().inserts([vec![0, 1], vec![1, 2], vec![2, 3]]))
+//!     .unwrap();
+//! assert!(m.matching_size() >= 1);
+//!
+//! // Mixed batch: delete one edge, insert another — one settlement round.
+//! let out = m
+//!     .apply(Batch::new().delete(out.inserted[0]).insert(vec![3, 4]))
+//!     .unwrap();
+//! assert_eq!(out.deleted_count(), 1);
+//! // The matching is maintained maximal after every batch.
+//! assert!(pbdmm_matching::verify::check_invariants(&m).is_ok());
+//! ```
+//!
+//! The legacy split calls still work (`insert_edges` returns ids,
+//! `delete_edges` now returns the ids that were actually live):
+//!
 //! ```
 //! use pbdmm_matching::DynamicMatching;
 //!
 //! let mut m = DynamicMatching::with_seed(42);
-//! let ids = m.insert_edges(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
-//! assert!(m.matching_size() >= 1);
-//! m.delete_edges(&[ids[0]]);
-//! // The matching is maintained maximal after every batch.
-//! assert!(pbdmm_matching::verify::check_invariants(&m).is_ok());
+//! let ids = m.insert_edges(&[vec![0, 1], vec![1, 2]]);
+//! let gone = m.delete_edges(&ids);
+//! assert_eq!(gone, ids);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod baseline;
 pub mod driver;
 pub mod dynamic;
@@ -41,6 +70,9 @@ pub mod level;
 pub mod stats;
 pub mod verify;
 
+pub use api::{
+    Batch, BatchDynamic, BatchOutcome, DynamicMatchingBuilder, MeterMode, Update, UpdateError,
+};
 pub use dynamic::{BatchReport, DynamicMatching, LevelOccupancy};
 pub use greedy::{
     parallel_greedy_match, parallel_greedy_match_with_priorities, sequential_greedy_match,

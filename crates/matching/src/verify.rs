@@ -186,7 +186,10 @@ pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
                     .get(&e)
                     .ok_or_else(|| format!("P({v},{lvl}) holds dead edge {e}"))?;
                 if rec.etype != EdgeType::Cross {
-                    return Err(format!("P({v},{lvl}) holds non-cross {e} ({:?})", rec.etype));
+                    return Err(format!(
+                        "P({v},{lvl}) holds non-cross {e} ({:?})",
+                        rec.etype
+                    ));
                 }
                 if s.matches[&rec.owner].level != lvl {
                     return Err(format!(

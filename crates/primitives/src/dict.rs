@@ -13,10 +13,8 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use rayon::prelude::*;
-
 use crate::hash::mix64;
-use crate::par::should_par;
+use crate::par::{par_for_each, par_ranges, should_par};
 
 /// Sentinel for an empty slot. Keys must not equal `EMPTY` or `TOMBSTONE`;
 /// callers use identifiers well below `u64::MAX - 1`.
@@ -162,56 +160,47 @@ impl ConcurrentU64Set {
     /// Batch-insert a phase of keys in parallel, growing first if needed.
     pub fn batch_insert(&mut self, keys: &[u64]) {
         self.reserve(keys.len());
-        if should_par(keys.len()) {
-            keys.par_iter().for_each(|&k| {
-                self.insert(k);
-            });
-        } else {
-            for &k in keys {
-                self.insert(k);
-            }
-        }
+        par_for_each(keys, |&k| {
+            self.insert(k);
+        });
     }
 
     /// Batch-remove a phase of keys in parallel, shrinking afterwards if the
     /// table became sparse.
     pub fn batch_remove(&mut self, keys: &[u64]) {
-        if should_par(keys.len()) {
-            keys.par_iter().for_each(|&k| {
-                self.remove(k);
-            });
-        } else {
-            for &k in keys {
-                self.remove(k);
-            }
-        }
+        par_for_each(keys, |&k| {
+            self.remove(k);
+        });
         self.maybe_shrink();
     }
 
     /// Batch membership phase.
     pub fn batch_contains(&self, keys: &[u64]) -> Vec<bool> {
-        if should_par(keys.len()) {
-            keys.par_iter().map(|&k| self.contains(k)).collect()
-        } else {
-            keys.iter().map(|&k| self.contains(k)).collect()
-        }
+        crate::par::par_map(keys, |&k| self.contains(k))
     }
 
     /// Extract all current elements (`O(capacity)` work, parallel).
     pub fn elements(&self) -> Vec<u64> {
-        if should_par(self.slots.len()) {
-            self.slots
-                .par_iter()
+        if !should_par(self.slots.len()) {
+            return self
+                .slots
+                .iter()
                 .map(|s| s.load(Ordering::Relaxed))
                 .filter(|&v| v < TOMBSTONE)
-                .collect()
-        } else {
-            self.slots
+                .collect();
+        }
+        let parts: Vec<Vec<u64>> = par_ranges(self.slots.len(), |r| {
+            self.slots[r]
                 .iter()
                 .map(|s| s.load(Ordering::Relaxed))
                 .filter(|&v| v < TOMBSTONE)
                 .collect()
+        });
+        let mut out = Vec::with_capacity(self.len());
+        for p in parts {
+            out.extend(p);
         }
+        out
     }
 
     /// Ensure room for `extra` more keys at load factor ≤ 1/2, rehashing away

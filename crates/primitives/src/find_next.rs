@@ -7,14 +7,12 @@
 //! slide each vertex's top-of-list pointer, which is what makes the static
 //! matcher work-efficient (Lemma 3.1: the pointers slide a total of O(m')).
 
-use rayon::prelude::*;
-
-use crate::par::should_par;
+use crate::par::{par_find_first, should_par};
 
 /// Find the smallest `j` in `[start, n)` with `pred(j)`, or `None`.
 ///
 /// Work `O(j - start)`, depth `O(log(j - start))` in the model. The parallel
-/// probe of each doubling round uses rayon `find_first`, which matches the
+/// probe of each doubling round uses [`par_find_first`], which matches the
 /// paper's concurrent-write flag + binary-search refinement.
 ///
 /// # Examples
@@ -39,7 +37,7 @@ where
             return None;
         }
         let found = if should_par(hi - lo) {
-            (lo..hi).into_par_iter().find_first(|&j| pred(j))
+            par_find_first(lo, hi, &pred)
         } else {
             (lo..hi).find(|&j| pred(j))
         };

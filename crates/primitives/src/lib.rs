@@ -17,7 +17,7 @@
 //! * [`rng`] — seedable splittable PRNGs (the algorithm's coins);
 //! * [`cost`] — work/depth metering so experiments can check the *model*
 //!   bounds rather than wall-clock proxies;
-//! * [`par`] — rayon-backed fork-join helpers with grain control.
+//! * [`par`] — fork-join helpers on scoped std threads, with grain control.
 
 #![warn(missing_docs)]
 

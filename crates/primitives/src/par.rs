@@ -1,20 +1,24 @@
-//! Fork-join helpers realizing the binary-forking model on rayon.
+//! Fork-join helpers realizing the binary-forking model on scoped OS
+//! threads (`std::thread::scope`) — no external runtime.
 //!
 //! Every parallel primitive in this crate routes through these helpers so
 //! that (a) small inputs stay sequential (grain control — parallelism below a
-//! few thousand elements costs more than it gains) and (b) the whole
-//! workspace can be forced sequential for deterministic debugging via
-//! [`set_sequential`].
+//! few thousand elements costs more than it gains), (b) the whole workspace
+//! can be forced sequential for deterministic debugging via
+//! [`set_sequential`], and (c) the worker count can be capped per process via
+//! [`set_num_threads`] (the benchmark harness's speedup sweeps use this).
 
-use std::sync::atomic::{AtomicBool, Ordering};
-
-use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Below this input size parallel primitives fall back to their sequential
 /// implementations.
 pub const GRAIN: usize = 4096;
 
 static FORCE_SEQUENTIAL: AtomicBool = AtomicBool::new(false);
+
+/// Worker-count cap; 0 means "use all available cores".
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
 
 /// Force all primitives in this crate to run sequentially (for debugging and
 /// for the sequential baselines in the benchmark harness). Global and sticky.
@@ -27,10 +31,94 @@ pub fn is_sequential() -> bool {
     FORCE_SEQUENTIAL.load(Ordering::Relaxed)
 }
 
+/// Cap the number of worker threads used by the primitives (0 restores the
+/// default of one worker per available core). Global and sticky; the
+/// benchmark harness uses this for self-relative speedup sweeps.
+pub fn set_num_threads(n: usize) {
+    THREAD_CAP.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads parallel primitives will use. A nonzero
+/// cap is honored verbatim, even above the detected core count (tests use
+/// this to force parallel paths on single-core hosts).
+pub fn num_threads() -> usize {
+    let cap = THREAD_CAP.load(Ordering::Relaxed);
+    if cap == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        cap
+    }
+}
+
 /// Should a primitive over `n` elements run in parallel?
 #[inline]
 pub fn should_par(n: usize) -> bool {
-    n >= GRAIN && !is_sequential() && rayon::current_num_threads() > 1
+    n >= GRAIN && !is_sequential() && num_threads() > 1
+}
+
+/// Split `0..n` into at most `k` near-equal contiguous ranges.
+pub(crate) fn ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let k = k.max(1).min(n.max(1));
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Run `f` over contiguous index ranges covering `0..n`, one worker per
+/// range, and return the per-range results in order. The backbone of every
+/// data-parallel helper here.
+pub fn par_ranges<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(std::ops::Range<usize>) -> U + Sync,
+{
+    let workers = num_threads();
+    if n == 0 {
+        return Vec::new();
+    }
+    if workers <= 1 || is_sequential() || n < 2 {
+        return vec![f(0..n)];
+    }
+    par_run_ranges(ranges(n, workers), |_, r| f(r))
+}
+
+/// Run `f(index, range)` over an explicit pre-computed partition, one
+/// worker per range, results in partition order. Callers that need the
+/// *same* partition across two passes (e.g. the blocked scan) compute it
+/// once with [`ranges`] and run both passes through this, so a concurrent
+/// [`set_num_threads`] cannot desynchronize the passes.
+pub(crate) fn par_run_ranges<U, F>(rs: Vec<std::ops::Range<usize>>, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> U + Sync,
+{
+    if rs.len() <= 1 || is_sequential() {
+        return rs.into_iter().enumerate().map(|(i, r)| f(i, r)).collect();
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(rs.len() - 1);
+        let mut iter = rs.into_iter().enumerate();
+        let (i0, first) = iter.next().unwrap();
+        for (i, r) in iter {
+            let f = &f;
+            handles.push(scope.spawn(move || f(i, r)));
+        }
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(f(i0, first));
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
 }
 
 /// Parallel map with grain control: sequential below [`GRAIN`].
@@ -40,11 +128,12 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync + Send,
 {
-    if should_par(items.len()) {
-        items.par_iter().map(f).collect()
-    } else {
-        items.iter().map(f).collect()
+    if !should_par(items.len()) {
+        return items.iter().map(f).collect();
     }
+    concat(par_ranges(items.len(), |r| {
+        items[r].iter().map(&f).collect::<Vec<U>>()
+    }))
 }
 
 /// Parallel indexed map: `f(i, &items[i])`.
@@ -54,11 +143,25 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync + Send,
 {
-    if should_par(items.len()) {
-        items.par_iter().enumerate().map(|(i, t)| f(i, t)).collect()
-    } else {
-        items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+    if !should_par(items.len()) {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    concat(par_ranges(items.len(), |r| {
+        r.map(|i| f(i, &items[i])).collect::<Vec<U>>()
+    }))
+}
+
+/// Parallel for-each over shared references (the callee synchronizes).
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync + Send,
+{
+    if !should_par(items.len()) {
+        items.iter().for_each(f);
+        return;
+    }
+    par_ranges(items.len(), |r| items[r].iter().for_each(&f));
 }
 
 /// Parallel for-each over mutable elements.
@@ -67,11 +170,53 @@ where
     T: Send,
     F: Fn(&mut T) + Sync + Send,
 {
-    if should_par(items.len()) {
-        items.par_iter_mut().for_each(f);
-    } else {
+    if !should_par(items.len()) {
         items.iter_mut().for_each(f);
+        return;
     }
+    let n = items.len();
+    let workers = num_threads();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for part in items.chunks_mut(chunk) {
+            let f = &f;
+            scope.spawn(move || part.iter_mut().for_each(f));
+        }
+    });
+}
+
+/// Consume an owned work list with a simple shared queue: items are handed
+/// to workers one at a time, so uneven item costs balance automatically.
+/// Used for coarse-grained task sets (e.g. one task per shard) where the
+/// item count is far below [`GRAIN`] but each item is substantial.
+pub fn par_consume<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let workers = num_threads().min(n);
+    if workers <= 1 || is_sequential() {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let queue = Mutex::new(items.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let queue = &queue;
+            let f = &f;
+            scope.spawn(move || loop {
+                let item = queue.lock().expect("queue poisoned").next();
+                match item {
+                    Some(t) => f(t),
+                    None => break,
+                }
+            });
+        }
+    });
 }
 
 /// Parallel flat-map (order-preserving).
@@ -81,11 +226,15 @@ where
     U: Send,
     F: Fn(&T) -> Vec<U> + Sync + Send,
 {
-    if should_par(items.len()) {
-        items.par_iter().flat_map_iter(|t| f(t).into_iter()).collect()
-    } else {
-        items.iter().flat_map(|t| f(t).into_iter()).collect()
+    if !should_par(items.len()) {
+        return items.iter().flat_map(|t| f(t).into_iter()).collect();
     }
+    concat(par_ranges(items.len(), |r| {
+        items[r]
+            .iter()
+            .flat_map(|t| f(t).into_iter())
+            .collect::<Vec<U>>()
+    }))
 }
 
 /// Parallel filter-map (order-preserving).
@@ -95,15 +244,16 @@ where
     U: Send,
     F: Fn(&T) -> Option<U> + Sync + Send,
 {
-    if should_par(items.len()) {
-        items.par_iter().filter_map(f).collect()
-    } else {
-        items.iter().filter_map(f).collect()
+    if !should_par(items.len()) {
+        return items.iter().filter_map(f).collect();
     }
+    concat(par_ranges(items.len(), |r| {
+        items[r].iter().filter_map(&f).collect::<Vec<U>>()
+    }))
 }
 
-/// Binary fork: run two closures as parallel tasks (rayon `join`), the
-/// primitive operation of the binary-forking model.
+/// Binary fork: run two closures as parallel tasks, the primitive operation
+/// of the binary-forking model.
 #[inline]
 pub fn fork2<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -112,10 +262,14 @@ where
     RA: Send,
     RB: Send,
 {
-    if is_sequential() {
+    if is_sequential() || num_threads() <= 1 {
         (a(), b())
     } else {
-        rayon::join(a, b)
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("forked task panicked"))
+        })
     }
 }
 
@@ -125,11 +279,43 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync + Send,
 {
-    if should_par(n) {
-        (0..n).into_par_iter().map(f).collect()
-    } else {
-        (0..n).map(f).collect()
+    if !should_par(n) {
+        return (0..n).map(f).collect();
     }
+    concat(par_ranges(n, |r| r.map(&f).collect::<Vec<U>>()))
+}
+
+/// Smallest `i` in `[lo, hi)` with `pred(i)`, scanned in parallel. Workers
+/// share a running best so chunks beyond the current minimum are skipped.
+pub fn par_find_first<F>(lo: usize, hi: usize, pred: F) -> Option<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    if hi <= lo {
+        return None;
+    }
+    if !should_par(hi - lo) {
+        return (lo..hi).find(|&i| pred(i));
+    }
+    let best = AtomicUsize::new(usize::MAX);
+    par_ranges(hi - lo, |r| {
+        let start = lo + r.start;
+        let end = lo + r.end;
+        if start >= best.load(Ordering::Relaxed) {
+            return;
+        }
+        for i in start..end {
+            if i >= best.load(Ordering::Relaxed) {
+                return;
+            }
+            if pred(i) {
+                best.fetch_min(i, Ordering::Relaxed);
+                return;
+            }
+        }
+    });
+    let found = best.load(Ordering::Relaxed);
+    (found != usize::MAX).then_some(found)
 }
 
 /// Apply keyed update groups to disjoint elements of `items` in parallel.
@@ -171,21 +357,35 @@ where
         }
     }
     let base = Ptr(items.as_mut_ptr());
-    groups.into_par_iter().for_each(|(i, g)| {
-        // SAFETY: indices are unique (contract), so each element is accessed
-        // by exactly one task.
-        let item = unsafe { &mut *base.get().add(i) };
-        f(item, g);
+    let n = groups.len();
+    let workers = num_threads();
+    let chunk = n.div_ceil(workers);
+    let mut groups = groups;
+    std::thread::scope(|scope| {
+        while !groups.is_empty() {
+            let take = chunk.min(groups.len());
+            let part: Vec<(usize, G)> = groups.drain(groups.len() - take..).collect();
+            let f = &f;
+            let base = &base;
+            scope.spawn(move || {
+                for (i, g) in part {
+                    // SAFETY: indices are unique (contract), so each element
+                    // is accessed by exactly one task.
+                    let item = unsafe { &mut *base.get().add(i) };
+                    f(item, g);
+                }
+            });
+        }
     });
 }
 
 /// Sort a slice, in parallel above the grain size.
 pub fn par_sort<T: Ord + Send>(items: &mut [T]) {
-    if should_par(items.len()) {
-        items.par_sort_unstable();
-    } else {
+    if !should_par(items.len()) {
         items.sort_unstable();
+        return;
     }
+    par_quicksort(items, &|a: &T, b: &T| a.cmp(b), fork_budget());
 }
 
 /// Sort by key, in parallel above the grain size.
@@ -195,11 +395,83 @@ where
     K: Ord + Send,
     F: Fn(&T) -> K + Sync,
 {
-    if should_par(items.len()) {
-        items.par_sort_unstable_by_key(f);
-    } else {
+    if !should_par(items.len()) {
         items.sort_unstable_by_key(f);
+        return;
     }
+    par_quicksort(items, &|a: &T, b: &T| f(a).cmp(&f(b)), fork_budget());
+}
+
+/// How many fork levels the sort may spawn: 2^budget leaf tasks ≈ 2× the
+/// worker count (slack for partition imbalance) — this is what makes the
+/// sort honor [`set_num_threads`] instead of spawning one thread per
+/// grain-sized split.
+fn fork_budget() -> u32 {
+    crate::cost::log2_ceil(num_threads().max(1)) + 1
+}
+
+/// In-place parallel quicksort: Hoare-style partition, fork the halves.
+/// Falls back to the standard-library sort below the grain or once the
+/// fork budget (which bounds concurrent tasks near the worker count) runs
+/// out.
+fn par_quicksort<T, C>(items: &mut [T], cmp: &C, forks: u32)
+where
+    T: Send,
+    C: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    let n = items.len();
+    if n < GRAIN || forks == 0 || is_sequential() {
+        items.sort_unstable_by(cmp);
+        return;
+    }
+    let mid = partition(items, cmp);
+    let (lo, hi) = items.split_at_mut(mid);
+    fork2(
+        || par_quicksort(lo, cmp, forks - 1),
+        || par_quicksort(&mut hi[1..], cmp, forks - 1),
+    );
+}
+
+/// Median-of-three pivot selection + Hoare partition; returns the pivot's
+/// final index (elements left are `<= pivot`, right are `>= pivot`).
+fn partition<T, C>(items: &mut [T], cmp: &C) -> usize
+where
+    C: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    use std::cmp::Ordering::Less;
+    let n = items.len();
+    let (a, b, c) = (0, n / 2, n - 1);
+    // Order the three samples so the median lands at index b.
+    if cmp(&items[b], &items[a]) == Less {
+        items.swap(a, b);
+    }
+    if cmp(&items[c], &items[b]) == Less {
+        items.swap(b, c);
+        if cmp(&items[b], &items[a]) == Less {
+            items.swap(a, b);
+        }
+    }
+    items.swap(b, n - 1); // pivot to the end
+    let mut store = 0;
+    for i in 0..n - 1 {
+        if cmp(&items[i], &items[n - 1]) == Less {
+            items.swap(i, store);
+            store += 1;
+        }
+    }
+    items.swap(store, n - 1);
+    store
+}
+
+/// Concatenate per-range result vectors (sequential `O(n)` tail of the
+/// chunked helpers).
+fn concat<U>(parts: Vec<Vec<U>>) -> Vec<U> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -260,6 +532,39 @@ mod tests {
     }
 
     #[test]
+    fn par_sort_by_key_handles_duplicates_and_reverse() {
+        let mut v: Vec<(u64, u32)> = (0..20_000u32).rev().map(|i| ((i % 7) as u64, i)).collect();
+        par_sort_by_key(&mut v, |t| t.0);
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(v.len(), 20_000);
+    }
+
+    #[test]
+    fn par_find_first_matches_sequential() {
+        for target in [0usize, 1, 4095, 4096, 9999] {
+            assert_eq!(par_find_first(0, 10_000, |i| i >= target), Some(target));
+        }
+        assert_eq!(par_find_first(0, 10_000, |_| false), None);
+        assert_eq!(par_find_first(5, 5, |_| true), None);
+    }
+
+    #[test]
+    fn par_consume_visits_every_item() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        par_consume((0..1000usize).collect(), |i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_all() {
+        let mut items = vec![1u64; 10_000];
+        par_for_each_mut(&mut items, |x| *x += 1);
+        assert!(items.iter().all(|&x| x == 2));
+    }
+
+    #[test]
     fn par_apply_disjoint_applies_each_once() {
         let mut items = vec![0u64; 10_000];
         let groups: Vec<(usize, u64)> = (0..10_000).map(|i| (i, i as u64 + 1)).collect();
@@ -283,5 +588,14 @@ mod tests {
         assert_eq!(par_map(&xs, |x| x + 1)[9999], 10_000);
         set_sequential(false);
         assert!(!is_sequential());
+    }
+
+    #[test]
+    fn thread_cap_round_trips() {
+        set_num_threads(1);
+        assert_eq!(num_threads(), 1);
+        assert!(!should_par(1 << 20));
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
     }
 }

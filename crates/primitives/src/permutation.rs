@@ -81,7 +81,10 @@ mod tests {
     fn fisher_yates_deterministic_under_seed() {
         let mut a = SplitMix64::new(7);
         let mut b = SplitMix64::new(7);
-        assert_eq!(random_permutation(100, &mut a), random_permutation(100, &mut b));
+        assert_eq!(
+            random_permutation(100, &mut a),
+            random_permutation(100, &mut b)
+        );
     }
 
     #[test]
@@ -132,6 +135,9 @@ mod tests {
         // `at(i)` indexing means the result cannot depend on scheduling.
         let mut a = SplitMix64::new(21);
         let mut b = SplitMix64::new(21);
-        assert_eq!(random_priorities(8192, &mut a), random_priorities(8192, &mut b));
+        assert_eq!(
+            random_priorities(8192, &mut a),
+            random_priorities(8192, &mut b)
+        );
     }
 }

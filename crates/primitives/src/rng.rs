@@ -7,9 +7,6 @@
 //! cheap stateless streams; for bulk random priorities we draw 64-bit words
 //! directly.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 use crate::hash::mix64;
 
 /// A SplitMix64 PRNG: tiny state, passes BigCrush, supports O(1) jump-ahead
@@ -52,9 +49,29 @@ impl SplitMix64 {
         (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
     }
 
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.bounded(hi - lo + 1)
+    }
+
     /// Fork an independent stream (for handing to a sub-computation).
     pub fn fork(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
+    }
+
+    /// Fill a byte buffer with pseudorandom data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
     }
 }
 
@@ -63,51 +80,16 @@ fn mix64_gamma(z: u64) -> u64 {
     mix64(z)
 }
 
-impl RngCore for SplitMix64 {
-    #[inline]
-    fn next_u32(&mut self) -> u32 {
-        (SplitMix64::next_u64(self) >> 32) as u32
-    }
-
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        SplitMix64::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&SplitMix64::next_u64(self).to_le_bytes());
-        }
-        let rest = chunks.into_remainder();
-        if !rest.is_empty() {
-            let word = SplitMix64::next_u64(self).to_le_bytes();
-            rest.copy_from_slice(&word[..rest.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-/// Construct a seeded `StdRng` (used where `rand` distribution support is
-/// wanted, e.g. workload generators).
-pub fn std_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
-}
-
 /// Sample `k` distinct indices from `[0, n)` (Floyd's algorithm).
 /// Returns fewer than `k` only if `k > n`.
-pub fn sample_distinct<R: Rng>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+pub fn sample_distinct(rng: &mut SplitMix64, n: usize, k: usize) -> Vec<usize> {
     if k >= n {
         return (0..n).collect();
     }
     let mut chosen = crate::hash::FxHashSet::default();
     let mut out = Vec::with_capacity(k);
     for j in (n - k)..n {
-        let t = rng.gen_range(0..=j);
+        let t = rng.range_inclusive(0, j as u64) as usize;
         if chosen.insert(t) {
             out.push(t);
         } else {
@@ -149,6 +131,20 @@ mod tests {
     }
 
     #[test]
+    fn range_inclusive_hits_both_ends() {
+        let mut rng = SplitMix64::new(8);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let v = rng.range_inclusive(3, 5);
+            assert!((3..=5).contains(&v));
+            lo_seen |= v == 3;
+            hi_seen |= v == 5;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
     fn bounded_is_roughly_uniform() {
         let mut rng = SplitMix64::new(3);
         let mut counts = [0usize; 8];
@@ -176,7 +172,7 @@ mod tests {
 
     #[test]
     fn sample_distinct_returns_distinct_in_range() {
-        let mut rng = std_rng(5);
+        let mut rng = SplitMix64::new(5);
         let s = sample_distinct(&mut rng, 100, 20);
         assert_eq!(s.len(), 20);
         let set: std::collections::HashSet<_> = s.iter().collect();
@@ -186,7 +182,7 @@ mod tests {
 
     #[test]
     fn sample_distinct_saturates() {
-        let mut rng = std_rng(5);
+        let mut rng = SplitMix64::new(5);
         let s = sample_distinct(&mut rng, 5, 10);
         assert_eq!(s.len(), 5);
     }

@@ -2,13 +2,11 @@
 //!
 //! The paper uses prefix sums and filter as black boxes costing `O(n)` work
 //! and `O(log n)` depth [Blelloch '93]. We implement the classic blocked
-//! two-pass scan: partition into blocks, scan blocks in parallel, scan the
-//! block sums sequentially (there are few), then offset each block in
-//! parallel.
+//! two-pass scan: partition into per-worker blocks, sum blocks in parallel,
+//! scan the block sums sequentially (there are few), then scan within each
+//! block in parallel with its offset.
 
-use rayon::prelude::*;
-
-use crate::par::{should_par, GRAIN};
+use crate::par::{num_threads, par_ranges, par_run_ranges, ranges, should_par};
 
 /// Exclusive prefix sum. Returns the scanned vector and the total.
 ///
@@ -31,28 +29,32 @@ pub fn exclusive_scan(xs: &[u64]) -> (Vec<u64>, u64) {
         return (out, acc);
     }
     let n = xs.len();
-    let nblocks = n.div_ceil(GRAIN);
+    // One partition, computed once and shared by both passes (a concurrent
+    // `set_num_threads` between passes must not desynchronize them).
+    let blocks = ranges(n, num_threads());
     // Pass 1: per-block sums.
-    let block_sums: Vec<u64> = xs.par_chunks(GRAIN).map(|c| c.iter().sum()).collect();
-    // Scan block sums sequentially (nblocks is small).
-    let mut block_offsets = Vec::with_capacity(nblocks);
+    let block_sums: Vec<u64> = par_run_ranges(blocks.clone(), |_, r| xs[r].iter().sum::<u64>());
+    // Scan block sums sequentially (one per worker).
+    let mut block_offsets = Vec::with_capacity(block_sums.len());
     let mut acc = 0u64;
     for &s in &block_sums {
         block_offsets.push(acc);
         acc += s;
     }
-    // Pass 2: scan within blocks with the block offset.
-    let mut out = vec![0u64; n];
-    out.par_chunks_mut(GRAIN)
-        .zip(xs.par_chunks(GRAIN))
-        .zip(block_offsets.par_iter())
-        .for_each(|((out_chunk, in_chunk), &offset)| {
-            let mut acc = offset;
-            for (o, &x) in out_chunk.iter_mut().zip(in_chunk) {
-                *o = acc;
-                acc += x;
-            }
-        });
+    // Pass 2: scan within blocks, each seeded with its block's offset.
+    let parts: Vec<Vec<u64>> = par_run_ranges(blocks, |bi, r| {
+        let mut local = Vec::with_capacity(r.len());
+        let mut acc = block_offsets[bi];
+        for &x in &xs[r] {
+            local.push(acc);
+            acc += x;
+        }
+        local
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
     (out, acc)
 }
 
@@ -68,14 +70,17 @@ pub fn inclusive_scan(xs: &[u64]) -> Vec<u64> {
 /// Parallel sum.
 pub fn par_sum(xs: &[u64]) -> u64 {
     if should_par(xs.len()) {
-        xs.par_iter().sum()
+        par_ranges(xs.len(), |r| xs[r].iter().sum::<u64>())
+            .into_iter()
+            .sum()
     } else {
         xs.iter().sum()
     }
 }
 
 /// Filter: keep elements where `keep` returns true, preserving order
-/// (the paper's "filter" / "pack" operation).
+/// (the paper's "filter" / "pack" operation). Implemented as per-worker
+/// packs concatenated in order.
 pub fn filter<T, F>(xs: &[T], keep: F) -> Vec<T>
 where
     T: Clone + Send + Sync,
@@ -84,28 +89,15 @@ where
     if !should_par(xs.len()) {
         return xs.iter().filter(|x| keep(x)).cloned().collect();
     }
-    // Flag + scan + scatter, the textbook parallel pack.
-    let flags: Vec<u64> = xs.par_iter().map(|x| keep(x) as u64).collect();
-    let (offsets, total) = exclusive_scan(&flags);
-    let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(total as usize);
-    // SAFETY: every slot 0..total is written exactly once below (offsets are
-    // strictly increasing over kept elements and total is their count).
-    #[allow(clippy::uninit_vec)]
-    unsafe {
-        out.set_len(total as usize);
-    }
-    let out_ptr = SendPtr(out.as_mut_ptr());
-    xs.par_iter().enumerate().for_each(|(i, x)| {
-        if flags[i] == 1 {
-            // SAFETY: distinct kept indices have distinct offsets.
-            unsafe {
-                let p = out_ptr;
-                (p.0.add(offsets[i] as usize)).write(std::mem::MaybeUninit::new(x.clone()));
-            }
-        }
+    let parts: Vec<Vec<T>> = par_ranges(xs.len(), |r| {
+        xs[r].iter().filter(|x| keep(x)).cloned().collect()
     });
-    // SAFETY: all slots initialized.
-    unsafe { std::mem::transmute::<Vec<std::mem::MaybeUninit<T>>, Vec<T>>(out) }
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
 }
 
 /// Pack the indices `i` where `flags[i]` is true.
@@ -117,24 +109,14 @@ pub fn pack_indices(flags: &[bool]) -> Vec<usize> {
             .filter_map(|(i, &f)| f.then_some(i))
             .collect();
     }
-    (0..flags.len())
-        .into_par_iter()
-        .filter(|&i| flags[i])
-        .collect()
-}
-
-/// A raw pointer wrapper so the scatter in [`filter`] can be shared across
-/// rayon tasks. Safe because writes hit disjoint offsets.
-struct SendPtr<T>(*mut T);
-
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
+    let parts: Vec<Vec<usize>> = par_ranges(flags.len(), |r| r.filter(|&i| flags[i]).collect());
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
     }
+    out
 }
-impl<T> Copy for SendPtr<T> {}
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -171,6 +153,18 @@ mod tests {
         let (want, want_total) = reference_exclusive(&xs);
         assert_eq!(got_total, want_total);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn awkward_sizes_match_reference() {
+        // Sizes that don't divide evenly into worker blocks.
+        for n in [4097usize, 8191, 12_289, 65_537] {
+            let xs: Vec<u64> = (0..n as u64).map(|i| i % 13).collect();
+            let (got, got_total) = exclusive_scan(&xs);
+            let (want, want_total) = reference_exclusive(&xs);
+            assert_eq!(got_total, want_total, "n={n}");
+            assert_eq!(got, want, "n={n}");
+        }
     }
 
     #[test]

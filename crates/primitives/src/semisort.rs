@@ -62,12 +62,17 @@ where
         // single key, with (rare) collisions resolved by the map path.
         if j - i == 1 || keyed[i + 1..j].iter().all(|t| t.1 == keyed[i].1) {
             let key = keyed[i].1.clone();
-            let vals: Vec<V> = keyed[i..j].iter_mut().map(|t| t.2.take().unwrap()).collect();
+            let vals: Vec<V> = keyed[i..j]
+                .iter_mut()
+                .map(|t| t.2.take().unwrap())
+                .collect();
             out.push((key, vals));
         } else {
             let mut map: FxHashMap<K, Vec<V>> = FxHashMap::default();
             for t in keyed[i..j].iter_mut() {
-                map.entry(t.1.clone()).or_default().push(t.2.take().unwrap());
+                map.entry(t.1.clone())
+                    .or_default()
+                    .push(t.2.take().unwrap());
             }
             out.extend(map);
         }
@@ -239,7 +244,10 @@ mod tests {
 
     #[test]
     fn remove_duplicates_small_and_large() {
-        assert_eq!(sorted(remove_duplicates(vec![3, 1, 3, 2, 1])), vec![1, 2, 3]);
+        assert_eq!(
+            sorted(remove_duplicates(vec![3, 1, 3, 2, 1])),
+            vec![1, 2, 3]
+        );
         let keys: Vec<u32> = (0..80_000).map(|i| i % 1000).collect();
         let deduped = remove_duplicates(keys);
         assert_eq!(sorted(deduped), (0..1000).collect::<Vec<_>>());
@@ -254,9 +262,8 @@ mod tests {
     #[test]
     fn group_by_string_keys() {
         // Non-Copy keys exercise the clone/move handling in the hash-run path.
-        let pairs: Vec<(String, u32)> = (0..10_000)
-            .map(|i| (format!("key{}", i % 50), i))
-            .collect();
+        let pairs: Vec<(String, u32)> =
+            (0..10_000).map(|i| (format!("key{}", i % 50), i)).collect();
         let groups = group_by(pairs);
         assert_eq!(groups.len(), 50);
         let total: usize = groups.iter().map(|g| g.1.len()).sum();

@@ -9,13 +9,11 @@
 //! *different* shards never contend, and the per-shard mutex is uncontended
 //! because each shard is owned by one task during a batch.
 
-use parking_lot::Mutex;
-use rayon::prelude::*;
-
 use std::hash::Hash;
+use std::sync::Mutex;
 
 use crate::hash::{fx_hash, FxHashMap};
-use crate::par::should_par;
+use crate::par::{par_consume, should_par};
 
 /// Number of shards. A power of two comfortably above any machine's core
 /// count keeps per-shard batches balanced.
@@ -34,7 +32,9 @@ where
     /// Create an empty sharded map.
     pub fn new() -> Self {
         ShardedMap {
-            shards: (0..SHARDS).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
         }
     }
 
@@ -43,16 +43,21 @@ where
         (fx_hash(key) as usize) & (SHARDS - 1)
     }
 
+    #[inline]
+    fn lock(&self, s: usize) -> std::sync::MutexGuard<'_, FxHashMap<K, V>> {
+        self.shards[s].lock().expect("shard mutex poisoned")
+    }
+
     /// Insert a single entry; returns the previous value if any.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
         let s = self.shard_of(&key);
-        self.shards[s].lock().insert(key, value)
+        self.lock(s).insert(key, value)
     }
 
     /// Remove a single entry.
     pub fn remove(&self, key: &K) -> Option<V> {
         let s = self.shard_of(key);
-        self.shards[s].lock().remove(key)
+        self.lock(s).remove(key)
     }
 
     /// Clone-read a single value.
@@ -61,14 +66,19 @@ where
         V: Clone,
     {
         let s = self.shard_of(key);
-        self.shards[s].lock().get(key).cloned()
+        self.lock(s).get(key).cloned()
     }
 
     /// Apply `f` to the value under `key`, inserting `default()` first if
     /// absent. Returns `f`'s result.
-    pub fn update_or_insert<R>(&self, key: K, default: impl FnOnce() -> V, f: impl FnOnce(&mut V) -> R) -> R {
+    pub fn update_or_insert<R>(
+        &self,
+        key: K,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> R {
         let s = self.shard_of(&key);
-        let mut shard = self.shards[s].lock();
+        let mut shard = self.lock(s);
         let slot = shard.entry(key).or_insert_with(default);
         f(slot)
     }
@@ -76,14 +86,18 @@ where
     /// Batch-apply keyed updates in parallel: updates are grouped by shard,
     /// then each shard applies its group under its own lock. `f` is invoked
     /// once per update with the map entry.
-    pub fn batch_update<U>(&self, updates: Vec<(K, U)>, default: impl Fn() -> V + Sync, f: impl Fn(&mut V, U) + Sync)
-    where
+    pub fn batch_update<U>(
+        &self,
+        updates: Vec<(K, U)>,
+        default: impl Fn() -> V + Sync,
+        f: impl Fn(&mut V, U) + Sync,
+    ) where
         U: Send + Sync,
     {
         if !should_par(updates.len()) {
             for (k, u) in updates {
                 let s = self.shard_of(&k);
-                let mut shard = self.shards[s].lock();
+                let mut shard = self.lock(s);
                 let slot = shard.entry(k).or_insert_with(&default);
                 f(slot, u);
             }
@@ -94,11 +108,13 @@ where
             let s = self.shard_of(&k);
             by_shard[s].push((k, u));
         }
-        by_shard.into_par_iter().enumerate().for_each(|(s, group)| {
-            if group.is_empty() {
-                return;
-            }
-            let mut shard = self.shards[s].lock();
+        let tasks: Vec<(usize, Vec<(K, U)>)> = by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, group)| !group.is_empty())
+            .collect();
+        par_consume(tasks, |(s, group)| {
+            let mut shard = self.lock(s);
             for (k, u) in group {
                 let slot = shard.entry(k).or_insert_with(&default);
                 f(slot, u);
@@ -119,11 +135,13 @@ where
             let s = self.shard_of(&k);
             by_shard[s].push(k);
         }
-        by_shard.into_par_iter().enumerate().for_each(|(s, group)| {
-            if group.is_empty() {
-                return;
-            }
-            let mut shard = self.shards[s].lock();
+        let tasks: Vec<(usize, Vec<K>)> = by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, group)| !group.is_empty())
+            .collect();
+        par_consume(tasks, |(s, group)| {
+            let mut shard = self.lock(s);
             for k in group {
                 shard.remove(&k);
             }
@@ -132,7 +150,7 @@ where
 
     /// Total number of entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        (0..SHARDS).map(|s| self.lock(s).len()).sum()
     }
 
     /// Whether the map is empty.
@@ -140,12 +158,13 @@ where
         self.len() == 0
     }
 
-    /// Drain all entries into a vector (parallel across shards).
+    /// Drain all entries into a vector.
     pub fn drain_all(&self) -> Vec<(K, V)> {
-        self.shards
-            .par_iter()
-            .flat_map_iter(|s| std::mem::take(&mut *s.lock()).into_iter())
-            .collect()
+        let mut out = Vec::new();
+        for s in 0..SHARDS {
+            out.extend(std::mem::take(&mut *self.lock(s)));
+        }
+        out
     }
 
     /// Snapshot all entries (requires `V: Clone`).
@@ -153,10 +172,11 @@ where
     where
         V: Clone,
     {
-        self.shards
-            .par_iter()
-            .flat_map_iter(|s| s.lock().iter().map(|(k, v)| (k.clone(), v.clone())).collect::<Vec<_>>())
-            .collect()
+        let mut out = Vec::new();
+        for s in 0..SHARDS {
+            out.extend(self.lock(s).iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
     }
 }
 

@@ -7,9 +7,7 @@
 //! bucket in expectation), buckets are sorted independently in parallel,
 //! and the concatenation is sorted.
 
-use rayon::prelude::*;
-
-use crate::par::should_par;
+use crate::par::{par_for_each_mut, should_par};
 
 /// Sort `items` ascending by a **uniformly distributed** `u64` key.
 ///
@@ -41,7 +39,7 @@ where
         let b = (key(&t) >> shift) as usize;
         buckets[b].push(t);
     }
-    buckets.par_iter_mut().for_each(|bucket| {
+    par_for_each_mut(&mut buckets, |bucket| {
         bucket.sort_unstable_by_key(|t| key(t));
     });
     let mut out = Vec::with_capacity(n);
@@ -83,7 +81,7 @@ where
         let b = (bucket_key(&t) >> shift) as usize;
         buckets[b].push(t);
     }
-    buckets.par_iter_mut().for_each(|bucket| bucket.sort_unstable());
+    par_for_each_mut(&mut buckets, |bucket| bucket.sort_unstable());
     let mut out = Vec::with_capacity(n);
     for bucket in buckets {
         out.extend(bucket);

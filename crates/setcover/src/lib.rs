@@ -22,7 +22,8 @@
 #![warn(missing_docs)]
 
 use pbdmm_graph::edge::{EdgeId, VertexId};
-use pbdmm_matching::DynamicMatching;
+use pbdmm_matching::api::{Batch, BatchDynamic, BatchOutcome, UpdateError};
+use pbdmm_matching::{BatchReport, DynamicMatching};
 use pbdmm_primitives::hash::{FxHashMap, FxHashSet};
 use pbdmm_primitives::rng::SplitMix64;
 
@@ -74,6 +75,12 @@ pub fn static_cover(elements: &[Vec<SetId>], seed: u64) -> (Vec<SetId>, usize) {
 /// over [`DynamicMatching`] in the sets-as-vertices reduction. Elements are
 /// inserted and deleted in batches; the cover is read off the matching.
 ///
+/// Implements [`BatchDynamic`] as the *element-update adapter*: an
+/// `Update::Insert(sets)` inserts one element (a hyperedge over the sets
+/// containing it) and an `Update::Delete(id)` removes one, so the generic
+/// workload driver and benchmarks replay the same mixed streams against the
+/// cover as against every matching contender.
+///
 /// # Examples
 /// ```
 /// use pbdmm_setcover::DynamicSetCover;
@@ -96,6 +103,13 @@ impl DynamicSetCover {
         }
     }
 
+    /// Apply one mixed batch of element updates (insert = the sets
+    /// containing a new element; delete = a live element id). Strict; see
+    /// [`UpdateError`].
+    pub fn apply(&mut self, batch: Batch) -> Result<BatchOutcome<BatchReport>, UpdateError> {
+        self.matching.apply(batch)
+    }
+
     /// Insert a batch of elements; `batch[i]` lists the sets containing the
     /// element. Returns element ids in input order.
     ///
@@ -105,9 +119,10 @@ impl DynamicSetCover {
         self.matching.insert_edges(batch)
     }
 
-    /// Delete a batch of elements by id; unknown ids are ignored. Returns
-    /// the number actually deleted.
-    pub fn delete_elements(&mut self, ids: &[ElementId]) -> usize {
+    /// Delete a batch of elements by id, tolerantly (unknown and duplicate
+    /// ids are skipped). Returns the ids actually deleted so callers can
+    /// reconcile.
+    pub fn delete_elements(&mut self, ids: &[ElementId]) -> Vec<ElementId> {
         self.matching.delete_edges(ids)
     }
 
@@ -141,7 +156,8 @@ impl DynamicSetCover {
         let Some(vs) = self.matching.edge_vertices(e) else {
             return false;
         };
-        vs.iter().any(|&s| self.matching.matched_edge_of(s).is_some())
+        vs.iter()
+            .any(|&s| self.matching.matched_edge_of(s).is_some())
     }
 
     /// Number of live elements.
@@ -152,6 +168,36 @@ impl DynamicSetCover {
     /// Access the underlying matching structure (statistics, meters).
     pub fn matching(&self) -> &DynamicMatching {
         &self.matching
+    }
+}
+
+impl BatchDynamic for DynamicSetCover {
+    type Report = BatchReport;
+
+    fn apply(&mut self, batch: Batch) -> Result<BatchOutcome<BatchReport>, UpdateError> {
+        DynamicSetCover::apply(self, batch)
+    }
+
+    /// Matching size — the lower bound on `OPT`, the natural "size" of the
+    /// maintained solution for cross-contender comparisons.
+    fn matching_size(&self) -> usize {
+        self.matching.matching_size()
+    }
+
+    fn is_matched(&self, e: EdgeId) -> bool {
+        self.matching.is_matched(e)
+    }
+
+    fn contains_edge(&self, e: EdgeId) -> bool {
+        self.matching.contains_edge(e)
+    }
+
+    fn num_edges(&self) -> usize {
+        self.matching.num_edges()
+    }
+
+    fn work(&self) -> u64 {
+        self.matching.meter().work()
     }
 }
 
@@ -252,6 +298,41 @@ mod tests {
         dc.delete_elements(keep);
         assert_eq!(dc.num_elements(), 0);
         assert_eq!(dc.cover_size(), 0);
+    }
+
+    #[test]
+    fn cover_adapter_runs_through_generic_driver() {
+        // The element-update adapter is a full BatchDynamic contender: the
+        // generic workload driver replays a mixed element stream against it.
+        let inst = gen::set_cover_instance(40, 600, 3, 21);
+        let w = pbdmm_graph::workload::churn(&inst, 64, 23);
+        let mut dc = DynamicSetCover::with_seed(7);
+        let report = pbdmm_matching::driver::run_workload_with(&mut dc, &w, |dc| {
+            pbdmm_matching::verify::check_invariants(dc.matching()).unwrap();
+        });
+        assert_eq!(report.updates, 1200);
+        assert_eq!(dc.num_elements(), 0);
+        assert_eq!(dc.cover_size(), 0);
+        assert!(report.work > 0);
+    }
+
+    #[test]
+    fn mixed_element_batch_keeps_coverage() {
+        use pbdmm_matching::api::{Batch, BatchDynamic};
+        let mut dc = DynamicSetCover::with_seed(11);
+        let ids = dc.insert_elements(&[vec![0, 1], vec![1, 2], vec![3]]);
+        // One mixed apply: retire one element, admit two new ones.
+        let out = BatchDynamic::apply(
+            &mut dc,
+            Batch::new()
+                .delete(ids[0])
+                .inserts([vec![0, 2], vec![2, 3]]),
+        )
+        .unwrap();
+        assert_eq!(out.deleted_count(), 1);
+        for &e in ids[1..].iter().chain(&out.inserted) {
+            assert!(dc.is_covered(e));
+        }
     }
 
     #[test]

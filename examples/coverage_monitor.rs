@@ -4,8 +4,9 @@
 //! to observe some region. Observation *targets* (elements) appear and
 //! disappear over time; each target is observable by at most `r` stations.
 //! The dynamic set cover maintains a small set of stations to keep powered
-//! on so that every current target is observed — updated in batches at
-//! O(r³) work per target update, instead of re-solving set cover each time.
+//! on so that every current target is observed — each step applies **one
+//! mixed element batch** (expired targets out, new targets in) at O(r³)
+//! work per target update, instead of re-solving set cover each time.
 //!
 //! ```text
 //! cargo run --release --example coverage_monitor
@@ -13,7 +14,7 @@
 
 use pbdmm::graph::gen;
 use pbdmm::setcover::{greedy_cover, validate_cover};
-use pbdmm::DynamicSetCover;
+use pbdmm::{Batch, DynamicSetCover};
 
 const STATIONS: usize = 300;
 const TARGETS: usize = 30_000;
@@ -28,18 +29,24 @@ fn main() {
     let mut live_ids = Vec::new();
     let mut live_elements = Vec::new();
 
-    println!("targets arrive in batches of {BATCH}; oldest expire once {} are live", 6 * BATCH);
+    println!(
+        "targets arrive in batches of {BATCH}; oldest expire once {} are live",
+        6 * BATCH
+    );
     for (step, chunk) in universe.edges.chunks(BATCH).enumerate() {
-        let ids = cover.insert_elements(chunk);
-        live_ids.extend(ids);
-        live_elements.extend_from_slice(chunk);
-
-        // Expire the oldest batch once the window is full.
-        if live_ids.len() > 6 * BATCH {
-            let expired: Vec<_> = live_ids.drain(..BATCH).collect();
+        // Expire the oldest batch once the window is full — in the same
+        // apply call that admits the new targets.
+        let expired: Vec<_> = if live_ids.len() >= 6 * BATCH {
             live_elements.drain(..BATCH);
-            cover.delete_elements(&expired);
-        }
+            live_ids.drain(..BATCH).collect()
+        } else {
+            Vec::new()
+        };
+        let out = cover
+            .apply(Batch::new().deletes(expired).inserts(chunk.iter().cloned()))
+            .expect("step batch is valid");
+        live_ids.extend(out.inserted);
+        live_elements.extend_from_slice(chunk);
 
         if step % 5 == 4 {
             let c = cover.cover();
@@ -60,7 +67,9 @@ fn main() {
     let greedy_size = greedy_cover(&live_elements).len();
     println!("---");
     println!("final live targets: {}", cover.num_elements());
-    println!("our dynamic cover: {dynamic_size} stations (r-approximate, maintained incrementally)");
+    println!(
+        "our dynamic cover: {dynamic_size} stations (r-approximate, maintained incrementally)"
+    );
     println!("static greedy re-solve: {greedy_size} stations (H_n-approximate, from scratch)");
     println!(
         "model work per element update: {:.2}",

@@ -20,7 +20,7 @@
 
 use pbdmm::graph::gen;
 use pbdmm::primitives::rng::SplitMix64;
-use pbdmm::DynamicMatching;
+use pbdmm::{Batch, DynamicMatching};
 
 const LEAVES: usize = 4096;
 
@@ -29,7 +29,10 @@ fn main() {
 
     // --- Oblivious: a deletion order fixed before the matcher's coins. ----
     let mut matching = DynamicMatching::with_seed(111);
-    let ids = matching.insert_edges(&g.edges);
+    let ids = matching
+        .apply(Batch::new().inserts(g.edges.iter().cloned()))
+        .expect("insert batch")
+        .inserted;
     let mut order: Vec<usize> = (0..ids.len()).collect();
     let mut adversary_rng = SplitMix64::new(999); // independent of seed 111
     for i in (1..order.len()).rev() {
@@ -37,15 +40,18 @@ fn main() {
         order.swap(i, j);
     }
     for chunk in order.chunks(64) {
-        let batch: Vec<_> = chunk.iter().map(|&i| ids[i]).collect();
-        matching.delete_edges(&batch);
+        let batch = Batch::new().deletes(chunk.iter().map(|&i| ids[i]));
+        matching.apply(batch).expect("oblivious delete batch");
     }
     let oblivious_phi = matching.stats().mean_payment();
     let oblivious_work = matching.meter().work() as f64 / matching.stats().total_updates() as f64;
 
     // --- Adaptive: always kill the matched edge (void where prohibited). --
     let mut matching = DynamicMatching::with_seed(111);
-    let ids = matching.insert_edges(&g.edges);
+    let ids = matching
+        .apply(Batch::new().inserts(g.edges.iter().cloned()))
+        .expect("insert batch")
+        .inserted;
     let mut live: Vec<_> = ids.clone();
     while !live.is_empty() {
         // Peeking at `is_matched` makes this adversary adaptive: the choice
@@ -55,7 +61,9 @@ fn main() {
             .copied()
             .find(|&e| matching.is_matched(e))
             .expect("maximal matching on a nonempty star has a match");
-        matching.delete_edges(&[victim]);
+        matching
+            .apply(Batch::new().delete(victim))
+            .expect("adaptive delete");
         live.retain(|&e| e != victim);
     }
     let adaptive_phi = matching.stats().mean_payment();

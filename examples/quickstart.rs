@@ -1,11 +1,11 @@
-//! Quickstart: the batch-dynamic maximal matching API in a few dozen lines.
+//! Quickstart: the unified mixed-batch matching API in a few dozen lines.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use pbdmm::matching::verify::check_invariants;
-use pbdmm::DynamicMatching;
+use pbdmm::{Batch, DynamicMatching};
 
 fn main() {
     // A structure with a fixed seed: the algorithm's coins. Guarantees hold
@@ -13,16 +13,17 @@ fn main() {
     // oblivious adversary).
     let mut matching = DynamicMatching::with_seed(42);
 
-    // Insert a batch of edges (vertex lists; they are normalized for you).
-    // Returns one EdgeId per edge, in order.
-    let ids = matching.insert_edges(&[
-        vec![0, 1],
-        vec![1, 2],
-        vec![2, 3],
-        vec![3, 4],
-        vec![4, 5],
-    ]);
-    println!("inserted {} edges, matching size = {}", ids.len(), matching.matching_size());
+    // Apply a batch of insertions (vertex lists; they are normalized for
+    // you). The outcome carries one EdgeId per insertion, in order.
+    let out = matching
+        .apply(Batch::new().inserts([vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5]]))
+        .expect("valid batch");
+    let ids = out.inserted;
+    println!(
+        "inserted {} edges, matching size = {}",
+        ids.len(),
+        matching.matching_size()
+    );
 
     // Constant-time query: which matched edge covers vertex 2?
     match matching.matched_edge_of(2) {
@@ -30,19 +31,46 @@ fn main() {
         None => println!("vertex 2 is free"),
     }
 
-    // Delete a batch — deleting matched edges triggers the interesting
-    // machinery (sample conversion, light/heavy split, random settling),
-    // and the matching is maximal again afterwards.
-    let matched: Vec<_> = ids.iter().copied().filter(|&e| matching.is_matched(e)).collect();
-    println!("deleting the {} matched edges...", matched.len());
-    matching.delete_edges(&matched);
-    println!("matching size after deletion = {}", matching.matching_size());
+    // The paper's native semantics: ONE batch mixing deletions and
+    // insertions, settled in one leveled round. Deleting matched edges
+    // triggers the interesting machinery (sample conversion, light/heavy
+    // split, random settling) and the freed edges share the final greedy
+    // pass with the fresh insertions.
+    let matched: Vec<_> = ids
+        .iter()
+        .copied()
+        .filter(|&e| matching.is_matched(e))
+        .collect();
+    println!(
+        "deleting the {} matched edges and inserting 2 new ones, one batch...",
+        matched.len()
+    );
+    let out = matching
+        .apply(
+            Batch::new()
+                .deletes(matched.iter().copied())
+                .inserts([vec![0, 5], vec![1, 4]]),
+        )
+        .expect("valid batch");
+    println!(
+        "deleted {}, inserted {}, matching size = {}",
+        out.deleted_count(),
+        out.inserted.len(),
+        matching.matching_size()
+    );
+
+    // Errors are values, not panics: the whole batch is validated up front
+    // and the structure is untouched on rejection.
+    let err = matching.apply(Batch::new().insert(vec![])).unwrap_err();
+    println!("rejected bad batch: {err}");
 
     // Hyperedges work the same way (rank r > 2): updates cost O(r^3).
-    let hyper = matching.insert_edges(&[vec![10, 11, 12], vec![12, 13, 14], vec![14, 15, 10]]);
+    let out = matching
+        .apply(Batch::new().inserts([vec![10, 11, 12], vec![12, 13, 14], vec![14, 15, 10]]))
+        .expect("valid batch");
     println!(
         "inserted {} rank-3 hyperedges, matching size = {}",
-        hyper.len(),
+        out.inserted.len(),
         matching.matching_size()
     );
 
@@ -51,7 +79,7 @@ fn main() {
     check_invariants(&matching).expect("invariants hold");
 
     // Cost accounting: the paper's bounds are about model work, which the
-    // structure meters as it runs.
+    // structure meters as it runs (per-batch deltas ride on the outcome).
     let stats = matching.stats();
     println!(
         "total model work = {}, updates = {}, work/update = {:.2}",

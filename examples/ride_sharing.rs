@@ -3,11 +3,12 @@
 //! The paper's motivating setting (§1): vertices are agents/resources,
 //! edges connect compatible pairs, and compatibility changes over time due
 //! to outside effects — here, drivers and riders entering and leaving a
-//! city grid. Each tick, a batch of new compatibility edges arrives
-//! (riders requesting, drivers becoming available nearby) and a batch
-//! expires (rides started, agents gone offline). The maximal matching *is*
-//! the dispatch plan, maintained at constant work per compatibility update
-//! rather than re-planned from scratch.
+//! city grid. Each tick is **one mixed batch**: the compatibility edges
+//! that expired (rides started, agents gone offline) are deleted and the
+//! new ones (riders requesting, drivers becoming available nearby) are
+//! inserted in a single `apply` call — one settlement round per tick. The
+//! maximal matching *is* the dispatch plan, maintained at constant work per
+//! compatibility update rather than re-planned from scratch.
 //!
 //! ```text
 //! cargo run --release --example ride_sharing
@@ -15,7 +16,7 @@
 
 use pbdmm::graph::EdgeId;
 use pbdmm::primitives::rng::SplitMix64;
-use pbdmm::DynamicMatching;
+use pbdmm::{Batch, DynamicMatching};
 
 /// Riders are vertices [0, N); drivers are vertices [N, 2N).
 const N: u32 = 5_000;
@@ -36,24 +37,27 @@ fn main() {
     for tick in 0..TICKS {
         // New compatibility edges: a rider and a nearby driver. Proximity is
         // simulated by sampling driver ids in a band around the rider's id.
-        let mut batch = Vec::with_capacity(NEW_EDGES_PER_TICK);
+        let mut fresh = Vec::with_capacity(NEW_EDGES_PER_TICK);
         for _ in 0..NEW_EDGES_PER_TICK {
             let rider = world.bounded(N as u64) as u32;
             let band = 64;
             let offset = world.bounded(band) as u32;
             let driver = N + (rider + offset) % N;
-            batch.push(vec![rider, driver]);
+            fresh.push(vec![rider, driver]);
         }
-        let ids = matching.insert_edges(&batch);
-        total_updates += ids.len() as u64;
-        live.push(ids);
+        // The cohort that has aged out expires in the same batch.
+        let expired = if live.len() >= EDGE_TTL_TICKS {
+            live.remove(0)
+        } else {
+            Vec::new()
+        };
 
-        // Expire the cohort that has aged out (compatibility gone).
-        if live.len() > EDGE_TTL_TICKS {
-            let expired = live.remove(0);
-            total_updates += expired.len() as u64;
-            matching.delete_edges(&expired);
-        }
+        let batch = Batch::with_capacity(expired.len() + fresh.len())
+            .deletes(expired)
+            .inserts(fresh);
+        total_updates += batch.len() as u64;
+        let out = matching.apply(batch).expect("tick batch is valid");
+        live.push(out.inserted);
 
         served += matching.matching_size();
         if tick % 10 == 9 {
@@ -62,7 +66,7 @@ fn main() {
                 tick + 1,
                 matching.num_edges(),
                 matching.matching_size(),
-                matching.last_batch().settle_iterations,
+                out.report.settle_iterations,
             );
         }
     }

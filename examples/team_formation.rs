@@ -4,9 +4,11 @@
 //! Each hyperedge is a candidate team: a set of 3-5 specialists who work
 //! well together. An agent can serve on only one active team (vertices are
 //! matched at most once). Candidate teams appear as projects are proposed
-//! and vanish as proposals expire; the maximal matching is the staffing
-//! plan. Rank r = 5, so updates cost O(r³) = O(125) amortized — still
-//! constant, independent of the number of agents or proposals.
+//! and vanish as proposals expire — each round is **one mixed batch**
+//! (expired proposals deleted + new proposals inserted via one `apply`).
+//! The maximal matching is the staffing plan. Rank r = 5, so updates cost
+//! O(r³) = O(125) amortized — still constant, independent of the number of
+//! agents or proposals.
 //!
 //! ```text
 //! cargo run --release --example team_formation
@@ -15,7 +17,7 @@
 use pbdmm::graph::EdgeId;
 use pbdmm::matching::verify::check_invariants;
 use pbdmm::primitives::rng::SplitMix64;
-use pbdmm::DynamicMatching;
+use pbdmm::{Batch, DynamicMatching};
 
 const AGENTS: u64 = 10_000;
 const ROUNDS: usize = 40;
@@ -31,7 +33,7 @@ fn main() {
     for round in 0..ROUNDS {
         // Propose teams: 3-5 distinct agents, biased toward "departments"
         // (nearby ids) with occasional cross-department picks.
-        let mut batch = Vec::with_capacity(PROPOSALS_PER_ROUND);
+        let mut proposals = Vec::with_capacity(PROPOSALS_PER_ROUND);
         for _ in 0..PROPOSALS_PER_ROUND {
             let size = 3 + world.bounded(3) as usize;
             let dept = world.bounded(AGENTS / 100) * 100;
@@ -46,15 +48,18 @@ fn main() {
                     team.push(member);
                 }
             }
-            batch.push(team);
+            proposals.push(team);
         }
-        let ids = matching.insert_edges(&batch);
-        cohorts.push(ids);
-
-        if cohorts.len() > PROPOSAL_TTL {
-            let expired = cohorts.remove(0);
-            matching.delete_edges(&expired);
-        }
+        // Expired proposals leave in the same batch the new ones arrive.
+        let expired = if cohorts.len() >= PROPOSAL_TTL {
+            cohorts.remove(0)
+        } else {
+            Vec::new()
+        };
+        let out = matching
+            .apply(Batch::new().deletes(expired).inserts(proposals))
+            .expect("round batch is valid");
+        cohorts.push(out.inserted);
 
         staffed_team_rounds += matching.matching_size();
         if round % 8 == 7 {

@@ -15,10 +15,11 @@ use std::process::ExitCode;
 
 use pbdmm::graph::workload::{insert_then_delete, DeletionOrder};
 use pbdmm::graph::{gen, io, Hypergraph};
+use pbdmm::matching::baseline::{NaiveDynamic, RecomputeMatching};
 use pbdmm::matching::driver::run_workload;
 use pbdmm::primitives::cost::CostMeter;
 use pbdmm::primitives::rng::SplitMix64;
-use pbdmm::DynamicMatching;
+use pbdmm::{DynamicMatching, DynamicSetCover};
 
 fn main() -> ExitCode {
     match run() {
@@ -34,7 +35,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   pbdmm match <graph-file> [--seed S]
-  pbdmm dynamic <graph-file> [--batch B] [--order uniform|fifo|lifo|clustered|degree] [--seed S]
+  pbdmm dynamic <graph-file> [--batch B] [--order uniform|fifo|lifo|clustered|degree]
+                [--contender dynamic|recompute|naive|setcover] [--seed S]
   pbdmm cover <graph-file> [--seed S]
   pbdmm gen <er|hyper|powerlaw|star|bipartite> [--n N] [--m M] [--rank R] [--seed S] -o <file>";
 
@@ -102,10 +104,20 @@ fn cmd_match(args: &Args) -> Result<(), String> {
     let start = std::time::Instant::now();
     let result = pbdmm::matching::parallel_greedy_match(&g.edges, &mut rng, &meter);
     let secs = start.elapsed().as_secs_f64();
-    println!("graph: n={} m={} m'={} rank={}", g.n, g.m(), g.total_cardinality(), g.rank());
+    println!(
+        "graph: n={} m={} m'={} rank={}",
+        g.n,
+        g.m(),
+        g.total_cardinality(),
+        g.rank()
+    );
     println!("matching size: {}", result.matches.len());
     println!("parallel rounds: {}", result.rounds);
-    println!("model work: {} ({:.2} per unit cardinality)", meter.work(), meter.work() as f64 / g.total_cardinality().max(1) as f64);
+    println!(
+        "model work: {} ({:.2} per unit cardinality)",
+        meter.work(),
+        meter.work() as f64 / g.total_cardinality().max(1) as f64
+    );
     println!("wall clock: {:.1} ms", secs * 1e3);
     if !g.is_maximal_matching(&result.matched_edges()) {
         return Err("internal error: produced matching not maximal".into());
@@ -129,19 +141,48 @@ fn cmd_dynamic(args: &Args) -> Result<(), String> {
     let batch: usize = args.flag("batch", 256)?;
     let seed: u64 = args.flag("seed", 42)?;
     let order = parse_order(&args.flag("order", "uniform".to_string())?)?;
+    let contender = args.flag("contender", "dynamic".to_string())?;
     let w = insert_then_delete(&g, batch, order, seed ^ 0xAD5E_11ED);
-    let mut dm = DynamicMatching::with_seed(seed);
-    let report = run_workload(&mut dm, &w);
-    let stats = dm.stats();
     println!("graph: n={} m={} rank={}", g.n, g.m(), g.rank());
-    println!("stream: {} updates in {} batches of {} ({:?} deletions), empty-to-empty", report.updates, report.batches, batch, order);
-    println!("throughput: {:.0} updates/s ({:.2} us/update)", report.updates_per_second(), report.seconds / report.updates.max(1) as f64 * 1e6);
-    println!("model work/update: {:.2}", report.work_per_update());
-    println!("mean payment phi: {:.3} (bound: 2)", stats.mean_payment());
+
+    // Every contender goes through the same generic BatchDynamic driver.
+    let report = match contender.as_str() {
+        "dynamic" => {
+            let mut dm = DynamicMatching::with_seed(seed);
+            let report = run_workload(&mut dm, &w);
+            let stats = dm.stats();
+            println!("mean payment phi: {:.3} (bound: 2)", stats.mean_payment());
+            println!(
+                "epochs: {} created / {} natural / {} stolen / {} bloated; settle rounds: {}",
+                stats.epochs_created,
+                stats.natural_epochs,
+                stats.stolen_epochs,
+                stats.bloated_epochs,
+                stats.settle_rounds
+            );
+            report
+        }
+        "recompute" => run_workload(&mut RecomputeMatching::with_seed(seed), &w),
+        "naive" => run_workload(&mut NaiveDynamic::new(), &w),
+        "setcover" => {
+            let mut dc = DynamicSetCover::with_seed(seed);
+            let report = run_workload(&mut dc, &w);
+            println!("final cover size: {} (elements drained)", dc.cover_size());
+            report
+        }
+        other => return Err(format!("unknown contender {other:?}")),
+    };
+    println!("contender: {contender}");
     println!(
-        "epochs: {} created / {} natural / {} stolen / {} bloated; settle rounds: {}",
-        stats.epochs_created, stats.natural_epochs, stats.stolen_epochs, stats.bloated_epochs, stats.settle_rounds
+        "stream: {} updates in {} batches of {} ({:?} deletions), empty-to-empty",
+        report.updates, report.batches, batch, order
     );
+    println!(
+        "throughput: {:.0} updates/s ({:.2} us/update)",
+        report.updates_per_second(),
+        report.seconds / report.updates.max(1) as f64 * 1e6
+    );
+    println!("model work/update: {:.2}", report.work_per_update());
     Ok(())
 }
 
@@ -151,13 +192,26 @@ fn cmd_cover(args: &Args) -> Result<(), String> {
     let (cover, lb) = pbdmm::setcover::static_cover(&g.edges, seed);
     pbdmm::setcover::validate_cover(&g.edges, &cover)
         .map_err(|e| format!("internal error: invalid cover: {e}"))?;
-    println!("instance: {} sets, {} elements, max frequency {}", g.n, g.m(), g.rank());
-    println!("cover size: {} (matching lower bound on OPT: {lb}, guarantee <= {}x)", cover.len(), g.rank());
+    println!(
+        "instance: {} sets, {} elements, max frequency {}",
+        g.n,
+        g.m(),
+        g.rank()
+    );
+    println!(
+        "cover size: {} (matching lower bound on OPT: {lb}, guarantee <= {}x)",
+        cover.len(),
+        g.rank()
+    );
     Ok(())
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
-    let family = args.positional.get(1).ok_or("missing graph family")?.as_str();
+    let family = args
+        .positional
+        .get(1)
+        .ok_or("missing graph family")?
+        .as_str();
     let n: usize = args.flag("n", 1000)?;
     let m: usize = args.flag("m", 4 * n)?;
     let rank: usize = args.flag("rank", 3)?;
@@ -172,6 +226,12 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown family {other:?}")),
     };
     io::write_hypergraph_file(&PathBuf::from(out), &g)?;
-    println!("wrote {} ({} vertices, {} edges, rank {})", out, g.n, g.m(), g.rank());
+    println!(
+        "wrote {} ({} vertices, {} edges, rank {})",
+        out,
+        g.n,
+        g.m(),
+        g.rank()
+    );
     Ok(())
 }

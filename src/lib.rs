@@ -9,6 +9,8 @@
 //! * [`matching`] ([`DynamicMatching`]) — the batch-dynamic maximal matching
 //!   structure: `O(1)` expected amortized work per update on graphs,
 //!   `O(r³)` on rank-`r` hypergraphs, `O(log³ m)` depth per batch whp;
+//! * [`matching::api`] ([`Batch`], [`Update`], [`BatchDynamic`]) — the
+//!   unified mixed-batch update surface every contender implements;
 //! * [`matching::greedy`] — work-efficient static maximal hypergraph
 //!   matching (`O(m')` work, `O(log² m)` depth whp);
 //! * [`setcover`] ([`DynamicSetCover`]) — static and batch-dynamic
@@ -17,14 +19,27 @@
 //! * [`primitives`] — the parallel toolbox (scan, semisort, dictionaries,
 //!   random permutations, work/depth metering).
 //!
+//! ## Quickstart
+//!
+//! The single entry point is [`DynamicMatching::apply`]: one mixed
+//! [`Batch`] of insertions and deletions, settled in one leveled round —
+//! the paper's native batch semantics.
+//!
 //! ```
-//! use pbdmm::DynamicMatching;
+//! use pbdmm::{Batch, DynamicMatching};
 //!
 //! let mut m = DynamicMatching::with_seed(7);
-//! let ids = m.insert_edges(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+//! let out = m
+//!     .apply(Batch::new().inserts([vec![0, 1], vec![1, 2], vec![2, 3]]))
+//!     .unwrap();
 //! assert!(m.matching_size() >= 1); // maximal after every batch
-//! m.delete_edges(&ids);
-//! assert_eq!(m.num_edges(), 0);
+//!
+//! // Mixed batch: one deletion + one insertion, one settlement round.
+//! let out = m
+//!     .apply(Batch::new().delete(out.inserted[0]).insert(vec![0, 3]))
+//!     .unwrap();
+//! assert_eq!(out.deleted_count(), 1);
+//! assert_eq!(m.num_edges(), 3);
 //! ```
 
 #![warn(missing_docs)]
@@ -34,6 +49,9 @@ pub use pbdmm_matching as matching;
 pub use pbdmm_primitives as primitives;
 pub use pbdmm_setcover as setcover;
 
-pub use pbdmm_graph::{DeletionOrder, EdgeId, Hypergraph, VertexId, Workload};
-pub use pbdmm_matching::{DynamicMatching, LevelingConfig, MatchResult};
+pub use pbdmm_graph::{Batch, DeletionOrder, EdgeId, Hypergraph, Update, VertexId, Workload};
+pub use pbdmm_matching::{
+    BatchDynamic, BatchOutcome, DynamicMatching, DynamicMatchingBuilder, LevelingConfig,
+    MatchResult, MeterMode, UpdateError,
+};
 pub use pbdmm_setcover::{DynamicSetCover, ElementId, SetId};

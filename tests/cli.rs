@@ -21,10 +21,22 @@ fn tmpfile(name: &str) -> PathBuf {
 fn gen_then_match_pipeline() {
     let path = tmpfile("er.hgr");
     let out = pbdmm(&[
-        "gen", "er", "--n", "200", "--m", "800", "--seed", "3", "-o",
+        "gen",
+        "er",
+        "--n",
+        "200",
+        "--m",
+        "800",
+        "--seed",
+        "3",
+        "-o",
         path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = pbdmm(&["match", path.to_str().unwrap()]);
     assert!(out.status.success());
@@ -36,9 +48,27 @@ fn gen_then_match_pipeline() {
 #[test]
 fn dynamic_replay_reports_stats() {
     let path = tmpfile("dyn.hgr");
-    pbdmm(&["gen", "er", "--n", "100", "--m", "400", "--seed", "5", "-o", path.to_str().unwrap()]);
+    pbdmm(&[
+        "gen",
+        "er",
+        "--n",
+        "100",
+        "--m",
+        "400",
+        "--seed",
+        "5",
+        "-o",
+        path.to_str().unwrap(),
+    ]);
     for order in ["uniform", "fifo", "lifo", "clustered", "degree"] {
-        let out = pbdmm(&["dynamic", path.to_str().unwrap(), "--batch", "64", "--order", order]);
+        let out = pbdmm(&[
+            "dynamic",
+            path.to_str().unwrap(),
+            "--batch",
+            "64",
+            "--order",
+            order,
+        ]);
         assert!(out.status.success(), "order {order}");
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("mean payment phi"), "{stdout}");
@@ -50,7 +80,17 @@ fn dynamic_replay_reports_stats() {
 fn cover_on_hypergraph() {
     let path = tmpfile("cover.hgr");
     pbdmm(&[
-        "gen", "hyper", "--n", "50", "--m", "200", "--rank", "3", "--seed", "7", "-o",
+        "gen",
+        "hyper",
+        "--n",
+        "50",
+        "--m",
+        "200",
+        "--rank",
+        "3",
+        "--seed",
+        "7",
+        "-o",
         path.to_str().unwrap(),
     ]);
     let out = pbdmm(&["cover", path.to_str().unwrap()]);

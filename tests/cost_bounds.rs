@@ -4,8 +4,8 @@
 //! tests are robust to seed choice while still catching asymptotic
 //! regressions (e.g. an accidental O(deg) path would blow all of them up).
 
-use pbdmm::graph::workload::{churn, insert_then_delete, DeletionOrder};
 use pbdmm::graph::gen;
+use pbdmm::graph::workload::{churn, insert_then_delete, DeletionOrder};
 use pbdmm::matching::driver::run_workload;
 use pbdmm::matching::parallel_greedy_match;
 use pbdmm::primitives::cost::CostMeter;
@@ -49,7 +49,10 @@ fn work_per_update_bounded_by_rank_cubed() {
         ratio < 64.0,
         "work grew faster than r^3: {per_update:?} (ratio {ratio})"
     );
-    assert!(per_update[2] > per_update[0], "rank had no cost effect: {per_update:?}");
+    assert!(
+        per_update[2] > per_update[0],
+        "rank had no cost effect: {per_update:?}"
+    );
 }
 
 /// E4: greedy parallel rounds are O(log m).
@@ -99,7 +102,10 @@ fn settle_rounds_respect_sample_ledger() {
     let s = dm.stats();
     let min_ratio = s.min_round_sample_ratio();
     if min_ratio.is_finite() {
-        assert!(min_ratio >= 2.0, "Lemma 5.6 violated: min S_a/S_d = {min_ratio}");
+        assert!(
+            min_ratio >= 2.0,
+            "Lemma 5.6 violated: min S_a/S_d = {min_ratio}"
+        );
     }
 }
 
@@ -112,10 +118,7 @@ fn natural_sample_mass_dominates() {
     let mut dm = DynamicMatching::with_seed(6);
     run_workload(&mut dm, &w);
     let ratio = dm.stats().natural_to_induced_ratio();
-    assert!(
-        ratio > 1.0 / 3.0,
-        "Lemma 5.7 violated: S_n/S_i = {ratio}"
-    );
+    assert!(ratio > 1.0 / 3.0, "Lemma 5.7 violated: S_n/S_i = {ratio}");
 }
 
 /// Static matcher's metered work is linear in total cardinality.

@@ -43,13 +43,18 @@ fn every_workload_on_every_graph_preserves_invariants() {
             ("churn", workload::churn(&g, 40, 9)),
         ];
         for (wname, w) in workloads {
-            w.validate().unwrap_or_else(|e| panic!("{name}/{wname}: bad workload: {e}"));
+            w.validate()
+                .unwrap_or_else(|e| panic!("{name}/{wname}: bad workload: {e}"));
             let mut dm = DynamicMatching::with_seed(11);
             run_workload_with(&mut dm, &w, |m| {
                 check_invariants(m).unwrap_or_else(|e| panic!("{name}/{wname}: {e}"));
             });
             assert_eq!(dm.num_edges(), 0, "{name}/{wname}: not drained");
-            assert_eq!(dm.matching_size(), 0, "{name}/{wname}: matches survive empty graph");
+            assert_eq!(
+                dm.matching_size(),
+                0,
+                "{name}/{wname}: matches survive empty graph"
+            );
         }
     }
 }
@@ -83,7 +88,12 @@ fn matching_size_tracks_recompute_within_factor_two() {
             continue;
         }
         // Static maximal matching on the live graph.
-        let n = live.iter().flatten().max().map(|&v| v as usize + 1).unwrap_or(0);
+        let n = live
+            .iter()
+            .flatten()
+            .max()
+            .map(|&v| v as usize + 1)
+            .unwrap_or(0);
         let hg = Hypergraph::new(n, {
             let mut es = live.clone();
             es.iter_mut().for_each(|e| e.sort_unstable());

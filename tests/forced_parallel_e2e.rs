@@ -1,0 +1,44 @@
+//! End-to-end run with the worker cap forced above the core count, so the
+//! whole algorithm exercises its genuinely-parallel primitive paths even on
+//! single-core CI boxes. Own test binary: the global cap stays in this
+//! process.
+
+use pbdmm::graph::{gen, workload, DeletionOrder};
+use pbdmm::matching::driver::run_workload_with;
+use pbdmm::matching::verify::check_invariants;
+use pbdmm::primitives::par;
+use pbdmm::{Batch, DynamicMatching};
+
+#[test]
+fn dynamic_matching_sound_under_forced_parallelism() {
+    par::set_num_threads(4);
+    assert!(par::should_par(1 << 20));
+
+    // Big enough single batches that the greedy matcher's primitives cross
+    // the parallel grain.
+    let g = gen::erdos_renyi(4000, 16_000, 0xF0);
+    let mut dm = DynamicMatching::with_seed(1);
+    let out = dm
+        .apply(Batch::new().inserts(g.edges.iter().cloned()))
+        .unwrap();
+    check_invariants(&dm).unwrap();
+    let matched: Vec<_> = out
+        .inserted
+        .iter()
+        .copied()
+        .filter(|&e| dm.is_matched(e))
+        .collect();
+    // One mixed mega-batch: all matched edges out, a fresh wave in.
+    let fresh: Vec<Vec<u32>> = (0..5000u32)
+        .map(|i| vec![9000 + i, 9000 + (i + 1) % 5000])
+        .collect();
+    dm.apply(Batch::new().deletes(matched).inserts(fresh))
+        .unwrap();
+    check_invariants(&dm).unwrap();
+
+    // And a full workload replay, checking invariants along the way.
+    let w = workload::insert_then_delete(&g, 2048, DeletionOrder::VertexClustered, 0xF1);
+    let mut dm = DynamicMatching::with_seed(2);
+    run_workload_with(&mut dm, &w, |m| check_invariants(m).unwrap());
+    assert_eq!(dm.num_edges(), 0);
+}

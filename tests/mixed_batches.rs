@@ -1,0 +1,191 @@
+//! Property tests for the unified mixed-batch `apply` (the tentpole API):
+//! an interleaved insert+delete batch must preserve maximality and the full
+//! leveled-structure invariants (via `verify::check_invariants`), and must
+//! be *equivalent* to the split `insert_edges`/`delete_edges` sequence —
+//! same live edge set, same assigned ids, and a maximal matching over the
+//! same graph (any two maximal matchings differ by at most 2× in size).
+//! Hypergraph (rank > 2) batches included.
+
+use pbdmm::graph::gen;
+use pbdmm::matching::verify::check_invariants;
+use pbdmm::primitives::rng::SplitMix64;
+use pbdmm::{Batch, BatchDynamic, DynamicMatching, EdgeId, Update};
+
+const CASES: u64 = 40;
+
+/// A random universe: rank-2 for even seeds, rank 3-5 hyperedges for odd.
+fn universe(rng: &mut SplitMix64, hyper: bool) -> Vec<Vec<u32>> {
+    let m = 10 + rng.bounded(60) as usize;
+    (0..m)
+        .map(|_| {
+            let card = if hyper {
+                3 + rng.bounded(3) as usize
+            } else {
+                2
+            };
+            let mut vs = Vec::with_capacity(card);
+            while vs.len() < card {
+                let v = rng.bounded(30) as u32;
+                if !vs.contains(&v) {
+                    vs.push(v);
+                }
+            }
+            vs
+        })
+        .collect()
+}
+
+/// Drive `steps` random interleaved batches through `apply` on one
+/// structure and through split `insert_edges`/`delete_edges` calls on
+/// another (same seed), checking equivalence after every step.
+fn check_mixed_vs_split(case_seed: u64, hyper: bool) {
+    let mut rng = SplitMix64::new(case_seed);
+    let edges = universe(&mut rng, hyper);
+    let algo_seed = rng.next_u64();
+    let mut mixed = DynamicMatching::with_seed(algo_seed);
+    let mut split = DynamicMatching::with_seed(algo_seed);
+
+    let mut next = 0usize;
+    let mut live: Vec<EdgeId> = Vec::new();
+    for _ in 0..8 {
+        // Pick deletions from earlier steps' edges and fresh insertions,
+        // then *interleave* them into one batch in random order.
+        let ndel = rng.bounded(live.len() as u64 + 1) as usize;
+        let mut dels: Vec<EdgeId> = Vec::with_capacity(ndel);
+        for _ in 0..ndel {
+            let j = rng.bounded(live.len() as u64) as usize;
+            dels.push(live.swap_remove(j));
+        }
+        let nins = (rng.bounded(12) as usize).min(edges.len() - next);
+        let ins: Vec<Vec<u32>> = edges[next..next + nins].to_vec();
+        next += nins;
+
+        let mut updates: Vec<Update> = dels
+            .iter()
+            .map(|&d| Update::Delete(d))
+            .chain(ins.iter().cloned().map(Update::Insert))
+            .collect();
+        // Fisher–Yates interleave: order within a batch must not matter.
+        for i in (1..updates.len()).rev() {
+            let j = rng.bounded(i as u64 + 1) as usize;
+            updates.swap(i, j);
+        }
+        // Ids are assigned in batch order, so the split sequence must
+        // insert in the interleaved batch's insert order to be equivalent.
+        let ins_in_batch_order: Vec<Vec<u32>> = updates
+            .iter()
+            .filter_map(|u| match u {
+                Update::Insert(vs) => Some(vs.clone()),
+                Update::Delete(_) => None,
+            })
+            .collect();
+
+        // Mixed: one apply call.
+        let out = mixed.apply(Batch::from(updates)).unwrap();
+        // Split: the legacy equivalent sequence (deletes first — the
+        // documented batch semantics — then inserts).
+        let split_deleted = split.delete_edges(&dels);
+        let split_inserted = split.insert_edges(&ins_in_batch_order);
+
+        // Same ids assigned, same ids deleted (order within outcome.deleted
+        // follows batch order, so compare as sets).
+        assert_eq!(out.inserted, split_inserted);
+        let mut a: Vec<EdgeId> = out.deleted.clone();
+        let mut b: Vec<EdgeId> = split_deleted.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        live.extend(out.inserted.iter().copied());
+
+        // Both structures: full Definition 4.1 invariants + maximality.
+        check_invariants(&mixed).unwrap_or_else(|e| panic!("mixed: {e}"));
+        check_invariants(&split).unwrap_or_else(|e| panic!("split: {e}"));
+
+        // Same live edge set…
+        assert_eq!(mixed.num_edges(), split.num_edges());
+        for &id in &live {
+            assert_eq!(
+                mixed.edge_vertices(id),
+                split.edge_vertices(id),
+                "live edge {id} differs between mixed and split"
+            );
+        }
+        // …and both matchings are maximal over it, so sizes are within 2×.
+        let (a, b) = (mixed.matching_size(), split.matching_size());
+        assert!(
+            2 * a >= b && 2 * b >= a,
+            "matching sizes implausibly far apart: mixed {a} vs split {b}"
+        );
+    }
+
+    // Drain both to empty through the mixed path.
+    let out = mixed
+        .apply(Batch::new().deletes(live.iter().copied()))
+        .unwrap();
+    assert_eq!(out.deleted_count(), live.len());
+    split.delete_edges(&live);
+    assert_eq!(mixed.num_edges(), 0);
+    assert_eq!(split.num_edges(), 0);
+    check_invariants(&mixed).unwrap();
+    check_invariants(&split).unwrap();
+}
+
+#[test]
+fn interleaved_batches_equal_split_sequence_on_graphs() {
+    for case in 0..CASES {
+        check_mixed_vs_split(0xC0DE + case, false);
+    }
+}
+
+#[test]
+fn interleaved_batches_equal_split_sequence_on_hypergraphs() {
+    for case in 0..CASES {
+        check_mixed_vs_split(0xBEEF + case, true);
+    }
+}
+
+#[test]
+fn mixed_batch_on_generated_workloads_stays_maximal() {
+    // Replay churn (whose steps mix deletions and insertions) through the
+    // trait object-style generic path for both graph and hypergraph inputs.
+    for (seed, g) in [
+        (1u64, gen::erdos_renyi(80, 320, 5)),
+        (2, gen::random_hypergraph(60, 240, 4, 7)),
+    ] {
+        let w = pbdmm::graph::workload::churn(&g, 32, seed);
+        let mut dm = DynamicMatching::with_seed(seed);
+        let report = pbdmm::matching::driver::run_workload_with(&mut dm, &w, |m| {
+            check_invariants(m).unwrap();
+        });
+        assert_eq!(report.updates as usize, 2 * g.m());
+        assert_eq!(dm.num_edges(), 0);
+    }
+}
+
+#[test]
+fn single_mixed_apply_with_heavy_deletion_pressure() {
+    // One giant interleaved batch: delete every matched edge of a dense
+    // graph while inserting a fresh wave — settlement and insertion share
+    // one round; the result must be maximal.
+    let g = gen::preferential_attachment(300, 6, 17);
+    let mut dm = DynamicMatching::with_seed(19);
+    let ids = dm.insert_edges(&g.edges);
+    let matched: Vec<EdgeId> = ids.iter().copied().filter(|&e| dm.is_matched(e)).collect();
+    let fresh: Vec<Vec<u32>> = (0..200u32)
+        .map(|i| vec![400 + i, 400 + (i + 1) % 200])
+        .collect();
+    let out = dm
+        .apply(
+            Batch::new()
+                .deletes(matched.iter().copied())
+                .inserts(fresh.iter().cloned()),
+        )
+        .unwrap();
+    assert_eq!(out.deleted_count(), matched.len());
+    assert_eq!(out.inserted.len(), fresh.len());
+    check_invariants(&dm).unwrap();
+    // The structure accounted the whole thing as ONE batch.
+    assert_eq!(dm.stats().batches, 2);
+    // Trait-generic access agrees with inherent queries.
+    assert_eq!(BatchDynamic::num_edges(&dm), dm.num_edges());
+}

@@ -1,10 +1,8 @@
-//! Property-based tests (proptest) over the core invariants:
-//! arbitrary small hypergraphs and update schedules must never violate the
-//! leveled-structure invariants, maximality, sample-space partitioning, or
-//! greedy parallel/sequential agreement.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//! Randomized property tests over the core invariants: arbitrary small
+//! hypergraphs and update schedules must never violate the leveled-structure
+//! invariants, maximality, sample-space partitioning, or greedy
+//! parallel/sequential agreement. Cases are generated from fixed seeds
+//! (deterministic, reproducible) — a std-only stand-in for proptest.
 
 use pbdmm::graph::EdgeId;
 use pbdmm::matching::greedy::{
@@ -15,143 +13,181 @@ use pbdmm::matching::verify::check_invariants;
 use pbdmm::primitives::cost::CostMeter;
 use pbdmm::primitives::permutation::random_priorities;
 use pbdmm::primitives::rng::SplitMix64;
-use pbdmm::DynamicMatching;
+use pbdmm::{Batch, DynamicMatching};
 
-/// Strategy: a small hypergraph as a list of edges, each 1..=4 vertices in
-/// [0, 24). Vertices are deduplicated by the library.
-fn arb_edges(max_edges: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    vec(vec(0u32..24, 1..=4), 1..=max_edges)
+const CASES: u64 = 64;
+
+/// A small random hypergraph: 1..=max_edges edges, each 1..=4 vertices in
+/// [0, 24). Duplicate vertices within an edge are allowed (the library
+/// normalizes).
+fn arb_edges(rng: &mut SplitMix64, max_edges: usize) -> Vec<Vec<u32>> {
+    let m = 1 + rng.bounded(max_edges as u64) as usize;
+    (0..m)
+        .map(|_| {
+            let card = 1 + rng.bounded(4) as usize;
+            (0..card).map(|_| rng.bounded(24) as u32).collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn greedy_parallel_matches_sequential_matching(edges in arb_edges(40), seed in 0u64..1000) {
-        let edges: Vec<Vec<u32>> = edges
+#[test]
+fn greedy_parallel_matches_sequential_matching() {
+    let mut rng = SplitMix64::new(0xB0);
+    for _ in 0..CASES {
+        let edges: Vec<Vec<u32>> = arb_edges(&mut rng, 40)
             .into_iter()
             .map(|e| pbdmm::graph::normalize_vertices(e).unwrap())
             .collect();
-        let mut rng = SplitMix64::new(seed);
-        let pri = random_priorities(edges.len(), &mut rng);
+        let mut prng = SplitMix64::new(rng.next_u64());
+        let pri = random_priorities(edges.len(), &mut prng);
         let seq = sequential_greedy_match_with_priorities(&edges, &pri);
         let par = parallel_greedy_match_with_priorities(&edges, &pri, &CostMeter::new());
         let mut a = seq.matched_edges();
         let mut b = par.matched_edges();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
-        prop_assert!(validate_match_result(&edges, &seq).is_ok());
-        prop_assert!(validate_match_result(&edges, &par).is_ok());
+        assert_eq!(a, b);
+        assert!(validate_match_result(&edges, &seq).is_ok());
+        assert!(validate_match_result(&edges, &par).is_ok());
     }
+}
 
-    #[test]
-    fn greedy_sample_spaces_partition(edges in arb_edges(40), seed in 0u64..1000) {
-        let edges: Vec<Vec<u32>> = edges
+#[test]
+fn greedy_sample_spaces_partition() {
+    let mut rng = SplitMix64::new(0xB1);
+    for _ in 0..CASES {
+        let edges: Vec<Vec<u32>> = arb_edges(&mut rng, 40)
             .into_iter()
             .map(|e| pbdmm::graph::normalize_vertices(e).unwrap())
             .collect();
-        let mut rng = SplitMix64::new(seed);
-        let pri = random_priorities(edges.len(), &mut rng);
+        let mut prng = SplitMix64::new(rng.next_u64());
+        let pri = random_priorities(edges.len(), &mut prng);
         let par = parallel_greedy_match_with_priorities(&edges, &pri, &CostMeter::new());
         let total: usize = par.matches.iter().map(|(_, s)| s.len()).sum();
-        prop_assert_eq!(total, edges.len());
+        assert_eq!(total, edges.len());
         // The matched edge has the highest priority within its sample space.
         for (m, s) in &par.matches {
             let best = s.iter().min_by_key(|&&e| pri[e]).unwrap();
-            prop_assert_eq!(best, m);
+            assert_eq!(best, m);
         }
     }
+}
 
-    #[test]
-    fn dynamic_invariants_hold_for_arbitrary_schedules(
-        edges in arb_edges(30),
-        ops in vec(any::<(bool, u8)>(), 1..60),
-        seed in 0u64..1000,
-    ) {
-        // Interpret ops as an oblivious schedule over the edge universe:
-        // (true, k) inserts the next k+1 unseen edges; (false, k) deletes
-        // k+1 live edges round-robin.
+#[test]
+fn dynamic_invariants_hold_for_arbitrary_schedules() {
+    let mut rng = SplitMix64::new(0xB2);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng, 30);
+        let num_ops = 1 + rng.bounded(60) as usize;
+        let seed = rng.bounded(1000);
+        // An oblivious schedule over the edge universe: on "insert" take the
+        // next k unseen edges; on "delete" remove k live edges round-robin.
+        // Mixed steps (both kinds in one apply) are generated too.
         let mut dm = DynamicMatching::with_seed(seed);
         let mut next = 0usize;
         let mut live: Vec<EdgeId> = Vec::new();
-        for (is_insert, k) in ops {
-            let k = k as usize % 8 + 1;
-            if is_insert && next < edges.len() {
-                let take = k.min(edges.len() - next);
-                let batch: Vec<Vec<u32>> = edges[next..next + take].to_vec();
-                let ids = dm.insert_edges(&batch);
-                live.extend(ids);
-                next += take;
-            } else if !live.is_empty() {
+        for _ in 0..num_ops {
+            let k = rng.bounded(8) as usize + 1;
+            let mut batch = Batch::new();
+            if rng.bounded(2) == 0 && !live.is_empty() {
                 let take = k.min(live.len());
-                let dels: Vec<EdgeId> = live.drain(..take).collect();
-                dm.delete_edges(&dels);
+                batch = batch.deletes(live.drain(..take));
             }
-            prop_assert!(check_invariants(&dm).is_ok(), "{:?}", check_invariants(&dm));
+            if rng.bounded(2) == 0 && next < edges.len() {
+                let take = k.min(edges.len() - next);
+                batch = batch.inserts(edges[next..next + take].iter().cloned());
+                next += take;
+            }
+            let out = dm.apply(batch).unwrap();
+            live.extend(out.inserted);
+            assert!(check_invariants(&dm).is_ok(), "{:?}", check_invariants(&dm));
         }
         // Drain and confirm empty.
         let dels: Vec<EdgeId> = std::mem::take(&mut live);
         dm.delete_edges(&dels);
-        prop_assert!(check_invariants(&dm).is_ok());
-        prop_assert_eq!(dm.num_edges(), 0);
+        assert!(check_invariants(&dm).is_ok());
+        assert_eq!(dm.num_edges(), 0);
     }
+}
 
-    #[test]
-    fn matched_queries_agree_with_matching_set(edges in arb_edges(25), seed in 0u64..100) {
+#[test]
+fn matched_queries_agree_with_matching_set() {
+    let mut rng = SplitMix64::new(0xB3);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng, 25);
+        let seed = rng.bounded(100);
         let mut dm = DynamicMatching::with_seed(seed);
         let ids = dm.insert_edges(&edges);
         let matching: std::collections::HashSet<EdgeId> = dm.matching().into_iter().collect();
-        prop_assert_eq!(matching.len(), dm.matching_size());
+        assert_eq!(matching.len(), dm.matching_size());
         for &id in &ids {
-            prop_assert_eq!(dm.is_matched(id), matching.contains(&id));
+            assert_eq!(dm.is_matched(id), matching.contains(&id));
         }
         // Every vertex query points at a real matched edge that covers it.
         for e in &matching {
             for &v in dm.edge_vertices(*e).unwrap() {
-                prop_assert_eq!(dm.matched_edge_of(v), Some(*e));
+                assert_eq!(dm.matched_edge_of(v), Some(*e));
             }
         }
     }
+}
 
-    #[test]
-    fn workload_generators_always_validate(
-        n in 4usize..50,
-        m in 1usize..100,
-        batch in 1usize..32,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn workload_generators_always_validate() {
+    let mut rng = SplitMix64::new(0xB4);
+    for _ in 0..CASES {
+        let n = 4 + rng.bounded(46) as usize;
+        let m = 1 + rng.bounded(99) as usize;
+        let batch = 1 + rng.bounded(31) as usize;
+        let seed = rng.bounded(500);
         let g = pbdmm::graph::gen::erdos_renyi(n, m, seed);
         for w in [
-            pbdmm::graph::workload::insert_then_delete(&g, batch, pbdmm::DeletionOrder::Uniform, seed),
+            pbdmm::graph::workload::insert_then_delete(
+                &g,
+                batch,
+                pbdmm::DeletionOrder::Uniform,
+                seed,
+            ),
             pbdmm::graph::workload::sliding_window(&g, batch, 3, pbdmm::DeletionOrder::Fifo, seed),
             pbdmm::graph::workload::churn(&g, batch, seed),
         ] {
-            prop_assert!(w.validate().is_ok());
-            prop_assert!(w.is_empty_to_empty());
+            assert!(w.validate().is_ok(), "{:?}", w.validate());
+            assert!(w.is_empty_to_empty());
         }
     }
+}
 
-    #[test]
-    fn scan_filter_agree_with_std(xs in vec(0u64..1000, 0..2000)) {
+#[test]
+fn scan_filter_agree_with_std() {
+    let mut rng = SplitMix64::new(0xB5);
+    for _ in 0..CASES {
+        let n = rng.bounded(4000) as usize;
+        let xs: Vec<u64> = (0..n).map(|_| rng.bounded(1000)).collect();
         let (scanned, total) = pbdmm::primitives::exclusive_scan(&xs);
         let mut acc = 0u64;
         for (i, &x) in xs.iter().enumerate() {
-            prop_assert_eq!(scanned[i], acc);
+            assert_eq!(scanned[i], acc);
             acc += x;
         }
-        prop_assert_eq!(total, acc);
+        assert_eq!(total, acc);
         let kept = pbdmm::primitives::filter(&xs, |&x| x % 2 == 0);
         let want: Vec<u64> = xs.iter().copied().filter(|x| x % 2 == 0).collect();
-        prop_assert_eq!(kept, want);
+        assert_eq!(kept, want);
     }
+}
 
-    #[test]
-    fn group_by_loses_nothing(pairs in vec((0u16..64, 0u32..10_000), 0..3000)) {
+#[test]
+fn group_by_loses_nothing() {
+    let mut rng = SplitMix64::new(0xB6);
+    for _ in 0..CASES {
+        let n = rng.bounded(6000) as usize;
+        let pairs: Vec<(u16, u32)> = (0..n)
+            .map(|_| (rng.bounded(64) as u16, rng.bounded(10_000) as u32))
+            .collect();
         let groups = pbdmm::primitives::group_by(pairs.clone());
         let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
-        prop_assert_eq!(total, pairs.len());
+        assert_eq!(total, pairs.len());
         let keys: std::collections::HashSet<u16> = pairs.iter().map(|p| p.0).collect();
-        prop_assert_eq!(groups.len(), keys.len());
+        assert_eq!(groups.len(), keys.len());
     }
 }

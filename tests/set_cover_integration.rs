@@ -64,7 +64,11 @@ fn greedy_baseline_vs_matching_cover_sizes() {
     let (mc, lb) = static_cover(&inst.edges, 4);
     let gc = greedy_cover(&inst.edges);
     validate_cover(&inst.edges, &gc).unwrap();
-    assert!(mc.len() <= 4 * lb, "r-approximation violated: {} > 4*{lb}", mc.len());
+    assert!(
+        mc.len() <= 4 * lb,
+        "r-approximation violated: {} > 4*{lb}",
+        mc.len()
+    );
     assert!(!gc.is_empty() && gc.len() <= 60);
 }
 

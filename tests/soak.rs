@@ -2,8 +2,8 @@
 //! `cargo test --release --test soak -- --ignored` for extended validation
 //! beyond the regular suite's scales.
 
-use pbdmm::graph::workload::{churn, insert_then_delete, DeletionOrder};
 use pbdmm::graph::gen;
+use pbdmm::graph::workload::{churn, insert_then_delete, DeletionOrder};
 use pbdmm::matching::driver::{run_workload, run_workload_with};
 use pbdmm::matching::verify::check_invariants;
 use pbdmm::DynamicMatching;
@@ -18,7 +18,7 @@ fn quarter_million_update_churn_with_invariants() {
     run_workload_with(&mut dm, &w, |m| {
         batches += 1;
         // Full invariant checks are O(state); sample every 16th batch.
-        if batches % 16 == 0 {
+        if batches.is_multiple_of(16) {
             check_invariants(m).unwrap();
         }
     });
