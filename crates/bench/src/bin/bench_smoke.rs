@@ -1,0 +1,320 @@
+//! `bench_smoke` — the CI-gated quick benchmark.
+//!
+//! Runs a fixed-seed, fixed-workload subset of the benchmark suite in a
+//! couple of minutes, writes the results as `BENCH_smoke.json`, and (in
+//! `--baseline` mode) fails with a nonzero exit if any metric regressed more
+//! than the tolerance against a checked-in baseline. All metrics are
+//! throughputs (higher is better); the workloads and seeds are pinned so runs
+//! are comparable across commits on the same machine class.
+//!
+//! ```text
+//! bench_smoke --out BENCH_smoke.json                      # measure + write
+//! bench_smoke --out BENCH_smoke.json \
+//!             --baseline ci/BENCH_smoke_baseline.json \
+//!             --tolerance 0.25                            # measure + gate
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use pbdmm_bench::json::{self, Value};
+use pbdmm_bench::{fmt_f, Table};
+use pbdmm_graph::gen;
+use pbdmm_graph::workload::{churn, insert_then_delete, DeletionOrder};
+use pbdmm_matching::driver::run_workload;
+use pbdmm_matching::DynamicMatching;
+use pbdmm_primitives::par;
+use pbdmm_primitives::rng::SplitMix64;
+
+/// Schema tag so the checker can refuse files from a different layout.
+const SCHEMA: &str = "pbdmm-bench-smoke-v1";
+
+struct Args {
+    out: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
+    samples: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: None,
+        baseline: None,
+        tolerance: 0.25,
+        samples: std::env::var("PBDMM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("--{name} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = Some(val("out")?),
+            "--baseline" => args.baseline = Some(val("baseline")?),
+            "--tolerance" => {
+                args.tolerance = val("tolerance")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--samples" => args.samples = val("samples")?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Best-of-`samples` throughput for `f`, which does `units` units of work.
+fn throughput(samples: usize, units: u64, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (first run pays pool spin-up and page faults)
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    units as f64 / best
+}
+
+/// Name of the machine-speed calibration metric: a fixed scalar hashing
+/// loop. The regression checker divides every metric by it on both sides,
+/// so the gate compares *scheduler/algorithm* changes, not runner hardware.
+const CALIBRATION: &str = "calibration_scalar_hashes_per_s";
+
+/// The fixed workload battery. Every metric name carries its thread count so
+/// serial and parallel scheduler paths are gated independently.
+fn run_battery(samples: usize) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
+
+    // Calibration first: pure sequential, allocation-free, fixed work.
+    let n_cal = 1u64 << 22;
+    metrics.insert(
+        CALIBRATION.to_string(),
+        throughput(samples, n_cal, || {
+            let mut acc = 0u64;
+            for i in 0..n_cal {
+                acc = acc.wrapping_add(pbdmm_primitives::hash::mix64(i));
+            }
+            std::hint::black_box(acc);
+        }),
+    );
+
+    // Mixed-batch dynamic updates: the acceptance-criteria workload. An
+    // empty-to-empty churn stream of mixed batches on a mid-size sparse
+    // graph, plus an insert-then-delete stream for the settle-heavy path.
+    let g = gen::erdos_renyi(1 << 12, 1 << 14, 9);
+    let w_churn = churn(&g, 384, 11);
+    let w_itd = insert_then_delete(&g, 512, DeletionOrder::VertexClustered, 13);
+    for threads in [1usize, 4] {
+        par::set_num_threads(threads);
+        metrics.insert(
+            format!("dynamic_churn_updates_per_s_t{threads}"),
+            throughput(samples, w_churn.total_updates() as u64, || {
+                let mut dm = DynamicMatching::with_seed(1);
+                run_workload(&mut dm, &w_churn);
+            }),
+        );
+        metrics.insert(
+            format!("dynamic_insert_delete_updates_per_s_t{threads}"),
+            throughput(samples, w_itd.total_updates() as u64, || {
+                let mut dm = DynamicMatching::with_seed(2);
+                run_workload(&mut dm, &w_itd);
+            }),
+        );
+    }
+
+    // Dispatch-frequency metrics: many borderline-size parallel calls, the
+    // shape level settlement actually produces (a few-thousand-element
+    // semisort/scan per round). Scheduler overhead dominates here: this is
+    // where spawn-per-call vs pooled dispatch shows directly.
+    par::set_num_threads(4);
+    let small: Vec<u64> = (0..16_384u64).map(|i| (i * 31) % 97).collect();
+    metrics.insert(
+        "repeated_scan_16k_elems_per_s_t4".into(),
+        throughput(samples, 512 * small.len() as u64, || {
+            for _ in 0..512 {
+                std::hint::black_box(pbdmm_primitives::exclusive_scan(&small));
+            }
+        }),
+    );
+    let mut rng = SplitMix64::new(5);
+    let small_pairs: Vec<(u32, u32)> = (0..8192)
+        .map(|_| (rng.bounded(512) as u32, rng.next_u64() as u32))
+        .collect();
+    metrics.insert(
+        "repeated_semisort_8k_pairs_per_s_t4".into(),
+        throughput(samples, 256 * small_pairs.len() as u64, || {
+            for _ in 0..256 {
+                std::hint::black_box(pbdmm_primitives::group_by(small_pairs.clone()));
+            }
+        }),
+    );
+
+    // Primitive hot paths at full size: throughput parity check.
+    let xs: Vec<u64> = (0..1u64 << 20).map(|i| (i * 31) % 97).collect();
+    metrics.insert(
+        // `info_` metrics are recorded but NOT gated: single-pass bandwidth
+        // over 1M elements is dominated by host memory/CPU-steal noise
+        // (observed >2× swings between identical runs on virtualized CI),
+        // which no per-run calibration can normalize away.
+        "info_scan_1m_elems_per_s_t4".into(),
+        throughput(samples, xs.len() as u64, || {
+            std::hint::black_box(pbdmm_primitives::exclusive_scan(&xs));
+        }),
+    );
+    let mut rng = SplitMix64::new(7);
+    let pairs: Vec<(u32, u32)> = (0..1 << 18)
+        .map(|_| (rng.bounded(4096) as u32, rng.next_u64() as u32))
+        .collect();
+    metrics.insert(
+        "semisort_pairs_per_s_t4".into(),
+        throughput(samples, pairs.len() as u64, || {
+            std::hint::black_box(pbdmm_primitives::group_by(pairs.clone()));
+        }),
+    );
+    let keys: Vec<u64> = (0..1u64 << 19)
+        .map(|i| i.wrapping_mul(0x9e37_79b9))
+        .collect();
+    metrics.insert(
+        "sort_keys_per_s_t4".into(),
+        throughput(samples, keys.len() as u64, || {
+            let mut k = keys.clone();
+            par::par_sort(&mut k);
+            std::hint::black_box(k);
+        }),
+    );
+    par::set_num_threads(0);
+    metrics
+}
+
+fn to_json(metrics: &BTreeMap<String, f64>, samples: usize) -> Value {
+    json::obj([
+        ("schema".to_string(), Value::Str(SCHEMA.into())),
+        ("samples".to_string(), Value::Num(samples as f64)),
+        (
+            "metrics".to_string(),
+            Value::Obj(
+                metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Compare against a baseline file; returns the number of regressions.
+///
+/// Every metric is first divided by the [`CALIBRATION`] metric *of its own
+/// run*, so the comparison is machine-speed-normalized: a slower CI runner
+/// scales both sides down together, and only genuine scheduler/algorithm
+/// regressions move the ratio.
+fn check_baseline(
+    metrics: &BTreeMap<String, f64>,
+    baseline_path: &str,
+    tolerance: f64,
+) -> Result<usize, String> {
+    let text =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
+    match doc.get("schema") {
+        Some(Value::Str(s)) if s == SCHEMA => {}
+        other => return Err(format!("baseline schema mismatch: {other:?}")),
+    }
+    let base = doc
+        .get("metrics")
+        .and_then(|m| m.as_obj())
+        .ok_or("baseline has no metrics object")?;
+    let base_cal = base
+        .get(CALIBRATION)
+        .and_then(|v| v.as_num())
+        .filter(|c| *c > 0.0)
+        .ok_or("baseline has no calibration metric")?;
+    let cur_cal = metrics
+        .get(CALIBRATION)
+        .copied()
+        .filter(|c| *c > 0.0)
+        .ok_or("current run has no calibration metric")?;
+    let mut table = Table::new(
+        "bench-smoke vs baseline (calibration-normalized)",
+        &["metric", "baseline", "current", "norm ratio", "status"],
+    );
+    let mut regressions = 0usize;
+    for (name, bval) in base {
+        // `info_` metrics are tracked in the JSON but too host-noisy to
+        // gate; the calibration metric is the normalizer, not a gate.
+        if name == CALIBRATION || name.starts_with("info_") {
+            continue;
+        }
+        let Some(b) = bval.as_num().filter(|b| *b > 0.0) else {
+            continue;
+        };
+        let Some(&cur) = metrics.get(name) else {
+            regressions += 1;
+            table.row(&[
+                name.clone(),
+                fmt_f(b),
+                "missing".into(),
+                "-".into(),
+                "FAIL".into(),
+            ]);
+            continue;
+        };
+        let ratio = (cur / cur_cal) / (b / base_cal);
+        let ok = ratio >= 1.0 - tolerance;
+        if !ok {
+            regressions += 1;
+        }
+        table.row(&[
+            name.clone(),
+            fmt_f(b),
+            fmt_f(cur),
+            format!("{ratio:.2}x"),
+            if ok { "ok" } else { "FAIL" }.into(),
+        ]);
+    }
+    table.print();
+    Ok(regressions)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_smoke: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = run_battery(args.samples);
+
+    let mut table = Table::new("bench-smoke", &["metric", "per second"]);
+    for (k, v) in &metrics {
+        table.row(&[k.clone(), fmt_f(*v)]);
+    }
+    table.print();
+
+    if let Some(out) = &args.out {
+        let doc = to_json(&metrics, args.samples);
+        if let Err(e) = std::fs::write(out, doc.render()) {
+            eprintln!("bench_smoke: write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {out}");
+    }
+
+    if let Some(baseline) = &args.baseline {
+        match check_baseline(&metrics, baseline, args.tolerance) {
+            Ok(0) => println!("\nno regressions beyond {:.0}%", args.tolerance * 100.0),
+            Ok(n) => {
+                eprintln!(
+                    "\nbench_smoke: {n} metric(s) regressed more than {:.0}% vs {baseline}",
+                    args.tolerance * 100.0
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("bench_smoke: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

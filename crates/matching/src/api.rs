@@ -41,8 +41,11 @@
 //! assert!(pbdmm_matching::verify::check_invariants(&m).is_ok());
 //! ```
 
+use std::sync::Arc;
+
 use pbdmm_graph::edge::{normalize_vertices, EdgeId, EdgeVertices};
 use pbdmm_primitives::hash::FxHashSet;
+use pbdmm_primitives::pool::ParPool;
 
 pub use pbdmm_graph::update::{Batch, Update};
 
@@ -165,16 +168,18 @@ where
 /// `delete_edges` and `DynamicMatching`'s inherent wrapper so the
 /// skip-unknown/skip-duplicate contract lives in exactly one place:
 /// keep the ids that are live (per `is_live`), first occurrence only,
-/// input order preserved.
+/// input order preserved. One copy + one in-place `retain` pass — no
+/// per-id allocation, and the seen-set is sized up front so
+/// duplicate-heavy batches never rehash.
 pub(crate) fn filter_live_dedup<F>(ids: &[EdgeId], mut is_live: F) -> Vec<EdgeId>
 where
     F: FnMut(EdgeId) -> bool,
 {
-    let mut seen: FxHashSet<EdgeId> = FxHashSet::default();
-    ids.iter()
-        .copied()
-        .filter(|&e| is_live(e) && seen.insert(e))
-        .collect()
+    let mut seen: FxHashSet<EdgeId> =
+        FxHashSet::with_capacity_and_hasher(ids.len(), Default::default());
+    let mut out = ids.to_vec();
+    out.retain(|&e| is_live(e) && seen.insert(e));
+    out
 }
 
 /// A maximal-matching maintainer (or adapter) driven by mixed update
@@ -264,6 +269,7 @@ pub struct DynamicMatchingBuilder {
     seed: Option<u64>,
     config: Option<LevelingConfig>,
     metering: MeterMode,
+    pool: Option<Arc<ParPool>>,
 }
 
 impl DynamicMatchingBuilder {
@@ -290,13 +296,28 @@ impl DynamicMatchingBuilder {
         self
     }
 
+    /// Pin the structure's batches to an explicit scheduler: every parallel
+    /// primitive of a whole `apply` call (settlement, greedy rounds,
+    /// semisorts) runs on this pool. Defaults to the process-global pool
+    /// (sized by `set_num_threads` / `PBDMM_THREADS`), which is already
+    /// persistent — pass a pool here to isolate this structure's work from
+    /// other components sharing the process.
+    pub fn pool(mut self, pool: Arc<ParPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Build the structure.
     pub fn build(self) -> DynamicMatching {
-        DynamicMatching::with_options(
+        let mut dm = DynamicMatching::with_options(
             self.seed.unwrap_or(0x5eed),
             self.config.unwrap_or_default(),
             self.metering,
-        )
+        );
+        if let Some(pool) = self.pool {
+            dm.set_pool(pool);
+        }
+        dm
     }
 }
 

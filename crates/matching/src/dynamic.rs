@@ -22,9 +22,12 @@
 //!   the fresh sample mass dominates the remaining work (the `2|E'| >
 //!   sampledEdges` rule), after at most `O(log m)` rounds.
 
+use std::sync::Arc;
+
 use pbdmm_graph::edge::{EdgeId, EdgeVertices, VertexId};
 use pbdmm_primitives::cost::{CostMeter, CostSnapshot};
 use pbdmm_primitives::hash::FxHashSet;
+use pbdmm_primitives::pool::ParPool;
 use pbdmm_primitives::rng::SplitMix64;
 
 use crate::api::{validate_batch, Batch, BatchOutcome, MeterMode, UpdateError};
@@ -69,6 +72,11 @@ pub struct DynamicMatching {
     /// (Lemma 5.6 pairs current-round stolen with previous-round bloated).
     pending_bloated_mass: u64,
     last_batch: BatchReport,
+    /// Scheduler this structure's batches run on: every parallel primitive
+    /// of a whole `apply` (settlement, greedy rounds, semisorts) is
+    /// submitted to this pool, so one batch means zero thread churn. `None`
+    /// uses the process-global pool.
+    pool: Option<Arc<ParPool>>,
 }
 
 impl DynamicMatching {
@@ -107,6 +115,29 @@ impl DynamicMatching {
             max_rank: 1,
             pending_bloated_mass: 0,
             last_batch: BatchReport::default(),
+            pool: None,
+        }
+    }
+
+    /// Pin this structure's batches to an explicit scheduler (see
+    /// [`crate::api::DynamicMatchingBuilder::pool`]). By default batches run
+    /// on the process-global pool.
+    pub fn set_pool(&mut self, pool: Arc<ParPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// The explicitly pinned scheduler, if any.
+    pub fn pool(&self) -> Option<&Arc<ParPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Run `f` with this structure's pool installed as the current
+    /// scheduler, so every parallel primitive the batch logic touches is
+    /// submitted to the same pool.
+    fn on_pool<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        match self.pool.clone() {
+            Some(pool) => pool.install(|| f(self)),
+            None => f(self),
         }
     }
 
@@ -231,7 +262,7 @@ impl DynamicMatching {
     /// ```
     pub fn apply(&mut self, batch: Batch) -> Result<BatchOutcome<BatchReport>, UpdateError> {
         let (inserts, deletes) = validate_batch(&batch, |id| self.s.edges.contains_key(&id))?;
-        Ok(self.apply_validated(inserts, deletes))
+        Ok(self.on_pool(|dm| dm.apply_validated(inserts, deletes)))
     }
 
     /// Fallible insertion tier: like the legacy `insert_edges` but returns
@@ -430,7 +461,7 @@ impl DynamicMatching {
     /// ```
     pub fn delete_edges(&mut self, ids: &[EdgeId]) -> Vec<EdgeId> {
         let live = crate::api::filter_live_dedup(ids, |e| self.s.edges.contains_key(&e));
-        self.apply_validated(Vec::new(), live).deleted
+        self.on_pool(|dm| dm.apply_validated(Vec::new(), live).deleted)
     }
 
     /// Figure 3 `deleteMatchedEdges`: convert the victims' samples to cross

@@ -144,6 +144,49 @@ impl CostSnapshot {
     }
 }
 
+/// Per-element cost class of a parallel primitive, used by the scheduler's
+/// adaptive granularity: the cheaper each element is, the more elements a
+/// task must cover before forking beats running sequentially. These are
+/// *hints* — scheduling stays correct whatever class a primitive declares —
+/// calibrated against the ~µs-scale cost of waking a pooled worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostHint {
+    /// A few ns/element: arithmetic, copies, predicate scans (`scan`,
+    /// `find_next`, tabulate).
+    Light,
+    /// Tens of ns/element: hashing, comparison sorting, branchy per-element
+    /// work (`semisort`, `sort`, dictionary phases).
+    #[default]
+    Medium,
+    /// ≥ ~100ns/element: user closures of unknown weight, per-item map/set
+    /// mutation (`sharded` batches, `par_consume` task sets).
+    Heavy,
+}
+
+impl CostHint {
+    /// Below this many elements the primitive should not go parallel at all
+    /// (the whole input is cheaper than one fork/wake round-trip).
+    #[inline]
+    pub fn sequential_cutoff(self) -> usize {
+        match self {
+            CostHint::Light => 8192,
+            CostHint::Medium => 4096,
+            CostHint::Heavy => 1024,
+        }
+    }
+
+    /// The smallest range a splittable task should be divided into: leaf
+    /// tasks stay big enough that scheduling cost is amortized.
+    #[inline]
+    pub fn min_leaf(self) -> usize {
+        match self {
+            CostHint::Light => 2048,
+            CostHint::Medium => 1024,
+            CostHint::Heavy => 128,
+        }
+    }
+}
+
 /// `ceil(log2(n))` for `n >= 1`.
 #[inline]
 pub fn log2_ceil(n: usize) -> u32 {

@@ -13,8 +13,9 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use crate::cost::CostHint;
 use crate::hash::mix64;
-use crate::par::{par_for_each, par_ranges, should_par};
+use crate::par::{par_for_each, par_ranges, should_par_hint};
 
 /// Sentinel for an empty slot. Keys must not equal `EMPTY` or `TOMBSTONE`;
 /// callers use identifiers well below `u64::MAX - 1`.
@@ -181,7 +182,7 @@ impl ConcurrentU64Set {
 
     /// Extract all current elements (`O(capacity)` work, parallel).
     pub fn elements(&self) -> Vec<u64> {
-        if !should_par(self.slots.len()) {
+        if !should_par_hint(self.slots.len(), CostHint::Light) {
             return self
                 .slots
                 .iter()

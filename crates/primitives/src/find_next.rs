@@ -7,7 +7,8 @@
 //! slide each vertex's top-of-list pointer, which is what makes the static
 //! matcher work-efficient (Lemma 3.1: the pointers slide a total of O(m')).
 
-use crate::par::{par_find_first, should_par};
+use crate::cost::CostHint;
+use crate::par::{par_find_first, should_par_hint};
 
 /// Find the smallest `j` in `[start, n)` with `pred(j)`, or `None`.
 ///
@@ -36,7 +37,9 @@ where
         if lo >= hi {
             return None;
         }
-        let found = if should_par(hi - lo) {
+        // Predicate probes are Light-cost: only wide doubling rounds are
+        // worth submitting to the pool.
+        let found = if should_par_hint(hi - lo, CostHint::Light) {
             par_find_first(lo, hi, &pred)
         } else {
             (lo..hi).find(|&j| pred(j))

@@ -17,7 +17,9 @@
 //! * [`rng`] — seedable splittable PRNGs (the algorithm's coins);
 //! * [`cost`] — work/depth metering so experiments can check the *model*
 //!   bounds rather than wall-clock proxies;
-//! * [`par`] — fork-join helpers on scoped std threads, with grain control.
+//! * [`pool`] — the persistent work-stealing thread pool (per-worker
+//!   deques, global injector, lazy binary task splitting);
+//! * [`par`] — fork-join helpers on the pool, with adaptive grain control.
 
 #![warn(missing_docs)]
 
@@ -27,17 +29,19 @@ pub mod find_next;
 pub mod hash;
 pub mod par;
 pub mod permutation;
+pub mod pool;
 pub mod rng;
 pub mod scan;
 pub mod semisort;
 pub mod sharded;
 pub mod sort;
 
-pub use cost::{CostMeter, CostSnapshot};
+pub use cost::{CostHint, CostMeter, CostSnapshot};
 pub use dict::ConcurrentU64Set;
 pub use find_next::{find_next, find_next_in};
 pub use hash::{fx_hash, mix64, FxHashMap, FxHashSet};
 pub use permutation::{random_permutation, random_priorities, Priority};
+pub use pool::ParPool;
 pub use rng::SplitMix64;
 pub use scan::{exclusive_scan, filter, inclusive_scan};
 pub use semisort::{count_by, group_by, remove_duplicates, sum_by};

@@ -1,23 +1,35 @@
-//! Fork-join helpers realizing the binary-forking model on scoped OS
-//! threads (`std::thread::scope`) — no external runtime.
+//! Fork-join helpers realizing the binary-forking model on the persistent
+//! work-stealing pool ([`crate::pool`]) — no external runtime.
 //!
 //! Every parallel primitive in this crate routes through these helpers so
-//! that (a) small inputs stay sequential (grain control — parallelism below a
-//! few thousand elements costs more than it gains), (b) the whole workspace
-//! can be forced sequential for deterministic debugging via
-//! [`set_sequential`], and (c) the worker count can be capped per process via
-//! [`set_num_threads`] (the benchmark harness's speedup sweeps use this).
+//! that (a) small inputs stay sequential (adaptive grain control — the
+//! cutoff depends on the primitive's per-element [`CostHint`] and the
+//! worker count, because parallelism below the fork overhead costs more
+//! than it gains), (b) the whole workspace can be forced sequential for
+//! deterministic debugging via [`set_sequential`], and (c) the worker count
+//! can be configured per process via [`set_num_threads`] or the
+//! `PBDMM_THREADS` environment variable (the benchmark harness's speedup
+//! sweeps and the CI thread matrix use these).
+//!
+//! Work is executed as *splittable range tasks*: a call covering `0..n`
+//! submits one task to the current [`crate::pool::ParPool`], and the task
+//! splits itself in half lazily exactly as deep as idle workers demand.
+//! There is no thread spawning on any call path.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
-/// Below this input size parallel primitives fall back to their sequential
-/// implementations.
+pub use crate::cost::CostHint;
+use crate::pool;
+
+/// Historical default sequential cutoff. Kept for callers that want a
+/// hint-free size gate; the primitives themselves use their [`CostHint`]'s
+/// [`CostHint::sequential_cutoff`].
 pub const GRAIN: usize = 4096;
 
 static FORCE_SEQUENTIAL: AtomicBool = AtomicBool::new(false);
 
-/// Worker-count cap; 0 means "use all available cores".
+/// Worker-count cap; 0 means "use `PBDMM_THREADS` or all available cores".
 static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
 
 /// Force all primitives in this crate to run sequentially (for debugging and
@@ -32,10 +44,29 @@ pub fn is_sequential() -> bool {
 }
 
 /// Cap the number of worker threads used by the primitives (0 restores the
-/// default of one worker per available core). Global and sticky; the
-/// benchmark harness uses this for self-relative speedup sweeps.
+/// default: `PBDMM_THREADS` if set, else one worker per available core).
+/// Global and sticky; the process-global [`crate::pool::ParPool`] is rebuilt
+/// to the new size on its next use.
 pub fn set_num_threads(n: usize) {
     THREAD_CAP.store(n, Ordering::SeqCst);
+}
+
+/// The default worker count when no explicit cap is set: the
+/// `PBDMM_THREADS` environment variable (read once), else the detected core
+/// count. The env var is what CI's thread matrix drives.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("PBDMM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// The number of worker threads parallel primitives will use. A nonzero
@@ -44,18 +75,83 @@ pub fn set_num_threads(n: usize) {
 pub fn num_threads() -> usize {
     let cap = THREAD_CAP.load(Ordering::Relaxed);
     if cap == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
+        default_threads()
     } else {
         cap
     }
 }
 
-/// Should a primitive over `n` elements run in parallel?
+/// The parallelism of the calling context: the innermost installed pool or
+/// the executing worker's pool, else the configured global thread count.
+/// This — not the raw global cap — is what the gates consult, so a
+/// structure pinned to a multi-thread [`crate::pool::ParPool`] goes
+/// parallel even in a process whose global cap is 1.
+#[inline]
+pub fn parallelism() -> usize {
+    pool::current_threads().max(1)
+}
+
+/// Should a primitive over `n` elements run in parallel? Hint-free variant
+/// using the historical [`GRAIN`] cutoff.
 #[inline]
 pub fn should_par(n: usize) -> bool {
-    n >= GRAIN && !is_sequential() && num_threads() > 1
+    n >= GRAIN && !is_sequential() && parallelism() > 1
+}
+
+/// Should a primitive over `n` elements of the given cost class run in
+/// parallel? The sequential cutoff comes from the hint: the cheaper each
+/// element, the larger the input must be before forking pays.
+#[inline]
+pub fn should_par_hint(n: usize, hint: CostHint) -> bool {
+    n >= hint.sequential_cutoff() && !is_sequential() && parallelism() > 1
+}
+
+/// The number of threads that can actually run simultaneously: the current
+/// context's parallelism capped by the machine's cores. A cap forced above
+/// the core count (the single-core CI trick) still *exercises* the parallel
+/// paths, but splitting work for threads that cannot run concurrently only
+/// adds scheduling overhead, so grain sizing uses this.
+fn effective_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    let cores = *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+    parallelism().min(cores).max(1)
+}
+
+/// The leaf size splittable tasks stop dividing at: targets ~4 leaves per
+/// *effective* worker (slack for stealing imbalance without oversplitting
+/// on oversubscribed hosts), floored by the hint's amortization minimum so
+/// scheduling cost stays negligible per leaf.
+#[inline]
+pub fn adaptive_grain(n: usize, hint: CostHint) -> usize {
+    (n / (4 * effective_parallelism()))
+        .max(hint.min_leaf())
+        .max(1)
+}
+
+/// Serialization for tests that mutate the process-global scheduler knobs
+/// (`set_num_threads`, `set_sequential`): `cargo test` runs tests of one
+/// binary concurrently, so unserialized knob flips make assertions about
+/// the resulting global state flaky.
+#[cfg(test)]
+pub(crate) fn test_knob_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Raw-pointer capture for disjoint indexed writes from pool tasks. Sound
+/// because every user writes each index at most once and the submitting
+/// call blocks until all tasks complete.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
 }
 
 /// Split `0..n` into at most `k` near-equal contiguous ranges.
@@ -73,26 +169,29 @@ pub(crate) fn ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-/// Run `f` over contiguous index ranges covering `0..n`, one worker per
-/// range, and return the per-range results in order. The backbone of every
-/// data-parallel helper here.
+/// The chunk count for fixed-partition helpers: a few chunks per effective
+/// worker so the pool's stealing can balance uneven chunk costs.
+pub(crate) fn chunk_count(n: usize) -> usize {
+    (4 * effective_parallelism()).min(n.max(1))
+}
+
+/// Run `f` over contiguous index ranges covering `0..n` and return the
+/// per-range results in order. The partition has a few chunks per worker
+/// (balanced by work stealing); callers that need a *specific* partition
+/// compute it with [`ranges`] and use [`par_run_ranges`].
 pub fn par_ranges<U, F>(n: usize, f: F) -> Vec<U>
 where
     U: Send,
     F: Fn(std::ops::Range<usize>) -> U + Sync,
 {
-    let workers = num_threads();
     if n == 0 {
         return Vec::new();
     }
-    if workers <= 1 || is_sequential() || n < 2 {
-        return vec![f(0..n)];
-    }
-    par_run_ranges(ranges(n, workers), |_, r| f(r))
+    par_run_ranges(ranges(n, chunk_count(n)), |_, r| f(r))
 }
 
-/// Run `f(index, range)` over an explicit pre-computed partition, one
-/// worker per range, results in partition order. Callers that need the
+/// Run `f(index, range)` over an explicit pre-computed partition, results in
+/// partition order. Each range is one pool task. Callers that need the
 /// *same* partition across two passes (e.g. the blocked scan) compute it
 /// once with [`ranges`] and run both passes through this, so a concurrent
 /// [`set_num_threads`] cannot desynchronize the passes.
@@ -101,39 +200,86 @@ where
     U: Send,
     F: Fn(usize, std::ops::Range<usize>) -> U + Sync,
 {
-    if rs.len() <= 1 || is_sequential() {
+    if rs.len() <= 1 || is_sequential() || parallelism() <= 1 {
         return rs.into_iter().enumerate().map(|(i, r)| f(i, r)).collect();
     }
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(rs.len() - 1);
-        let mut iter = rs.into_iter().enumerate();
-        let (i0, first) = iter.next().unwrap();
-        for (i, r) in iter {
-            let f = &f;
-            handles.push(scope.spawn(move || f(i, r)));
+    let k = rs.len();
+    let mut out: Vec<Option<U>> = std::iter::repeat_with(|| None).take(k).collect();
+    let slots = SendPtr(out.as_mut_ptr());
+    let rs = &rs;
+    pool::current().run_range(k, 1, |lo, hi| {
+        for (i, r) in rs.iter().enumerate().take(hi).skip(lo) {
+            let value = f(i, r.clone());
+            // SAFETY: each index is written by exactly one task.
+            unsafe { *slots.get().add(i) = Some(value) };
         }
-        let mut out = Vec::with_capacity(handles.len() + 1);
-        out.push(f(i0, first));
-        for h in handles {
-            out.push(h.join().expect("parallel worker panicked"));
-        }
-        out
-    })
+    });
+    out.into_iter()
+        .map(|o| o.expect("range task not executed"))
+        .collect()
 }
 
-/// Parallel map with grain control: sequential below [`GRAIN`].
+/// Run `f(i)` for every `i in 0..n` as splittable range tasks with adaptive
+/// grain — the pool-era `par_for`. Medium cost assumed; use
+/// [`par_for_hint`] when the per-element cost class is known.
+pub fn par_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    par_for_hint(n, CostHint::Medium, f)
+}
+
+/// [`par_for`] with an explicit per-element cost hint.
+pub fn par_for_hint<F>(n: usize, hint: CostHint, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if !should_par_hint(n, hint) {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    pool::current().run_range(n, adaptive_grain(n, hint), |lo, hi| {
+        for i in lo..hi {
+            f(i);
+        }
+    });
+}
+
+/// Tabulate `f(i)` for `i in 0..n` into a vector, writing results in place
+/// from splittable range tasks (no per-chunk buffers, no concat pass).
+fn tabulate_hint<U, F>(n: usize, hint: CostHint, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if !should_par_hint(n, hint) {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    let slots = SendPtr(out.as_mut_ptr());
+    pool::current().run_range(n, adaptive_grain(n, hint), |lo, hi| {
+        for i in lo..hi {
+            // SAFETY: disjoint indices, each written exactly once; `set_len`
+            // runs only after every task completed. On panic the written
+            // prefix leaks (safe) because the length stays 0.
+            unsafe { slots.get().add(i).write(f(i)) };
+        }
+    });
+    // SAFETY: run_range returned, so all n slots are initialized.
+    unsafe { out.set_len(n) };
+    out
+}
+
+/// Parallel map with adaptive grain control.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync + Send,
 {
-    if !should_par(items.len()) {
-        return items.iter().map(f).collect();
-    }
-    concat(par_ranges(items.len(), |r| {
-        items[r].iter().map(&f).collect::<Vec<U>>()
-    }))
+    tabulate_hint(items.len(), CostHint::Medium, |i| f(&items[i]))
 }
 
 /// Parallel indexed map: `f(i, &items[i])`.
@@ -143,12 +289,7 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync + Send,
 {
-    if !should_par(items.len()) {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    concat(par_ranges(items.len(), |r| {
-        r.map(|i| f(i, &items[i])).collect::<Vec<U>>()
-    }))
+    tabulate_hint(items.len(), CostHint::Medium, |i| f(i, &items[i]))
 }
 
 /// Parallel for-each over shared references (the callee synchronizes).
@@ -157,11 +298,7 @@ where
     T: Sync,
     F: Fn(&T) + Sync + Send,
 {
-    if !should_par(items.len()) {
-        items.iter().for_each(f);
-        return;
-    }
-    par_ranges(items.len(), |r| items[r].iter().for_each(&f));
+    par_for_hint(items.len(), CostHint::Medium, |i| f(&items[i]));
 }
 
 /// Parallel for-each over mutable elements.
@@ -170,25 +307,24 @@ where
     T: Send,
     F: Fn(&mut T) + Sync + Send,
 {
-    if !should_par(items.len()) {
+    let n = items.len();
+    if !should_par_hint(n, CostHint::Medium) {
         items.iter_mut().for_each(f);
         return;
     }
-    let n = items.len();
-    let workers = num_threads();
-    let chunk = n.div_ceil(workers);
-    std::thread::scope(|scope| {
-        for part in items.chunks_mut(chunk) {
-            let f = &f;
-            scope.spawn(move || part.iter_mut().for_each(f));
+    let base = SendPtr(items.as_mut_ptr());
+    pool::current().run_range(n, adaptive_grain(n, CostHint::Medium), |lo, hi| {
+        for i in lo..hi {
+            // SAFETY: tasks cover disjoint index ranges of a live slice.
+            f(unsafe { &mut *base.get().add(i) });
         }
     });
 }
 
-/// Consume an owned work list with a simple shared queue: items are handed
-/// to workers one at a time, so uneven item costs balance automatically.
-/// Used for coarse-grained task sets (e.g. one task per shard) where the
-/// item count is far below [`GRAIN`] but each item is substantial.
+/// Consume an owned work list in parallel, one task per item, so uneven item
+/// costs balance through stealing. Used for coarse-grained task sets (e.g.
+/// one task per shard) where the item count is far below any grain but each
+/// item is substantial.
 pub fn par_consume<T, F>(items: Vec<T>, f: F)
 where
     T: Send,
@@ -198,23 +334,18 @@ where
     if n == 0 {
         return;
     }
-    let workers = num_threads().min(n);
-    if workers <= 1 || is_sequential() {
+    if n == 1 || parallelism() <= 1 || is_sequential() {
         items.into_iter().for_each(f);
         return;
     }
-    let queue = Mutex::new(items.into_iter());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let queue = &queue;
-            let f = &f;
-            scope.spawn(move || loop {
-                let item = queue.lock().expect("queue poisoned").next();
-                match item {
-                    Some(t) => f(t),
-                    None => break,
-                }
-            });
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let base = SendPtr(slots.as_mut_ptr());
+    pool::current().run_range(n, 1, |lo, hi| {
+        for i in lo..hi {
+            // SAFETY: each index is taken by exactly one task; items left
+            // in place on panic are dropped by the Vec.
+            let item = unsafe { (*base.get().add(i)).take() };
+            f(item.expect("par_consume slot taken twice"));
         }
     });
 }
@@ -226,7 +357,7 @@ where
     U: Send,
     F: Fn(&T) -> Vec<U> + Sync + Send,
 {
-    if !should_par(items.len()) {
+    if !should_par_hint(items.len(), CostHint::Medium) {
         return items.iter().flat_map(|t| f(t).into_iter()).collect();
     }
     concat(par_ranges(items.len(), |r| {
@@ -244,7 +375,7 @@ where
     U: Send,
     F: Fn(&T) -> Option<U> + Sync + Send,
 {
-    if !should_par(items.len()) {
+    if !should_par_hint(items.len(), CostHint::Medium) {
         return items.iter().filter_map(f).collect();
     }
     concat(par_ranges(items.len(), |r| {
@@ -253,7 +384,8 @@ where
 }
 
 /// Binary fork: run two closures as parallel tasks, the primitive operation
-/// of the binary-forking model.
+/// of the binary-forking model. The second closure is published for
+/// stealing while the caller runs the first; no thread is spawned.
 #[inline]
 pub fn fork2<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -262,14 +394,10 @@ where
     RA: Send,
     RB: Send,
 {
-    if is_sequential() || num_threads() <= 1 {
+    if is_sequential() || parallelism() <= 1 {
         (a(), b())
     } else {
-        std::thread::scope(|scope| {
-            let hb = scope.spawn(b);
-            let ra = a();
-            (ra, hb.join().expect("forked task panicked"))
-        })
+        pool::current().join(a, b)
     }
 }
 
@@ -279,14 +407,11 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync + Send,
 {
-    if !should_par(n) {
-        return (0..n).map(f).collect();
-    }
-    concat(par_ranges(n, |r| r.map(&f).collect::<Vec<U>>()))
+    tabulate_hint(n, CostHint::Light, f)
 }
 
 /// Smallest `i` in `[lo, hi)` with `pred(i)`, scanned in parallel. Workers
-/// share a running best so chunks beyond the current minimum are skipped.
+/// share a running best so ranges beyond the current minimum are skipped.
 pub fn par_find_first<F>(lo: usize, hi: usize, pred: F) -> Option<usize>
 where
     F: Fn(usize) -> bool + Sync,
@@ -294,13 +419,14 @@ where
     if hi <= lo {
         return None;
     }
-    if !should_par(hi - lo) {
+    let n = hi - lo;
+    if !should_par_hint(n, CostHint::Light) {
         return (lo..hi).find(|&i| pred(i));
     }
     let best = AtomicUsize::new(usize::MAX);
-    par_ranges(hi - lo, |r| {
-        let start = lo + r.start;
-        let end = lo + r.end;
+    pool::current().run_range(n, adaptive_grain(n, CostHint::Light), |rlo, rhi| {
+        let start = lo + rlo;
+        let end = lo + rhi;
         if start >= best.load(Ordering::Relaxed) {
             return;
         }
@@ -324,7 +450,8 @@ where
 /// (e.g. the output of [`crate::semisort::group_by`]) and in range; each
 /// payload is applied to its element by `f`. This realizes the paper's
 /// "groupBy, then update each target set as a batch, targets in parallel"
-/// pattern over dense per-vertex tables.
+/// pattern over dense per-vertex tables. Group costs vary wildly (a hub
+/// vertex's list vs a leaf's), so groups are Heavy-hinted splittable tasks.
 ///
 /// # Panics
 /// Debug builds assert index uniqueness and range.
@@ -342,46 +469,31 @@ where
             assert!(seen.insert(*i), "duplicate group index {i}");
         }
     }
-    if !should_par(groups.len()) {
+    let n = groups.len();
+    if !should_par_hint(n, CostHint::Heavy) {
         for (i, g) in groups {
             f(&mut items[i], g);
         }
         return;
     }
-    struct Ptr<T>(*mut T);
-    unsafe impl<T> Send for Ptr<T> {}
-    unsafe impl<T> Sync for Ptr<T> {}
-    impl<T> Ptr<T> {
-        fn get(&self) -> *mut T {
-            self.0
-        }
-    }
-    let base = Ptr(items.as_mut_ptr());
-    let n = groups.len();
-    let workers = num_threads();
-    let chunk = n.div_ceil(workers);
-    let mut groups = groups;
-    std::thread::scope(|scope| {
-        while !groups.is_empty() {
-            let take = chunk.min(groups.len());
-            let part: Vec<(usize, G)> = groups.drain(groups.len() - take..).collect();
-            let f = &f;
-            let base = &base;
-            scope.spawn(move || {
-                for (i, g) in part {
-                    // SAFETY: indices are unique (contract), so each element
-                    // is accessed by exactly one task.
-                    let item = unsafe { &mut *base.get().add(i) };
-                    f(item, g);
-                }
-            });
+    let base = SendPtr(items.as_mut_ptr());
+    let mut slots: Vec<Option<(usize, G)>> = groups.into_iter().map(Some).collect();
+    let slot_base = SendPtr(slots.as_mut_ptr());
+    pool::current().run_range(n, adaptive_grain(n, CostHint::Heavy), |lo, hi| {
+        for k in lo..hi {
+            // SAFETY: each slot is taken by exactly one task, and the group
+            // indices are unique (contract), so each element of `items` is
+            // accessed by exactly one task.
+            let (i, g) = unsafe { (*slot_base.get().add(k)).take() }
+                .expect("par_apply_disjoint slot taken twice");
+            f(unsafe { &mut *base.get().add(i) }, g);
         }
     });
 }
 
 /// Sort a slice, in parallel above the grain size.
 pub fn par_sort<T: Ord + Send>(items: &mut [T]) {
-    if !should_par(items.len()) {
+    if !should_par_hint(items.len(), CostHint::Medium) {
         items.sort_unstable();
         return;
     }
@@ -395,32 +507,30 @@ where
     K: Ord + Send,
     F: Fn(&T) -> K + Sync,
 {
-    if !should_par(items.len()) {
+    if !should_par_hint(items.len(), CostHint::Medium) {
         items.sort_unstable_by_key(f);
         return;
     }
     par_quicksort(items, &|a: &T, b: &T| f(a).cmp(&f(b)), fork_budget());
 }
 
-/// How many fork levels the sort may spawn: 2^budget leaf tasks ≈ 2× the
-/// worker count (slack for partition imbalance) — this is what makes the
-/// sort honor [`set_num_threads`] instead of spawning one thread per
-/// grain-sized split.
+/// How many fork levels the sort may spawn: 2^budget leaf tasks ≈ 4× the
+/// worker count (slack for partition imbalance, balanced by stealing).
 fn fork_budget() -> u32 {
-    crate::cost::log2_ceil(num_threads().max(1)) + 1
+    crate::cost::log2_ceil(parallelism()) + 2
 }
 
-/// In-place parallel quicksort: Hoare-style partition, fork the halves.
-/// Falls back to the standard-library sort below the grain or once the
-/// fork budget (which bounds concurrent tasks near the worker count) runs
-/// out.
+/// In-place parallel quicksort: Hoare-style partition, fork the halves as
+/// pool tasks. Falls back to the standard-library sort below the grain or
+/// once the fork budget (which bounds task count near the worker count)
+/// runs out.
 fn par_quicksort<T, C>(items: &mut [T], cmp: &C, forks: u32)
 where
     T: Send,
     C: Fn(&T, &T) -> std::cmp::Ordering + Sync,
 {
     let n = items.len();
-    if n < GRAIN || forks == 0 || is_sequential() {
+    if n < CostHint::Medium.sequential_cutoff() || forks == 0 || is_sequential() {
         items.sort_unstable_by(cmp);
         return;
     }
@@ -525,6 +635,15 @@ mod tests {
     }
 
     #[test]
+    fn par_for_visits_all_once() {
+        let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
+        par_for(10_000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
     fn par_sort_sorts() {
         let mut v: Vec<i64> = (0..10_000).map(|i| (i * 7919) % 10_000).collect();
         par_sort(&mut v);
@@ -582,6 +701,7 @@ mod tests {
 
     #[test]
     fn sequential_mode_round_trips() {
+        let _knobs = test_knob_lock();
         set_sequential(true);
         assert!(is_sequential());
         let xs: Vec<u64> = (0..10_000).collect();
@@ -592,10 +712,34 @@ mod tests {
 
     #[test]
     fn thread_cap_round_trips() {
+        let _knobs = test_knob_lock();
         set_num_threads(1);
         assert_eq!(num_threads(), 1);
         assert!(!should_par(1 << 20));
         set_num_threads(0);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn adaptive_grain_respects_hint_floors() {
+        let _knobs = test_knob_lock();
+        set_num_threads(4);
+        // The hint's amortization floor always holds.
+        assert!(adaptive_grain(10_000, CostHint::Light) >= CostHint::Light.min_leaf());
+        assert!(adaptive_grain(10_000, CostHint::Heavy) >= CostHint::Heavy.min_leaf());
+        // Huge n: the per-worker spread dominates and never exceeds n.
+        let g = adaptive_grain(1 << 20, CostHint::Light);
+        assert!(((1 << 20) / 16..=1 << 20).contains(&g));
+        // Heavier classes never split coarser than lighter ones.
+        assert!(
+            adaptive_grain(1 << 20, CostHint::Heavy) <= adaptive_grain(1 << 20, CostHint::Light)
+        );
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn cutoffs_order_by_cost_class() {
+        assert!(CostHint::Light.sequential_cutoff() > CostHint::Medium.sequential_cutoff());
+        assert!(CostHint::Medium.sequential_cutoff() > CostHint::Heavy.sequential_cutoff());
     }
 }

@@ -2,11 +2,17 @@
 //!
 //! The paper uses prefix sums and filter as black boxes costing `O(n)` work
 //! and `O(log n)` depth [Blelloch '93]. We implement the classic blocked
-//! two-pass scan: partition into per-worker blocks, sum blocks in parallel,
-//! scan the block sums sequentially (there are few), then scan within each
-//! block in parallel with its offset.
+//! two-pass scan: partition into blocks (a few per worker — the pool's
+//! stealing balances them), sum blocks in parallel, scan the block sums
+//! sequentially (there are few), then scan within each block in parallel
+//! with its offset. Scans are memory-bound (`CostHint::Light`): the
+//! sequential cutoff is high because each element costs only a few ns.
 
-use crate::par::{num_threads, par_ranges, par_run_ranges, ranges, should_par};
+use crate::cost::CostHint;
+use crate::par::{par_ranges, par_run_ranges, ranges, should_par_hint};
+
+/// Scans and filters are Light-cost: a few ns per element.
+const HINT: CostHint = CostHint::Light;
 
 /// Exclusive prefix sum. Returns the scanned vector and the total.
 ///
@@ -19,7 +25,7 @@ use crate::par::{num_threads, par_ranges, par_run_ranges, ranges, should_par};
 /// assert_eq!(total, 6);
 /// ```
 pub fn exclusive_scan(xs: &[u64]) -> (Vec<u64>, u64) {
-    if !should_par(xs.len()) {
+    if !should_par_hint(xs.len(), HINT) {
         let mut out = Vec::with_capacity(xs.len());
         let mut acc = 0u64;
         for &x in xs {
@@ -30,8 +36,9 @@ pub fn exclusive_scan(xs: &[u64]) -> (Vec<u64>, u64) {
     }
     let n = xs.len();
     // One partition, computed once and shared by both passes (a concurrent
-    // `set_num_threads` between passes must not desynchronize them).
-    let blocks = ranges(n, num_threads());
+    // `set_num_threads` between passes must not desynchronize them). A few
+    // blocks per effective worker lets the pool balance them by stealing.
+    let blocks = ranges(n, crate::par::chunk_count(n));
     // Pass 1: per-block sums.
     let block_sums: Vec<u64> = par_run_ranges(blocks.clone(), |_, r| xs[r].iter().sum::<u64>());
     // Scan block sums sequentially (one per worker).
@@ -69,7 +76,7 @@ pub fn inclusive_scan(xs: &[u64]) -> Vec<u64> {
 
 /// Parallel sum.
 pub fn par_sum(xs: &[u64]) -> u64 {
-    if should_par(xs.len()) {
+    if should_par_hint(xs.len(), HINT) {
         par_ranges(xs.len(), |r| xs[r].iter().sum::<u64>())
             .into_iter()
             .sum()
@@ -86,7 +93,7 @@ where
     T: Clone + Send + Sync,
     F: Fn(&T) -> bool + Sync + Send,
 {
-    if !should_par(xs.len()) {
+    if !should_par_hint(xs.len(), HINT) {
         return xs.iter().filter(|x| keep(x)).cloned().collect();
     }
     let parts: Vec<Vec<T>> = par_ranges(xs.len(), |r| {
@@ -102,7 +109,7 @@ where
 
 /// Pack the indices `i` where `flags[i]` is true.
 pub fn pack_indices(flags: &[bool]) -> Vec<usize> {
-    if !should_par(flags.len()) {
+    if !should_par_hint(flags.len(), HINT) {
         return flags
             .iter()
             .enumerate()

@@ -17,8 +17,13 @@
 
 use std::hash::Hash;
 
+use crate::cost::CostHint;
 use crate::hash::{fx_hash, FxHashMap};
-use crate::par::{par_sort_by_key, should_par};
+use crate::par::{par_sort_by_key, should_par_hint};
+
+/// Semisorting hashes and compares per element: Medium cost. Below this
+/// class's cutoff the sequential hash-map path wins outright.
+const HINT: CostHint = CostHint::Medium;
 
 /// Group values by key: the paper's `groupBy`. Returns one `(key, values)`
 /// pair per distinct key. Order of groups and of values within a group is
@@ -38,7 +43,7 @@ where
     K: Hash + Eq + Clone + Send + Sync,
     V: Send + Sync,
 {
-    if !should_par(pairs.len()) {
+    if !should_par_hint(pairs.len(), HINT) {
         let mut map: FxHashMap<K, Vec<V>> = FxHashMap::default();
         for (k, v) in pairs {
             map.entry(k).or_default().push(v);
@@ -86,7 +91,7 @@ pub fn sum_by<K>(pairs: Vec<(K, u64)>) -> Vec<(K, u64)>
 where
     K: Hash + Eq + Clone + Send + Sync,
 {
-    if !should_par(pairs.len()) {
+    if !should_par_hint(pairs.len(), HINT) {
         let mut map: FxHashMap<K, u64> = FxHashMap::default();
         for (k, v) in pairs {
             *map.entry(k).or_insert(0) += v;
@@ -134,7 +139,7 @@ pub fn remove_duplicates<K>(keys: Vec<K>) -> Vec<K>
 where
     K: Hash + Eq + Clone + Send + Sync,
 {
-    if !should_par(keys.len()) {
+    if !should_par_hint(keys.len(), HINT) {
         let mut set: crate::hash::FxHashSet<K> = crate::hash::FxHashSet::default();
         let mut out = Vec::new();
         for k in keys {

@@ -12,8 +12,12 @@
 use std::hash::Hash;
 use std::sync::Mutex;
 
+use crate::cost::CostHint;
 use crate::hash::{fx_hash, FxHashMap};
-use crate::par::{par_consume, should_par};
+use crate::par::{par_consume, should_par_hint};
+
+/// Per-update map mutation is Heavy: shard batches go parallel early.
+const HINT: CostHint = CostHint::Heavy;
 
 /// Number of shards. A power of two comfortably above any machine's core
 /// count keeps per-shard batches balanced.
@@ -94,7 +98,7 @@ where
     ) where
         U: Send + Sync,
     {
-        if !should_par(updates.len()) {
+        if !should_par_hint(updates.len(), HINT) {
             for (k, u) in updates {
                 let s = self.shard_of(&k);
                 let mut shard = self.lock(s);
@@ -124,7 +128,7 @@ where
 
     /// Batch-remove keys in parallel (grouped by shard).
     pub fn batch_remove(&self, keys: Vec<K>) {
-        if !should_par(keys.len()) {
+        if !should_par_hint(keys.len(), HINT) {
             for k in keys {
                 self.remove(&k);
             }

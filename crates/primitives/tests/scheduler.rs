@@ -1,0 +1,160 @@
+//! Scheduler-focused coverage: pool reuse, nested fork-join, adaptive-grain
+//! boundaries, and determinism of parallel results against the sequential
+//! path. Runs with the worker cap pinned to 4 (its own test binary, so the
+//! global cap cannot leak into other suites) — on single-core hosts this
+//! still exercises splitting, stealing, and the cooperative wait paths.
+
+use pbdmm_primitives::cost::CostHint;
+use pbdmm_primitives::pool::{self, ParPool};
+use pbdmm_primitives::rng::SplitMix64;
+use pbdmm_primitives::{exclusive_scan, group_by, par};
+
+/// Tests in this binary assert on process-global scheduler state (the
+/// forced cap, the sequential flag, global-pool job counters), so they run
+/// serialized: each takes this lock first.
+fn knob_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn force_parallel() {
+    par::set_num_threads(4);
+    assert!(par::should_par_hint(1 << 20, CostHint::Light));
+}
+
+#[test]
+fn global_pool_is_reused_across_calls() {
+    let _knobs = knob_lock();
+    force_parallel();
+    let pool = pool::global();
+    let jobs_before = pool.stats().jobs;
+    for _ in 0..10 {
+        let xs: Vec<u64> = (0..50_000).collect();
+        assert_eq!(par::par_map(&xs, |x| x + 1).len(), 50_000);
+    }
+    let after = pool::global();
+    // Same pool instance served all ten calls (no churn), and it actually
+    // scheduled jobs for them.
+    assert!(std::sync::Arc::ptr_eq(&pool, &after));
+    assert!(after.stats().jobs > jobs_before);
+    assert_eq!(after.threads(), 4);
+}
+
+#[test]
+fn installed_pool_receives_the_work() {
+    let _knobs = knob_lock();
+    force_parallel();
+    let private = ParPool::with_threads(3);
+    let before = private.stats().jobs;
+    private.install(|| {
+        let xs: Vec<u64> = (0..100_000).collect();
+        assert_eq!(pbdmm_primitives::scan::par_sum(&xs), 99_999 * 100_000 / 2);
+    });
+    assert!(
+        private.stats().jobs > before,
+        "install scope must route primitives to the installed pool"
+    );
+}
+
+#[test]
+fn nested_par_for_inside_par_for() {
+    let _knobs = knob_lock();
+    force_parallel();
+    let outer = 32usize;
+    let inner = 10_000usize;
+    let totals: Vec<std::sync::atomic::AtomicU64> = (0..outer)
+        .map(|_| std::sync::atomic::AtomicU64::new(0))
+        .collect();
+    par::par_for_hint(outer, CostHint::Heavy, |o| {
+        // Nested data-parallel loop from inside a pool task: must neither
+        // deadlock nor lose iterations.
+        par::par_for_hint(inner, CostHint::Light, |i| {
+            totals[o].fetch_add(i as u64, std::sync::atomic::Ordering::Relaxed);
+        });
+    });
+    let want = (inner as u64 - 1) * inner as u64 / 2;
+    for t in &totals {
+        assert_eq!(t.load(std::sync::atomic::Ordering::Relaxed), want);
+    }
+}
+
+#[test]
+fn adaptive_grain_boundaries_match_sequential() {
+    let _knobs = knob_lock();
+    force_parallel();
+    // n = 0, 1, cutoff-1, cutoff, cutoff+1 for each cost class: results must
+    // be identical whichever side of the sequential cutoff they fall on.
+    for hint in [CostHint::Light, CostHint::Medium, CostHint::Heavy] {
+        let c = hint.sequential_cutoff();
+        for n in [0usize, 1, c - 1, c, c + 1] {
+            let got = par::par_tabulate(n, |i| i as u64 * 3);
+            let want: Vec<u64> = (0..n).map(|i| i as u64 * 3).collect();
+            assert_eq!(got, want, "par_tabulate n={n} hint={hint:?}");
+
+            let hits: Vec<std::sync::atomic::AtomicU64> = (0..n)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect();
+            par::par_for_hint(n, hint, |i| {
+                hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter()
+                    .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1),
+                "par_for n={n} hint={hint:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_results_equal_sequential_results() {
+    let _knobs = knob_lock();
+    // Seeded determinism: the same inputs produce the same outputs whether
+    // the scheduler runs 4-way parallel or forced sequential.
+    force_parallel();
+    let mut rng = SplitMix64::new(0xD5EE);
+    let xs: Vec<u64> = (0..200_000).map(|_| rng.bounded(10_000)).collect();
+    let pairs: Vec<(u32, u32)> = xs.iter().map(|&x| ((x % 512) as u32, x as u32)).collect();
+
+    let (scan_par, total_par) = exclusive_scan(&xs);
+    let groups_par = group_by(pairs.clone());
+    let mut sorted_par = xs.clone();
+    par::par_sort(&mut sorted_par);
+    let found_par = pbdmm_primitives::find_next(3, xs.len(), |i| xs[i] > 9_990);
+
+    par::set_sequential(true);
+    let (scan_seq, total_seq) = exclusive_scan(&xs);
+    let groups_seq = group_by(pairs);
+    let mut sorted_seq = xs.clone();
+    par::par_sort(&mut sorted_seq);
+    let found_seq = pbdmm_primitives::find_next(3, xs.len(), |i| xs[i] > 9_990);
+    par::set_sequential(false);
+
+    assert_eq!(scan_par, scan_seq);
+    assert_eq!(total_par, total_seq);
+    assert_eq!(sorted_par, sorted_seq);
+    assert_eq!(found_par, found_seq);
+    // group_by order is unspecified across code paths; compare as multisets.
+    let canon = |mut gs: Vec<(u32, Vec<u32>)>| {
+        for (_, vs) in &mut gs {
+            vs.sort_unstable();
+        }
+        gs.sort();
+        gs
+    };
+    assert_eq!(canon(groups_par), canon(groups_seq));
+}
+
+#[test]
+fn explicit_pool_sizes_are_honored() {
+    let _knobs = knob_lock();
+    for threads in [1usize, 2, 5] {
+        let p = ParPool::with_threads(threads);
+        assert_eq!(p.threads(), threads);
+        let hits = std::sync::atomic::AtomicU64::new(0);
+        p.run_range(100_000, 1024, |lo, hi| {
+            hits.fetch_add((hi - lo) as u64, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 100_000);
+    }
+}

@@ -103,6 +103,13 @@ impl DynamicSetCover {
         }
     }
 
+    /// Pin this cover's batches to an explicit scheduler (forwarded to the
+    /// underlying [`DynamicMatching`]); the whole element batch then runs on
+    /// one pool with no thread churn.
+    pub fn set_pool(&mut self, pool: std::sync::Arc<pbdmm_primitives::pool::ParPool>) {
+        self.matching.set_pool(pool);
+    }
+
     /// Apply one mixed batch of element updates (insert = the sets
     /// containing a new element; delete = a live element id). Strict; see
     /// [`UpdateError`].

@@ -34,11 +34,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  pbdmm match <graph-file> [--seed S]
+  pbdmm match <graph-file> [--seed S] [--threads T]
   pbdmm dynamic <graph-file> [--batch B] [--order uniform|fifo|lifo|clustered|degree]
-                [--contender dynamic|recompute|naive|setcover] [--seed S]
-  pbdmm cover <graph-file> [--seed S]
-  pbdmm gen <er|hyper|powerlaw|star|bipartite> [--n N] [--m M] [--rank R] [--seed S] -o <file>";
+                [--contender dynamic|recompute|naive|setcover] [--seed S] [--threads T]
+  pbdmm cover <graph-file> [--seed S] [--threads T]
+  pbdmm gen <er|hyper|powerlaw|star|bipartite> [--n N] [--m M] [--rank R] [--seed S] -o <file>
+
+  --threads T sizes the work-stealing scheduler (0 = all cores; also
+  settable process-wide via the PBDMM_THREADS environment variable).";
 
 /// Minimal flag parser: `--key value` pairs after positional arguments.
 struct Args {
@@ -78,6 +81,12 @@ impl Args {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    // Size the process-global work-stealing pool before any parallel call;
+    // all subcommands (and the structures they build) share that scheduler.
+    let threads: usize = args.flag("threads", 0)?;
+    if threads > 0 {
+        pbdmm::primitives::par::set_num_threads(threads);
+    }
     let cmd = args.positional.first().ok_or("missing command")?.as_str();
     match cmd {
         "match" => cmd_match(&args),
