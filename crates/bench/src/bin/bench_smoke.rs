@@ -15,16 +15,22 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Duration;
 
 use pbdmm_bench::json::{self, Value};
 use pbdmm_bench::{fmt_f, Table};
 use pbdmm_graph::gen;
+use pbdmm_graph::update::Batch;
+use pbdmm_graph::wal::{self, WalMeta};
 use pbdmm_graph::workload::{churn, insert_then_delete, DeletionOrder};
 use pbdmm_matching::driver::run_workload;
 use pbdmm_matching::DynamicMatching;
 use pbdmm_primitives::par;
 use pbdmm_primitives::rng::SplitMix64;
+use pbdmm_service::{CoalescePolicy, Done, ServiceConfig, UpdateService, WalConfig};
 
 /// Schema tag so the checker can refuse files from a different layout.
 const SCHEMA: &str = "pbdmm-bench-smoke-v1";
@@ -79,6 +85,144 @@ fn throughput(samples: usize, units: u64, mut f: impl FnMut()) -> f64 {
 /// so the gate compares *scheduler/algorithm* changes, not runner hardware.
 const CALIBRATION: &str = "calibration_scalar_hashes_per_s";
 
+/// The ingest-service workload shape, shared by the coalesced and the
+/// direct-singleton variants so the two metrics compare the *layer*, not
+/// the load: each of `producers` threads alternates windows of inserts
+/// with deletions of the ids it got back, and both variants provide the
+/// same durability guarantee — an update is acknowledged only once the
+/// batch containing it is on the write-ahead log. That parity is the point
+/// of the comparison: the service amortizes the log append (and the
+/// per-`apply` fixed costs) over the whole coalesced batch, while the
+/// singleton path pays them per update — the classic group-commit win.
+const SERVICE_PRODUCERS: usize = 4;
+const SERVICE_UPDATES_PER_PRODUCER: usize = 2048;
+
+fn service_edge(rng: &mut SplitMix64) -> Vec<u32> {
+    let a = rng.bounded(2048) as u32;
+    let b = a + 1 + rng.bounded(7) as u32;
+    vec![a, b]
+}
+
+fn bench_wal_path(name: &str) -> std::path::PathBuf {
+    // Pid-suffixed so concurrent bench runs (or different users sharing the
+    // temp dir) never truncate each other's open log.
+    std::env::temp_dir().join(format!("pbdmm_bench_{name}_{}.wal", std::process::id()))
+}
+
+/// Drive the shared load through the coalescing service. `sync` makes the
+/// WAL fully durable (fsync per batch — the group-commit configuration).
+fn coalesced_service_load(sync: bool, per_producer: usize) {
+    let wal_path = bench_wal_path("coalesced");
+    let mut wal_cfg = WalConfig::new(&wal_path, WalMeta::default());
+    wal_cfg.sync = sync;
+    // Scratch log, rewritten on every sample of this run.
+    wal_cfg.truncate = true;
+    let svc = UpdateService::start(
+        DynamicMatching::with_seed(11),
+        ServiceConfig {
+            policy: CoalescePolicy {
+                max_batch: 512,
+                // Group commit: batches form from whatever queues up while
+                // the previous batch applies — no linger stalls.
+                max_delay: Duration::ZERO,
+            },
+            wal: Some(wal_cfg),
+            ..Default::default()
+        },
+    )
+    .expect("WAL in temp dir");
+    std::thread::scope(|scope| {
+        for p in 0..SERVICE_PRODUCERS as u64 {
+            let h = svc.handle();
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(0xBE9C ^ p);
+                let mut done = 0usize;
+                while done < per_producer {
+                    let window = 64.min(per_producer - done);
+                    let tickets: Vec<_> = (0..window)
+                        .map(|_| h.insert(service_edge(&mut rng)))
+                        .collect();
+                    let ids: Vec<_> = tickets
+                        .into_iter()
+                        .map(|t| t.wait().expect("bench insert").done.id())
+                        .collect();
+                    done += window;
+                    let deletes = ids.len().min(per_producer - done);
+                    let tickets: Vec<_> = ids[..deletes].iter().map(|&id| h.delete(id)).collect();
+                    for t in tickets {
+                        assert!(matches!(
+                            t.wait().expect("bench delete").done,
+                            Done::Deleted(_) | Done::AlreadyDeleted(_)
+                        ));
+                    }
+                    done += deletes;
+                }
+            });
+        }
+    });
+    let (m, _) = svc.shutdown();
+    std::fs::remove_file(&wal_path).ok();
+    std::hint::black_box(m.matching_size());
+}
+
+/// The same load, same durability contract, without the coalescing layer:
+/// per-update singleton `apply` calls on one mutex-shared structure, each
+/// update appended to the WAL — and flushed, plus fsynced when `sync` —
+/// before it is acknowledged.
+fn direct_singleton_load(sync: bool, per_producer: usize) {
+    let wal_path = bench_wal_path("singleton");
+    let file = std::fs::File::create(&wal_path).expect("WAL in temp dir");
+    let mut w = std::io::BufWriter::new(file);
+    wal::write_header(&mut w, &WalMeta::default()).unwrap();
+    struct Shared {
+        m: DynamicMatching,
+        w: std::io::BufWriter<std::fs::File>,
+        seq: u64,
+    }
+    let shared = Mutex::new(Shared {
+        m: DynamicMatching::with_seed(11),
+        w,
+        seq: 0,
+    });
+    let apply_logged = |batch: Batch| {
+        let mut s = shared.lock().unwrap();
+        let seq = s.seq;
+        wal::write_batch(&mut s.w, seq, &batch).unwrap();
+        s.w.flush().unwrap();
+        if sync {
+            s.w.get_ref().sync_data().unwrap();
+        }
+        s.seq += 1;
+        s.m.apply(batch).expect("bench singleton apply")
+    };
+    std::thread::scope(|scope| {
+        for p in 0..SERVICE_PRODUCERS as u64 {
+            let apply_logged = &apply_logged;
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(0xBE9C ^ p);
+                let mut done = 0usize;
+                while done < per_producer {
+                    let window = 64.min(per_producer - done);
+                    let mut ids = Vec::with_capacity(window);
+                    for _ in 0..window {
+                        let out = apply_logged(Batch::new().insert(service_edge(&mut rng)));
+                        ids.push(out.inserted[0]);
+                    }
+                    done += window;
+                    let deletes = ids.len().min(per_producer - done);
+                    for &id in &ids[..deletes] {
+                        apply_logged(Batch::new().delete(id));
+                    }
+                    done += deletes;
+                }
+            });
+        }
+    });
+    let final_size = shared.into_inner().unwrap().m.matching_size();
+    std::fs::remove_file(&wal_path).ok();
+    std::hint::black_box(final_size);
+}
+
 /// The fixed workload battery. Every metric name carries its thread count so
 /// serial and parallel scheduler paths are gated independently.
 fn run_battery(samples: usize) -> BTreeMap<String, f64> {
@@ -120,6 +264,46 @@ fn run_battery(samples: usize) -> BTreeMap<String, f64> {
             }),
         );
     }
+
+    // Ingest-service layer at equal durability (an update is acknowledged
+    // only once the batch containing it is logged): the flush-only pair
+    // and the fully durable (fsync-per-commit) pair — the same *kind* of
+    // group-commit comparison `pbdmm serve --compare direct` makes, with
+    // this battery's own fixed load and constants. All four are
+    // recorded but ungated: the coalesced numbers hinge on producer/
+    // coalescer thread scheduling (observed ~15% swings between idle runs)
+    // and fsync latency is a host property, neither of which calibration
+    // can normalize. The singleton-fsync variant runs a smaller load (one
+    // fsync per update adds up fast on slow disks).
+    par::set_num_threads(4);
+    let service_total = (SERVICE_PRODUCERS * SERVICE_UPDATES_PER_PRODUCER) as u64;
+    metrics.insert(
+        "info_service_coalesced_wal_updates_per_s_t4".into(),
+        throughput(samples, service_total, || {
+            coalesced_service_load(false, SERVICE_UPDATES_PER_PRODUCER)
+        }),
+    );
+    metrics.insert(
+        "info_service_coalesced_fsync_updates_per_s_t4".into(),
+        throughput(samples, service_total, || {
+            coalesced_service_load(true, SERVICE_UPDATES_PER_PRODUCER)
+        }),
+    );
+    let singleton_per_producer = SERVICE_UPDATES_PER_PRODUCER / 8;
+    metrics.insert(
+        "info_direct_singleton_fsync_updates_per_s_t4".into(),
+        throughput(
+            samples,
+            (SERVICE_PRODUCERS * singleton_per_producer) as u64,
+            || direct_singleton_load(true, singleton_per_producer),
+        ),
+    );
+    metrics.insert(
+        "info_direct_singleton_wal_updates_per_s_t4".into(),
+        throughput(samples, service_total, || {
+            direct_singleton_load(false, SERVICE_UPDATES_PER_PRODUCER)
+        }),
+    );
 
     // Dispatch-frequency metrics: many borderline-size parallel calls, the
     // shape level settlement actually produces (a few-thousand-element
@@ -185,10 +369,47 @@ fn run_battery(samples: usize) -> BTreeMap<String, f64> {
     metrics
 }
 
-fn to_json(metrics: &BTreeMap<String, f64>, samples: usize) -> Value {
+/// Run metadata recorded alongside the metrics so baseline comparisons in
+/// `ci/` are attributable: which thread configuration, how much hardware
+/// parallelism was actually available, and which toolchain built the
+/// binary. The regression checker ignores this object (it reads only
+/// `schema` and `metrics`), so old baselines stay comparable.
+fn run_meta() -> Value {
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let configured = par::num_threads();
+    let toolchain = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    json::obj([
+        (
+            "threads_configured".to_string(),
+            Value::Num(configured as f64),
+        ),
+        (
+            "effective_parallelism".to_string(),
+            Value::Num(configured.min(cores) as f64),
+        ),
+        ("available_cores".to_string(), Value::Num(cores as f64)),
+        (
+            "pbdmm_threads_env".to_string(),
+            Value::Str(std::env::var("PBDMM_THREADS").unwrap_or_else(|_| "unset".into())),
+        ),
+        ("toolchain".to_string(), Value::Str(toolchain)),
+    ])
+}
+
+fn to_json(metrics: &BTreeMap<String, f64>, samples: usize, meta: Value) -> Value {
     json::obj([
         ("schema".to_string(), Value::Str(SCHEMA.into())),
         ("samples".to_string(), Value::Num(samples as f64)),
+        ("meta".to_string(), meta),
         (
             "metrics".to_string(),
             Value::Obj(
@@ -283,6 +504,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Capture metadata before the battery mutates the thread cap.
+    let meta = run_meta();
     let metrics = run_battery(args.samples);
 
     let mut table = Table::new("bench-smoke", &["metric", "per second"]);
@@ -292,7 +515,7 @@ fn main() -> ExitCode {
     table.print();
 
     if let Some(out) = &args.out {
-        let doc = to_json(&metrics, args.samples);
+        let doc = to_json(&metrics, args.samples, meta);
         if let Err(e) = std::fs::write(out, doc.render()) {
             eprintln!("bench_smoke: write {out}: {e}");
             return ExitCode::FAILURE;

@@ -28,11 +28,16 @@ pub fn read_hypergraph<R: BufRead>(reader: R) -> Result<Hypergraph, String> {
         let line = line.map_err(|e| format!("line {}: io error: {e}", lineno + 1))?;
         let content = line.split('#').next().unwrap_or("").trim();
         if content.is_empty() {
-            if let Some(rest) = line.trim().strip_prefix("# vertices:") {
-                declared_n = rest
-                    .trim()
-                    .parse::<usize>()
-                    .map_err(|e| format!("line {}: bad vertex count: {e}", lineno + 1))?;
+            // Comment-only line: a `vertices:` header may follow the `#`
+            // with any amount of whitespace (`# vertices: N`, `#vertices:N`,
+            // `#   vertices: N` are all accepted).
+            if let Some(comment) = line.trim().strip_prefix('#') {
+                if let Some(rest) = comment.trim_start().strip_prefix("vertices:") {
+                    declared_n = rest
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|e| format!("line {}: bad vertex count: {e}", lineno + 1))?;
+                }
             }
             continue;
         }
@@ -102,6 +107,21 @@ mod tests {
     fn vertex_count_header_raises_n() {
         let g = parse("# vertices: 100\n0 1\n").unwrap();
         assert_eq!(g.n, 100);
+    }
+
+    #[test]
+    fn vertex_count_header_accepts_both_spellings() {
+        // Canonical spelling with a space after `#`.
+        let g = parse("# vertices: 50\n0 1\n").unwrap();
+        assert_eq!(g.n, 50);
+        // No space after `#` (common hand-written form).
+        let g = parse("#vertices: 60\n0 1\n").unwrap();
+        assert_eq!(g.n, 60);
+        // Arbitrary whitespace after `#` and around the count.
+        let g = parse("#   vertices:   70  \n0 1\n").unwrap();
+        assert_eq!(g.n, 70);
+        // A malformed count is still an error, whatever the spelling.
+        assert!(parse("#vertices: x\n0 1\n").is_err());
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * [`workload`] — oblivious batch update schedules (empty-to-empty,
 //!   sliding-window, churn) with several deletion orders;
 //! * [`update`] — the unified mixed-batch vocabulary ([`Update`], [`Batch`])
-//!   consumed by every `BatchDynamic` structure.
+//!   consumed by every `BatchDynamic` structure;
+//! * [`wal`] — the durable line-based write-ahead log for update batches
+//!   (crash recovery and trace replay for the service layer).
 
 #![warn(missing_docs)]
 
@@ -21,6 +23,7 @@ pub mod gen;
 pub mod hypergraph;
 pub mod io;
 pub mod update;
+pub mod wal;
 pub mod workload;
 
 pub use edge::{cardinality, edges_intersect, normalize_vertices, EdgeId, EdgeVertices, VertexId};

@@ -72,6 +72,7 @@ pub mod verify;
 
 pub use api::{
     Batch, BatchDynamic, BatchOutcome, DynamicMatchingBuilder, MeterMode, Update, UpdateError,
+    UpdateOutcome,
 };
 pub use dynamic::{BatchReport, DynamicMatching, LevelOccupancy};
 pub use greedy::{

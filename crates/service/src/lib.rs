@@ -1,0 +1,77 @@
+//! # pbdmm-service
+//!
+//! The concurrent **ingest/serve layer** over any batch-dynamic structure:
+//! turns a firehose of individual updates from many producer threads into
+//! the well-formed mixed batches the paper's algorithm is efficient on —
+//! the way bulk-synchronous streaming systems amortize per-update cost into
+//! supersteps.
+//!
+//! Lifecycle (`ingress → coalesce → WAL → apply → complete`):
+//!
+//! 1. **Ingress** — producers submit single [`Update`]s through a cloneable
+//!    [`ServiceHandle`] (an MPSC channel); each submission returns a
+//!    [`Ticket`].
+//! 2. **Coalesce** — one coalescer thread drains the ingress under a
+//!    size/latency [`CoalescePolicy`] (flush at `max_batch` updates or
+//!    `max_delay` after the first, whichever first) and resolves conflicts
+//!    per the strict `apply` contract: deletions ordered before insertions,
+//!    in-batch duplicate deletes deduplicated, a delete of an edge inserted
+//!    by the same pending batch deferred to the next one, and individually
+//!    invalid updates (unknown id, empty vertex set) rejected without
+//!    poisoning the batch.
+//! 3. **WAL** — the formed batch is appended to a durable write-ahead log
+//!    ([`pbdmm_graph::wal`], same line-based conventions as `graph::io`)
+//!    *before* it is applied, so a crash never loses an acknowledged batch.
+//! 4. **Apply** — one [`BatchDynamic::apply`] call on a pinned
+//!    [`ParPool`], settling the whole batch in one leveled round.
+//! 5. **Complete** — each submitter's ticket resolves with its slice of the
+//!    [`BatchOutcome`] (its assigned [`EdgeId`] for inserts), plus the
+//!    update's position in the global apply order.
+//!
+//! [`replay`] reconstructs a structure from a recorded WAL
+//! deterministically — crash recovery and a trace-replay harness for
+//! benchmarking real update streams in one mechanism.
+//!
+//! ```
+//! use pbdmm_matching::DynamicMatching;
+//! use pbdmm_service::{CoalescePolicy, Done, ServiceConfig, UpdateService};
+//!
+//! let svc = UpdateService::start(
+//!     DynamicMatching::with_seed(42),
+//!     ServiceConfig { policy: CoalescePolicy::default(), ..Default::default() },
+//! )
+//! .unwrap();
+//!
+//! // Producers: clone the handle freely across threads.
+//! let h = svc.handle();
+//! let ticket = h.insert(vec![0, 1]);
+//! let id = match ticket.wait().unwrap().done {
+//!     Done::Inserted(id) => id,
+//!     _ => unreachable!(),
+//! };
+//! h.delete(id).wait().unwrap();
+//!
+//! drop(h);
+//! let (structure, stats) = svc.shutdown();
+//! assert_eq!(structure.num_edges(), 0);
+//! assert_eq!(stats.updates, 2);
+//! ```
+//!
+//! [`Update`]: pbdmm_graph::update::Update
+//! [`EdgeId`]: pbdmm_graph::edge::EdgeId
+//! [`BatchDynamic::apply`]: pbdmm_matching::api::BatchDynamic::apply
+//! [`BatchOutcome`]: pbdmm_matching::api::BatchOutcome
+//! [`ParPool`]: pbdmm_primitives::pool::ParPool
+
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod replay;
+pub mod service;
+
+pub use coalesce::{plan_batch, BatchPlan, CoalescePolicy, Slot};
+pub use replay::{replay_into, replay_matching, replay_setcover, ReplayReport};
+pub use service::{
+    Completion, Done, ServiceConfig, ServiceError, ServiceHandle, ServiceStats, Ticket,
+    UpdateService, WalConfig,
+};

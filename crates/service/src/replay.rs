@@ -1,0 +1,267 @@
+//! Deterministic WAL replay: rebuild a structure from a recorded log.
+//!
+//! Replay doubles as crash recovery (reconstruct the pre-crash state from
+//! the committed prefix) and as a trace-replay harness (drive any
+//! [`BatchDynamic`] with a real recorded update stream, e.g. for
+//! benchmarking).
+//!
+//! Determinism argument: the WAL records committed batches in apply order;
+//! insertions carry no ids because the structure assigns them sequentially
+//! at apply time, so applying the identical batch sequence to a **fresh**
+//! structure built with the **same seed** reassigns the identical ids and —
+//! since the structure's coins are a function of its seed alone — reproduces
+//! the exact final state, matching included.
+
+use pbdmm_graph::edge::EdgeId;
+use pbdmm_graph::update::Update;
+use pbdmm_graph::wal::Wal;
+use pbdmm_matching::api::BatchDynamic;
+use pbdmm_matching::DynamicMatching;
+use pbdmm_setcover::DynamicSetCover;
+
+use crate::coalesce::{plan_batch, Slot};
+
+/// What one replay did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Committed WAL batches consumed.
+    pub batches: u64,
+    /// `apply` calls issued (≥ `batches`: a batch whose deletes
+    /// forward-reference its own inserts is split in two).
+    pub applies: u64,
+    /// Updates applied.
+    pub updates: u64,
+    /// Deletes deferred past their batch's inserts (see module docs).
+    pub deferred: u64,
+}
+
+/// Replay a decoded WAL into `s`, which must be **fresh** (no edges ever
+/// inserted — id assignment starts at 0) and seeded per the WAL metadata
+/// for exact reproduction.
+///
+/// Batches are re-planned through the coalescer's conflict rules before
+/// applying, so a trace whose batch deletes an edge inserted by the same
+/// batch (possible in merged or hand-written WALs — a live recorder never
+/// emits it) is split: inserts first, the forward-referencing deletes in a
+/// follow-up batch.
+pub fn replay_into<S: BatchDynamic>(s: &mut S, wal: &Wal) -> Result<ReplayReport, String> {
+    if s.num_edges() != 0 {
+        return Err("replay target must be a fresh structure".into());
+    }
+    let mut report = ReplayReport::default();
+    // Ids are assigned sequentially from 0 in apply order; this counter
+    // predicts them, which is what lets the planner distinguish "created by
+    // this batch's inserts" from "plain unknown id". The prediction is
+    // verified against every apply's outcome below: a structure that is
+    // empty but has handed out ids before (its id counter is not at 0)
+    // would silently shift every recorded delete onto the wrong edge.
+    let mut next_insert_id: u64 = 0;
+    let check_assigned = |expected_first: u64, inserted: &[EdgeId]| -> Result<(), String> {
+        match inserted.first() {
+            Some(id) if id.raw() != expected_first => Err(format!(
+                "replay target is not fresh: expected insert id e{expected_first}, \
+                 structure assigned {id} (its id counter is not at 0); \
+                 the target state is now unspecified"
+            )),
+            _ => Ok(()),
+        }
+    };
+    for (seq, batch) in wal.batches.iter().enumerate() {
+        let plan = plan_batch(
+            batch.as_slice().to_vec(),
+            |id| s.contains_edge(id),
+            |id| id.raw() >= next_insert_id,
+        );
+        for slot in &plan.slots {
+            match slot {
+                Slot::RejectUnknown(id) => {
+                    return Err(format!("batch {seq}: delete of unknown edge {id}"));
+                }
+                Slot::RejectEmpty => {
+                    return Err(format!("batch {seq}: insert with empty vertex set"));
+                }
+                _ => {}
+            }
+        }
+        let inserts = plan.batch.num_inserts() as u64;
+        if !plan.batch.is_empty() {
+            report.updates += plan.batch.len() as u64;
+            report.applies += 1;
+            let out = s
+                .apply(plan.batch)
+                .map_err(|e| format!("batch {seq}: {e}"))?;
+            check_assigned(next_insert_id, &out.inserted)?;
+        }
+        next_insert_id += inserts;
+        if !plan.deferred.is_empty() {
+            // Forward-referencing deletes: their targets exist now. The
+            // follow-up goes through the planner again so duplicates among
+            // the deferred deletes coalesce instead of failing strict
+            // `apply` (merged traces can carry them).
+            let follow_ops: Vec<Update> = plan
+                .deferred
+                .iter()
+                .map(|&i| batch.as_slice()[i].clone())
+                .collect();
+            let follow = plan_batch(follow_ops, |id| s.contains_edge(id), |_| false);
+            for slot in &follow.slots {
+                if let Slot::RejectUnknown(id) = slot {
+                    return Err(format!("batch {seq}: delete of unknown edge {id}"));
+                }
+            }
+            if !follow.batch.is_empty() {
+                report.deferred += follow.batch.len() as u64;
+                report.updates += follow.batch.len() as u64;
+                report.applies += 1;
+                s.apply(follow.batch)
+                    .map_err(|e| format!("batch {seq} (deferred deletes): {e}"))?;
+            }
+        }
+        report.batches += 1;
+    }
+    Ok(report)
+}
+
+/// Replay a WAL recorded over a [`DynamicMatching`]: builds a fresh
+/// structure with the WAL's seed and replays every committed batch.
+pub fn replay_matching(wal: &Wal) -> Result<(DynamicMatching, ReplayReport), String> {
+    let mut m = DynamicMatching::with_seed(wal.meta.seed);
+    let report = replay_into(&mut m, wal)?;
+    Ok((m, report))
+}
+
+/// Replay a WAL recorded over a [`DynamicSetCover`] (element updates).
+pub fn replay_setcover(wal: &Wal) -> Result<(DynamicSetCover, ReplayReport), String> {
+    let mut c = DynamicSetCover::with_seed(wal.meta.seed);
+    let report = replay_into(&mut c, wal)?;
+    Ok((c, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbdmm_graph::update::Batch;
+    use pbdmm_graph::wal::WalMeta;
+    use pbdmm_matching::verify::check_invariants;
+
+    fn wal_of(batches: Vec<Batch>) -> Wal {
+        Wal {
+            meta: WalMeta {
+                structure: "matching".into(),
+                seed: 11,
+            },
+            batches,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn replays_to_identical_state() {
+        let batches = vec![
+            Batch::new().inserts([vec![0, 1], vec![1, 2], vec![2, 3]]),
+            Batch::new().delete(EdgeId(1)).insert(vec![3, 4]),
+            Batch::new().deletes([EdgeId(0), EdgeId(3)]),
+        ];
+        // Reference: drive a structure directly with the same batches.
+        let mut reference = DynamicMatching::with_seed(11);
+        for b in &batches {
+            reference.apply(b.clone()).unwrap();
+        }
+        let (replayed, report) = replay_matching(&wal_of(batches)).unwrap();
+        assert_eq!(report.batches, 3);
+        assert_eq!(report.updates, 7);
+        assert_eq!(report.deferred, 0);
+        let mut a = reference.matching();
+        let mut b = replayed.matching();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "matching state must reproduce exactly");
+        assert_eq!(reference.num_edges(), replayed.num_edges());
+        check_invariants(&replayed).unwrap();
+    }
+
+    #[test]
+    fn rejects_emptied_but_used_targets() {
+        // An emptied structure still fails freshness: its id counter is not
+        // at 0, so recorded deletes would land on the wrong edges. Detected
+        // on the first apply, before any recorded delete can resolve.
+        let mut used = DynamicMatching::with_seed(11);
+        let ids = used.insert_edges(&[vec![0, 1]]);
+        used.delete_edges(&ids);
+        assert_eq!(used.num_edges(), 0);
+        let err =
+            replay_into(&mut used, &wal_of(vec![Batch::new().insert(vec![2, 3])])).unwrap_err();
+        assert!(err.contains("not fresh"), "{err}");
+    }
+
+    #[test]
+    fn deferred_duplicate_deletes_coalesce() {
+        // `i 0 1; d 0; d 0`: both deletes forward-reference the batch's own
+        // insert and defer; the follow-up batch must deduplicate them
+        // instead of failing strict apply.
+        let batches = vec![Batch::new()
+            .insert(vec![0, 1])
+            .delete(EdgeId(0))
+            .delete(EdgeId(0))];
+        let (m, report) = replay_matching(&wal_of(batches)).unwrap();
+        assert_eq!(m.num_edges(), 0);
+        assert_eq!(report.deferred, 1);
+        assert_eq!(report.applies, 2);
+        check_invariants(&m).unwrap();
+    }
+
+    #[test]
+    fn defers_forward_referencing_deletes() {
+        // One hand-written batch inserting two edges and deleting the first
+        // of them (id 0 is assigned by this very batch): the replayer must
+        // split it rather than reject it.
+        let batches = vec![Batch::new()
+            .insert(vec![0, 1])
+            .delete(EdgeId(0))
+            .insert(vec![2, 3])];
+        let (m, report) = replay_matching(&wal_of(batches)).unwrap();
+        assert_eq!(report.deferred, 1);
+        assert_eq!(report.applies, 2);
+        assert_eq!(m.num_edges(), 1);
+        assert!(m.contains_edge(EdgeId(1)));
+        check_invariants(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_ids_and_stale_targets() {
+        let err = replay_matching(&wal_of(vec![Batch::new().delete(EdgeId(5))])).unwrap_err();
+        assert!(err.contains("unknown"), "{err}");
+        // A forward reference beyond the batch's own inserts is unknown too.
+        let err = replay_matching(&wal_of(vec![Batch::new()
+            .insert(vec![0, 1])
+            .delete(EdgeId(7))]))
+        .unwrap_err();
+        assert!(err.contains("unknown"), "{err}");
+        // Fresh-structure precondition.
+        let mut used = DynamicMatching::with_seed(1);
+        used.insert_edges(&[vec![0, 1]]);
+        let err = replay_into(&mut used, &wal_of(vec![])).unwrap_err();
+        assert!(err.contains("fresh"), "{err}");
+    }
+
+    #[test]
+    fn replays_setcover_elements() {
+        let batches = vec![
+            Batch::new().inserts([vec![0, 1], vec![1, 2], vec![2]]),
+            Batch::new().delete(EdgeId(0)),
+        ];
+        let wal = Wal {
+            meta: WalMeta {
+                structure: "setcover".into(),
+                seed: 3,
+            },
+            batches,
+            truncated: false,
+        };
+        let (c, report) = replay_setcover(&wal).unwrap();
+        assert_eq!(report.batches, 2);
+        assert_eq!(c.num_elements(), 2);
+        assert!(c.cover_size() > 0);
+        check_invariants(c.matching()).unwrap();
+    }
+}

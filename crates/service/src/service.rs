@@ -1,0 +1,785 @@
+//! The concurrent ingest/serve engine: [`UpdateService`].
+//!
+//! Many producer threads submit single [`Update`]s through a cloneable
+//! [`ServiceHandle`] (an MPSC ingress); one coalescer thread owns the
+//! structure, forms valid mixed batches under a [`CoalescePolicy`], appends
+//! each formed batch to the durable WAL **before** applying it, drives
+//! `apply` on a pinned [`ParPool`], and completes each submitter's
+//! [`Ticket`] with its slice of the [`BatchOutcome`] — the per-update
+//! mapping [`BatchOutcome::per_update`] exposes, computed slot-wise here so
+//! the hot path never clones the batch.
+//!
+//! [`BatchOutcome`]: pbdmm_matching::api::BatchOutcome
+//! [`BatchOutcome::per_update`]: pbdmm_matching::api::BatchOutcome::per_update
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use pbdmm_graph::edge::{EdgeId, EdgeVertices};
+use pbdmm_graph::update::{Batch, Update};
+use pbdmm_graph::wal::{self, WalMeta};
+use pbdmm_matching::api::{BatchDynamic, UpdateError};
+use pbdmm_primitives::pool::ParPool;
+
+use crate::coalesce::{plan_batch, CoalescePolicy, Slot};
+
+/// Why a single submitted update failed. Per-update: one bad submission
+/// never poisons the batch it was coalesced into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The deletion named an id that is not a live edge.
+    UnknownEdge(EdgeId),
+    /// The insertion's vertex set was empty.
+    EmptyEdge,
+    /// The whole batch was rejected by the structure (defensive: the
+    /// coalescer pre-validates, so this indicates a planner/structure
+    /// disagreement).
+    Rejected(UpdateError),
+    /// The WAL append failed; the batch was **not** applied (write-ahead
+    /// durability: no un-logged mutation).
+    Wal(String),
+    /// The service shut down before this update was applied.
+    Closed,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownEdge(id) => write!(f, "unknown or dead edge {id}"),
+            ServiceError::EmptyEdge => write!(f, "edge with empty vertex set"),
+            ServiceError::Rejected(e) => write!(f, "batch rejected: {e}"),
+            ServiceError::Wal(e) => write!(f, "WAL append failed: {e}"),
+            ServiceError::Closed => write!(f, "service closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// What a submitted update resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Done {
+    /// The insertion was applied and assigned this id.
+    Inserted(EdgeId),
+    /// The deletion was applied; the edge is gone.
+    Deleted(EdgeId),
+    /// An earlier update in the same batch already deleted this id; the
+    /// edge is gone all the same (idempotent coalesced delete).
+    AlreadyDeleted(EdgeId),
+}
+
+impl Done {
+    /// The edge id this update resolved to.
+    pub fn id(&self) -> EdgeId {
+        match self {
+            Done::Inserted(id) | Done::Deleted(id) | Done::AlreadyDeleted(id) => *id,
+        }
+    }
+}
+
+/// A completed update: what happened, plus the global apply-order sequence
+/// number. Sorting the completions whose `done` is [`Done::Inserted`] or
+/// [`Done::Deleted`] by `seq` yields a valid linearization: re-applying
+/// those updates sequentially in that order reproduces an equivalent state
+/// (the property the service's tests check). [`Done::AlreadyDeleted`]
+/// completions are *coalesced* updates — they share the `seq` of the delete
+/// that held the batch slot and must be skipped when re-applying, since
+/// their edge is already gone at that point in the order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Position of this update in the service's global apply order.
+    /// Coalesced duplicate deletes share the sequence number of the delete
+    /// that held the batch slot.
+    pub seq: u64,
+    /// What the update resolved to.
+    pub done: Done,
+}
+
+/// The submitter's side of one in-flight update: blocks until the batch
+/// containing it commits (or rejects it).
+#[derive(Debug)]
+pub struct Ticket(mpsc::Receiver<Result<Completion, ServiceError>>);
+
+impl Ticket {
+    /// Block until the update is applied (or rejected / the service closes).
+    pub fn wait(self) -> Result<Completion, ServiceError> {
+        match self.0.recv() {
+            Ok(r) => r,
+            Err(mpsc::RecvError) => Err(ServiceError::Closed),
+        }
+    }
+}
+
+/// One queued request: the update plus its completion channel.
+struct Req {
+    op: Update,
+    done: mpsc::Sender<Result<Completion, ServiceError>>,
+}
+
+/// What flows through the ingress: updates, or the shutdown marker
+/// [`UpdateService::shutdown`] enqueues so it never deadlocks on a
+/// still-alive [`ServiceHandle`].
+enum Msg {
+    Update(Req),
+    Shutdown,
+}
+
+/// The cloneable producer side of an [`UpdateService`]: submit single
+/// updates from any thread; each returns a [`Ticket`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    tx: mpsc::Sender<Msg>,
+}
+
+impl ServiceHandle {
+    /// Submit one update. Never blocks (the ingress is unbounded); the
+    /// returned ticket resolves when the batch containing the update
+    /// commits.
+    pub fn submit(&self, op: Update) -> Ticket {
+        let (done, rx) = mpsc::channel();
+        if let Err(mpsc::SendError(Msg::Update(req))) = self.tx.send(Msg::Update(Req { op, done }))
+        {
+            // The coalescer is gone; resolve the ticket immediately.
+            let _ = req.done.send(Err(ServiceError::Closed));
+        }
+        Ticket(rx)
+    }
+
+    /// Submit an insertion of a hyperedge over `vertices`.
+    pub fn insert(&self, vertices: EdgeVertices) -> Ticket {
+        self.submit(Update::Insert(vertices))
+    }
+
+    /// Submit a deletion of the live edge `id`.
+    pub fn delete(&self, id: EdgeId) -> Ticket {
+        self.submit(Update::Delete(id))
+    }
+}
+
+/// Counters the coalescer keeps; returned by [`UpdateService::shutdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Updates applied to the structure (insertions + deletions; excludes
+    /// coalesced duplicates and rejects).
+    pub updates: u64,
+    /// Batches applied.
+    pub batches: u64,
+    /// Batches closed because they reached `max_batch`.
+    pub flush_full: u64,
+    /// Batches closed because the linger window (`max_delay`) expired.
+    pub flush_timer: u64,
+    /// Batches closed by group commit: the ingress went momentarily empty
+    /// (only in `max_delay == 0` mode).
+    pub flush_idle: u64,
+    /// Batches closed because the service was shutting down (final drain).
+    pub flush_close: u64,
+    /// Duplicate in-batch deletes coalesced away.
+    pub dup_deletes: u64,
+    /// Individually rejected updates (unknown id / empty vertex set).
+    pub rejected: u64,
+    /// Largest batch applied.
+    pub max_batch_len: usize,
+    /// Batches appended to the WAL (0 when no WAL is configured).
+    pub wal_batches: u64,
+}
+
+impl ServiceStats {
+    /// Mean updates per applied batch — the coalescing factor.
+    pub fn mean_batch_len(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.updates as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Durable-log configuration for an [`UpdateService`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// File to append the log to.
+    pub path: PathBuf,
+    /// Header metadata — record the structure kind and seed so
+    /// [`crate::replay`] can rebuild an identically-seeded instance.
+    pub meta: WalMeta,
+    /// `fsync` after every appended batch (durability against power loss,
+    /// not just process crash). Default `false`: flush to the OS only.
+    pub sync: bool,
+    /// Overwrite an existing non-empty file at `path`. Default `false`:
+    /// [`UpdateService::start`] refuses rather than silently destroying a
+    /// previous run's log — the artifact crash recovery depends on. Set it
+    /// only for scratch logs.
+    pub truncate: bool,
+}
+
+impl WalConfig {
+    /// A flush-only (no fsync), overwrite-refusing WAL at `path` with the
+    /// given metadata.
+    pub fn new(path: impl Into<PathBuf>, meta: WalMeta) -> Self {
+        WalConfig {
+            path: path.into(),
+            meta,
+            sync: false,
+            truncate: false,
+        }
+    }
+}
+
+/// Service configuration: batching policy, optional WAL, optional pinned
+/// scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Size/latency batching policy.
+    pub policy: CoalescePolicy,
+    /// Durable write-ahead log (None: in-memory only).
+    pub wal: Option<WalConfig>,
+    /// Scheduler every `apply` runs on (None: the process-global pool).
+    pub pool: Option<Arc<ParPool>>,
+}
+
+/// The write side of the WAL: buffered file + the append-before-apply rule.
+struct WalSink {
+    w: std::io::BufWriter<std::fs::File>,
+    sync: bool,
+    seq: u64,
+}
+
+impl WalSink {
+    fn open(cfg: &WalConfig) -> Result<Self, ServiceError> {
+        if !cfg.truncate {
+            if let Ok(md) = std::fs::metadata(&cfg.path) {
+                if md.len() > 0 {
+                    return Err(ServiceError::Wal(format!(
+                        "refusing to overwrite existing WAL {:?} — replay or move it, \
+                         pick another path, or set WalConfig::truncate",
+                        cfg.path
+                    )));
+                }
+            }
+        }
+        let file = std::fs::File::create(&cfg.path)
+            .map_err(|e| ServiceError::Wal(format!("create {:?}: {e}", cfg.path)))?;
+        let mut w = std::io::BufWriter::new(file);
+        wal::write_header(&mut w, &cfg.meta)
+            .and_then(|()| w.flush())
+            .map_err(|e| ServiceError::Wal(format!("write header: {e}")))?;
+        Ok(WalSink {
+            w,
+            sync: cfg.sync,
+            seq: 0,
+        })
+    }
+
+    /// Byte offset the next append will start at. The buffer is empty
+    /// between appends (every append flushes), so the file length is the
+    /// logical end of the log.
+    fn mark(&mut self) -> Result<u64, ServiceError> {
+        self.w
+            .get_ref()
+            .metadata()
+            .map(|md| md.len())
+            .map_err(|e| ServiceError::Wal(format!("stat WAL: {e}")))
+    }
+
+    /// Undo the most recent append: truncate the file back to `mark` and
+    /// rewind the sequence counter. Used when the batch that was just
+    /// logged could not be applied — the log must match the applied state
+    /// exactly, or replay would reconstruct a phantom batch.
+    fn rollback(&mut self, mark: u64) -> Result<(), ServiceError> {
+        use std::io::Seek;
+        self.w
+            .get_ref()
+            .set_len(mark)
+            .and_then(|()| self.w.get_mut().seek(std::io::SeekFrom::Start(mark)))
+            .map_err(|e| ServiceError::Wal(format!("rollback batch {}: {e}", self.seq - 1)))?;
+        self.seq -= 1;
+        Ok(())
+    }
+
+    /// Append one batch and make it durable (flush, optionally fsync)
+    /// *before* the caller applies it.
+    fn append(&mut self, batch: &Batch) -> Result<(), ServiceError> {
+        wal::write_batch(&mut self.w, self.seq, batch)
+            .and_then(|()| self.w.flush())
+            .map_err(|e| ServiceError::Wal(format!("append batch {}: {e}", self.seq)))?;
+        if self.sync {
+            self.w
+                .get_ref()
+                .sync_data()
+                .map_err(|e| ServiceError::Wal(format!("fsync batch {}: {e}", self.seq)))?;
+        }
+        self.seq += 1;
+        Ok(())
+    }
+}
+
+/// A batch-coalescing update service over any [`BatchDynamic`] structure.
+///
+/// See the [crate docs](crate) for the full lifecycle; in short:
+///
+/// ```
+/// use pbdmm_matching::DynamicMatching;
+/// use pbdmm_service::{ServiceConfig, UpdateService};
+///
+/// let svc = UpdateService::start(DynamicMatching::with_seed(7), ServiceConfig::default()).unwrap();
+/// let h = svc.handle();
+/// let t1 = h.insert(vec![0, 1]);
+/// let t2 = h.insert(vec![1, 2]);
+/// let id = t1.wait().unwrap().done.id();
+/// t2.wait().unwrap();
+/// h.delete(id).wait().unwrap();
+/// let (m, stats) = svc.shutdown();
+/// assert_eq!(m.num_edges(), 1);
+/// assert_eq!(stats.updates, 3);
+/// ```
+pub struct UpdateService<S: BatchDynamic + Send + 'static> {
+    tx: Option<mpsc::Sender<Msg>>,
+    join: Option<JoinHandle<(S, ServiceStats)>>,
+}
+
+impl<S: BatchDynamic + Send + 'static> UpdateService<S> {
+    /// Start the service: spawns the coalescer thread, which takes
+    /// ownership of `structure` (get it back from [`Self::shutdown`]).
+    /// Fails only if the WAL cannot be created.
+    pub fn start(structure: S, config: ServiceConfig) -> Result<Self, ServiceError> {
+        let wal_sink = match &config.wal {
+            Some(cfg) => Some(WalSink::open(cfg)?),
+            None => None,
+        };
+        let (tx, rx) = mpsc::channel();
+        let join = std::thread::Builder::new()
+            .name("pbdmm-coalescer".into())
+            .spawn(move || coalescer_loop(structure, config, wal_sink, rx))
+            .expect("spawn coalescer thread");
+        Ok(UpdateService {
+            tx: Some(tx),
+            join: Some(join),
+        })
+    }
+
+    /// A new producer handle. Handles are cheap to clone and `Send`; the
+    /// coalescer drains until every handle (and the service itself) is gone.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            tx: self.tx.clone().expect("service not shut down"),
+        }
+    }
+
+    /// Stop the service: everything already queued (including updates
+    /// racing in from still-alive [`ServiceHandle`] clones) is drained,
+    /// batched, and completed, then the coalescer exits and the structure
+    /// and run statistics come back. Does **not** require outstanding
+    /// handles to be dropped first — a shutdown marker flows through the
+    /// ingress, and tickets submitted after it resolve with
+    /// [`ServiceError::Closed`].
+    pub fn shutdown(mut self) -> (S, ServiceStats) {
+        let tx = self.tx.take().expect("service not shut down");
+        let _ = tx.send(Msg::Shutdown);
+        drop(tx);
+        self.join
+            .take()
+            .expect("service not shut down")
+            .join()
+            .expect("coalescer thread panicked")
+    }
+}
+
+/// The coalescer: drain → plan → WAL → apply → complete, until the ingress
+/// disconnects (every handle and the service dropped) or the shutdown
+/// marker arrives and the backlog queued ahead of it is flushed.
+fn coalescer_loop<S: BatchDynamic>(
+    mut s: S,
+    config: ServiceConfig,
+    mut wal: Option<WalSink>,
+    rx: mpsc::Receiver<Msg>,
+) -> (S, ServiceStats) {
+    let policy = config.policy;
+    let max_batch = policy.max_batch.max(1);
+    let linger = policy.max_delay;
+    let mut stats = ServiceStats::default();
+    let mut next_seq: u64 = 0;
+    // Once the shutdown marker is seen, stop waiting on the clock and just
+    // drain whatever is already queued.
+    let mut closing = false;
+    // Set on the first WAL append failure: the durability contract ("an
+    // acknowledged update is on the log") can no longer be met, so the
+    // service fail-stops — every subsequent update is refused with the
+    // original error instead of being applied un-logged.
+    let mut wal_wedged: Option<ServiceError> = None;
+    loop {
+        // --- Drain one batch's worth of requests. Ops and completion
+        // channels ride in parallel vectors so the planner can consume the
+        // ops (moving each insertion's vertex list into the batch).
+        let mut ops: Vec<Update> = Vec::new();
+        let mut done_txs: Vec<mpsc::Sender<Result<Completion, ServiceError>>> = Vec::new();
+        let push = |r: Req, ops: &mut Vec<Update>, txs: &mut Vec<_>| {
+            ops.push(r.op);
+            txs.push(r.done);
+        };
+        let mut closed = false;
+        // Block for the first request (unless already closing).
+        while ops.is_empty() && !closed {
+            let first = if closing {
+                rx.try_recv().map_err(|_| ())
+            } else {
+                rx.recv().map_err(|_| ())
+            };
+            match first {
+                Ok(Msg::Update(r)) => push(r, &mut ops, &mut done_txs),
+                Ok(Msg::Shutdown) => closing = true,
+                Err(()) => closed = true,
+            }
+        }
+        if ops.is_empty() {
+            break;
+        }
+        // Greedy drain: take everything already queued (group commit).
+        while ops.len() < max_batch {
+            match rx.try_recv() {
+                Ok(Msg::Update(r)) => push(r, &mut ops, &mut done_txs),
+                Ok(Msg::Shutdown) => closing = true,
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        // Linger: with a positive max_delay, hold the non-full batch open
+        // until the window expires (skipped when closing or disconnected).
+        let mut timer_expired = false;
+        if !closing && !closed && !linger.is_zero() {
+            let deadline = Instant::now() + linger;
+            while ops.len() < max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    timer_expired = true;
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(Msg::Update(r)) => push(r, &mut ops, &mut done_txs),
+                    Ok(Msg::Shutdown) => {
+                        closing = true;
+                        break;
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        timer_expired = true;
+                        break;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if closed || closing {
+            stats.flush_close += 1;
+        } else if ops.len() >= max_batch {
+            stats.flush_full += 1;
+        } else if timer_expired {
+            stats.flush_timer += 1;
+        } else {
+            stats.flush_idle += 1;
+        }
+
+        // Fail-stopped: refuse everything drained without applying.
+        if let Some(e) = &wal_wedged {
+            for r in done_txs {
+                let _ = r.send(Err(e.clone()));
+            }
+            if closed {
+                break;
+            }
+            continue;
+        }
+
+        // --- Plan: conflict resolution per the apply contract ------------
+        // Live ingress cannot name an id before its insert commits, so
+        // `created_here` is constantly false here; replay uses the planner
+        // with a real predictor (see `crate::replay`).
+        let plan = plan_batch(ops, |id| s.contains_edge(id), |_| false);
+        debug_assert!(plan.deferred.is_empty(), "live ingress cannot defer");
+        // The batch's delete prefix, for slot → completion mapping below.
+        let delete_ids: Vec<EdgeId> = plan
+            .batch
+            .iter()
+            .map_while(|u| match u {
+                Update::Delete(id) => Some(*id),
+                Update::Insert(_) => None,
+            })
+            .collect();
+        let num_deletes = delete_ids.len();
+
+        // Individually invalid updates resolve now: their outcome does not
+        // depend on the batch committing, so a later WAL/apply failure must
+        // not repaint them as durability errors. What remains (`waiting`)
+        // is every ticket whose fate is tied to the batch.
+        let mut waiting: Vec<(mpsc::Sender<Result<Completion, ServiceError>>, Slot)> =
+            Vec::with_capacity(done_txs.len());
+        for (tx, slot) in done_txs.into_iter().zip(plan.slots.iter().copied()) {
+            match slot {
+                Slot::RejectUnknown(id) => {
+                    stats.rejected += 1;
+                    let _ = tx.send(Err(ServiceError::UnknownEdge(id)));
+                }
+                Slot::RejectEmpty => {
+                    stats.rejected += 1;
+                    let _ = tx.send(Err(ServiceError::EmptyEdge));
+                }
+                Slot::Deferred => unreachable!("live ingress cannot defer"),
+                Slot::InBatch(_) | Slot::DuplicateDelete(_) => waiting.push((tx, slot)),
+            }
+        }
+
+        // --- WAL: append-before-apply -------------------------------------
+        // Log end before this append, so a failed apply can roll the
+        // phantom batch back out of the log.
+        let mut wal_mark: Option<u64> = None;
+        if !plan.batch.is_empty() {
+            if let Some(sink) = wal.as_mut() {
+                match sink.mark() {
+                    Ok(m) => wal_mark = Some(m),
+                    Err(e) => {
+                        for (tx, _) in waiting {
+                            let _ = tx.send(Err(e.clone()));
+                        }
+                        wal = None;
+                        wal_wedged = Some(e);
+                        continue;
+                    }
+                }
+                if let Err(e) = sink.append(&plan.batch) {
+                    // Durability contract: an un-logged batch must not be
+                    // applied — and once the log is wedged no later batch
+                    // can be made durable either, so the service
+                    // fail-stops: this drain and every subsequent update
+                    // are refused with the WAL error (acknowledged state
+                    // stays exactly the replayable committed prefix).
+                    for (tx, _) in waiting {
+                        let _ = tx.send(Err(e.clone()));
+                    }
+                    wal = None;
+                    wal_wedged = Some(e);
+                    continue;
+                }
+                stats.wal_batches += 1;
+            }
+        }
+
+        // --- Apply on the pinned scheduler --------------------------------
+        let batch_len = plan.batch.len();
+        let outcome = if plan.batch.is_empty() {
+            None
+        } else {
+            let batch = plan.batch;
+            let result = match &config.pool {
+                Some(pool) => pool.install(|| s.apply(batch)),
+                None => s.apply(batch),
+            };
+            match result {
+                Ok(out) => Some(out),
+                Err(e) => {
+                    // Planner and structure disagreed (should not happen):
+                    // the structure is untouched. The batch is already on
+                    // the log though — roll it back out so replay never
+                    // reconstructs a batch that was not applied; if the
+                    // rollback itself fails, the log is lying and the
+                    // service must fail-stop.
+                    if let (Some(sink), Some(mark)) = (wal.as_mut(), wal_mark) {
+                        if let Err(werr) = sink.rollback(mark) {
+                            wal = None;
+                            wal_wedged = Some(werr);
+                        } else {
+                            stats.wal_batches -= 1;
+                        }
+                    }
+                    for (tx, _) in waiting {
+                        let _ = tx.send(Err(ServiceError::Rejected(e.clone())));
+                    }
+                    continue;
+                }
+            }
+        };
+
+        // --- Complete tickets with their BatchOutcome slices --------------
+        // Slot `pos` maps into the outcome exactly as `per_update` would:
+        // positions below `num_deletes` are the delete prefix, the rest
+        // line up with `outcome.inserted` in batch order.
+        let batch_base = next_seq;
+        stats.updates += batch_len as u64;
+        if batch_len > 0 {
+            stats.batches += 1;
+            stats.max_batch_len = stats.max_batch_len.max(batch_len);
+        }
+        next_seq += batch_len as u64;
+        for (tx, slot) in waiting {
+            let msg = match slot {
+                Slot::InBatch(pos) => {
+                    let done = if pos < num_deletes {
+                        Done::Deleted(delete_ids[pos])
+                    } else {
+                        let out = outcome.as_ref().expect("non-empty batch was applied");
+                        Done::Inserted(out.inserted[pos - num_deletes])
+                    };
+                    Ok(Completion {
+                        seq: batch_base + pos as u64,
+                        done,
+                    })
+                }
+                Slot::DuplicateDelete(id) => {
+                    stats.dup_deletes += 1;
+                    // Share the seq of the delete holding the slot.
+                    let pos = delete_ids
+                        .iter()
+                        .position(|d| *d == id)
+                        .expect("duplicate of a planned delete");
+                    Ok(Completion {
+                        seq: batch_base + pos as u64,
+                        done: Done::AlreadyDeleted(id),
+                    })
+                }
+                Slot::RejectUnknown(_) | Slot::RejectEmpty | Slot::Deferred => {
+                    unreachable!("resolved before the batch stage")
+                }
+            };
+            let _ = tx.send(msg);
+        }
+        if closed {
+            break;
+        }
+    }
+    (s, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbdmm_matching::verify::check_invariants;
+    use pbdmm_matching::DynamicMatching;
+    use std::time::Duration;
+
+    fn quick_config() -> ServiceConfig {
+        ServiceConfig {
+            policy: CoalescePolicy {
+                max_batch: 1024,
+                max_delay: Duration::from_millis(100),
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn insert_then_delete_through_tickets() {
+        let svc = UpdateService::start(DynamicMatching::with_seed(1), quick_config()).unwrap();
+        let h = svc.handle();
+        let tickets: Vec<Ticket> = (0..8).map(|v| h.insert(vec![v, v + 1])).collect();
+        let ids: Vec<EdgeId> = tickets
+            .into_iter()
+            .map(|t| match t.wait().unwrap().done {
+                Done::Inserted(id) => id,
+                other => panic!("expected insert, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids.len(), 8);
+        for &id in &ids[..4] {
+            assert!(matches!(
+                h.delete(id).wait().unwrap().done,
+                Done::Deleted(d) if d == id
+            ));
+        }
+        drop(h);
+        let (m, stats) = svc.shutdown();
+        assert_eq!(m.num_edges(), 4);
+        assert_eq!(stats.updates, 12);
+        assert_eq!(stats.dup_deletes + stats.rejected, 0);
+        check_invariants(&m).unwrap();
+    }
+
+    #[test]
+    fn coalesced_duplicate_deletes_resolve_idempotently() {
+        let svc = UpdateService::start(DynamicMatching::with_seed(2), quick_config()).unwrap();
+        let h = svc.handle();
+        let id = h.insert(vec![0, 1]).wait().unwrap().done.id();
+        // Both deletes are queued before the 100ms window closes, so they
+        // coalesce into one batch: one wins the slot, one is deduplicated.
+        let t1 = h.delete(id);
+        let t2 = h.delete(id);
+        let (c1, c2) = (t1.wait().unwrap(), t2.wait().unwrap());
+        assert_eq!(c1.done, Done::Deleted(id));
+        assert_eq!(c2.done, Done::AlreadyDeleted(id));
+        // The duplicate shares the winner's apply-order position.
+        assert_eq!(c1.seq, c2.seq);
+        drop(h);
+        let (m, stats) = svc.shutdown();
+        assert_eq!(m.num_edges(), 0);
+        assert_eq!(stats.dup_deletes, 1);
+    }
+
+    #[test]
+    fn bad_updates_are_rejected_individually() {
+        let svc = UpdateService::start(DynamicMatching::with_seed(3), quick_config()).unwrap();
+        let h = svc.handle();
+        let good = h.insert(vec![0, 1]);
+        let empty = h.insert(vec![]);
+        let unknown = h.delete(EdgeId(999));
+        assert!(good.wait().is_ok());
+        assert_eq!(empty.wait(), Err(ServiceError::EmptyEdge));
+        assert_eq!(unknown.wait(), Err(ServiceError::UnknownEdge(EdgeId(999))));
+        drop(h);
+        let (m, stats) = svc.shutdown();
+        assert_eq!(m.num_edges(), 1);
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.updates, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_backlog_and_closes_later_submits() {
+        let svc = UpdateService::start(DynamicMatching::with_seed(4), quick_config()).unwrap();
+        let h = svc.handle();
+        let pre = h.insert(vec![0, 1]);
+        // Shutdown with the handle still alive: everything queued before the
+        // marker is applied, and the call does not deadlock.
+        let (m, stats) = svc.shutdown();
+        assert!(matches!(pre.wait().unwrap().done, Done::Inserted(_)));
+        assert_eq!(m.num_edges(), 1);
+        assert_eq!(stats.updates, 1);
+        // Submissions after shutdown resolve with Closed.
+        assert_eq!(h.insert(vec![2, 3]).wait(), Err(ServiceError::Closed));
+        assert_eq!(h.delete(EdgeId(0)).wait(), Err(ServiceError::Closed));
+    }
+
+    #[test]
+    fn singleton_policy_applies_one_update_per_batch() {
+        let cfg = ServiceConfig {
+            policy: CoalescePolicy::singleton(),
+            ..Default::default()
+        };
+        let svc = UpdateService::start(DynamicMatching::with_seed(5), cfg).unwrap();
+        let h = svc.handle();
+        for v in 0..6u32 {
+            h.insert(vec![v, v + 1]).wait().unwrap();
+        }
+        drop(h);
+        let (_, stats) = svc.shutdown();
+        assert_eq!(stats.batches, 6);
+        assert_eq!(stats.max_batch_len, 1);
+        assert!((stats.mean_batch_len() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seq_numbers_are_dense_in_apply_order() {
+        let svc = UpdateService::start(DynamicMatching::with_seed(6), quick_config()).unwrap();
+        let h = svc.handle();
+        let tickets: Vec<Ticket> = (0..16).map(|v| h.insert(vec![v, v + 1])).collect();
+        let mut seqs: Vec<u64> = tickets.into_iter().map(|t| t.wait().unwrap().seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..16).collect::<Vec<u64>>());
+        drop(h);
+        svc.shutdown();
+    }
+}

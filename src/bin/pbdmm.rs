@@ -5,6 +5,8 @@
 //! pbdmm match graph.hgr                                   # static matching
 //! pbdmm dynamic graph.hgr --batch 256 --order uniform     # replay a stream
 //! pbdmm cover graph.hgr                                   # set cover view
+//! pbdmm serve --producers 4 --wal trace.wal               # ingest service
+//! pbdmm replay trace.wal                                  # rebuild from WAL
 //! ```
 //!
 //! Graph files are plain hyperedge lists (see `pbdmm::graph::io`): one edge
@@ -12,14 +14,22 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Duration;
 
+use pbdmm::graph::wal::{read_wal_file, WalMeta};
 use pbdmm::graph::workload::{insert_then_delete, DeletionOrder};
-use pbdmm::graph::{gen, io, Hypergraph};
+use pbdmm::graph::{gen, io, Batch, EdgeId, Hypergraph};
 use pbdmm::matching::baseline::{NaiveDynamic, RecomputeMatching};
 use pbdmm::matching::driver::run_workload;
+use pbdmm::matching::verify::check_invariants;
 use pbdmm::primitives::cost::CostMeter;
 use pbdmm::primitives::rng::SplitMix64;
-use pbdmm::{DynamicMatching, DynamicSetCover};
+use pbdmm::service::{
+    replay_matching, replay_setcover, CoalescePolicy, Done, ServiceConfig, ServiceHandle,
+    ServiceStats, UpdateService, WalConfig,
+};
+use pbdmm::{BatchDynamic, DynamicMatching, DynamicSetCover};
 
 fn main() -> ExitCode {
     match run() {
@@ -39,9 +49,24 @@ usage:
                 [--contender dynamic|recompute|naive|setcover] [--seed S] [--threads T]
   pbdmm cover <graph-file> [--seed S] [--threads T]
   pbdmm gen <er|hyper|powerlaw|star|bipartite> [--n N] [--m M] [--rank R] [--seed S] -o <file>
+  pbdmm serve [--producers P] [--updates N] [--max-batch B] [--max-delay-us D]
+              [--structure matching|setcover] [--wal FILE|none] [--wal-sync BOOL]
+              [--compare direct|none] [--seed S] [--threads T]
+  pbdmm replay <wal-file> [--threads T]
 
-  --threads T sizes the work-stealing scheduler (0 = all cores; also
-  settable process-wide via the PBDMM_THREADS environment variable).";
+  serve drives a synthetic P-producer load through the batch-coalescing
+  update service (ingress -> coalesce -> WAL -> apply) and reports
+  throughput and per-update latency. Durable by default: each formed
+  batch is appended to the WAL (a temp file unless --wal names one;
+  --wal none disables) and fsynced (--wal-sync false for flush-only)
+  before its tickets complete. --compare direct (the default) runs the
+  same load at the same durability as per-update singleton applies under
+  a mutex — the group-commit comparison. replay rebuilds a structure
+  from a recorded WAL and verifies its invariants.
+
+  --threads T sizes the work-stealing scheduler (a positive integer; omit
+  the flag to use all cores; also settable process-wide via the
+  PBDMM_THREADS environment variable).";
 
 /// Minimal flag parser: `--key value` pairs after positional arguments.
 struct Args {
@@ -83,8 +108,17 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     // Size the process-global work-stealing pool before any parallel call;
     // all subcommands (and the structures they build) share that scheduler.
-    let threads: usize = args.flag("threads", 0)?;
-    if threads > 0 {
+    // Validated strictly: `set_num_threads` would accept anything silently
+    // (0 means "restore the default" to it), so catch bad input here.
+    if let Some(v) = args.flags.get("threads") {
+        let threads: usize = v
+            .parse()
+            .map_err(|_| format!("--threads {v:?}: expected a positive integer"))?;
+        if threads == 0 {
+            return Err("--threads 0 is invalid: pass a positive thread count, \
+                        or omit the flag to use all cores"
+                .into());
+        }
         pbdmm::primitives::par::set_num_threads(threads);
     }
     let cmd = args.positional.first().ok_or("missing command")?.as_str();
@@ -93,6 +127,8 @@ fn run() -> Result<(), String> {
         "dynamic" => cmd_dynamic(&args),
         "cover" => cmd_cover(&args),
         "gen" => cmd_gen(&args),
+        "serve" => cmd_serve(&args),
+        "replay" => cmd_replay(&args),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -212,6 +248,454 @@ fn cmd_cover(args: &Args) -> Result<(), String> {
         cover.len(),
         g.rank()
     );
+    Ok(())
+}
+
+/// One producer's synthetic load against the service: windows of inserts
+/// (random rank-2/3 edges over a shared vertex universe) whose tickets are
+/// awaited — recording submit→complete latency — followed by deletes of
+/// half the committed ids. Returns (updates submitted, latencies in µs).
+fn service_producer_load(
+    h: &ServiceHandle,
+    mut rng: SplitMix64,
+    total_updates: usize,
+) -> (usize, Vec<f64>) {
+    const WINDOW: usize = 64;
+    const UNIVERSE: u64 = 4096;
+    let mut latencies = Vec::with_capacity(total_updates);
+    let mut done = 0usize;
+    while done < total_updates {
+        let window = WINDOW.min(total_updates - done);
+        let mut tickets = Vec::with_capacity(window);
+        for _ in 0..window {
+            let a = rng.bounded(UNIVERSE) as u32;
+            let b = a + 1 + rng.bounded(7) as u32;
+            let vs = if rng.bounded(4) == 0 {
+                vec![a, b, b + 1 + rng.bounded(5) as u32]
+            } else {
+                vec![a, b]
+            };
+            tickets.push((std::time::Instant::now(), h.insert(vs)));
+        }
+        let mut ids: Vec<EdgeId> = Vec::with_capacity(window);
+        for (t0, t) in tickets {
+            let c = t.wait().expect("service insert");
+            latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+            ids.push(c.done.id());
+        }
+        done += window;
+        let deletes = (ids.len() / 2).min(total_updates - done);
+        let mut tickets = Vec::with_capacity(deletes);
+        for &id in ids.iter().take(deletes) {
+            tickets.push((std::time::Instant::now(), h.delete(id)));
+        }
+        for (t0, t) in tickets {
+            let c = t.wait().expect("service delete");
+            latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+            debug_assert!(matches!(c.done, Done::Deleted(_) | Done::AlreadyDeleted(_)));
+        }
+        done += deletes;
+    }
+    (done, latencies)
+}
+
+/// The same load at the same durability contract, without the coalescing
+/// layer: per-update singleton `apply` calls on one mutex-shared structure,
+/// each update appended to its own WAL (flushed, fsynced when `sync`)
+/// before it is acknowledged — what an application gets without group
+/// commit. Returns (updates, seconds, structure).
+fn direct_singleton_load<S: BatchDynamic + Send>(
+    structure: S,
+    producers: usize,
+    per_producer: usize,
+    seed: u64,
+    wal: Option<(PathBuf, WalMeta, bool)>,
+) -> Result<(u64, f64, S), String> {
+    struct Shared<S> {
+        s: S,
+        wal: Option<(std::io::BufWriter<std::fs::File>, bool)>,
+        seq: u64,
+    }
+    let wal_sink = match &wal {
+        None => None,
+        Some((path, meta, sync)) => {
+            // Scratch log (deleted below) — refuse to clobber a real file.
+            if std::fs::metadata(path)
+                .map(|md| md.len() > 0)
+                .unwrap_or(false)
+            {
+                return Err(format!(
+                    "refusing to overwrite existing file {path:?} for the baseline's scratch WAL"
+                ));
+            }
+            let file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            pbdmm::graph::wal::write_header(&mut w, meta)
+                .map_err(|e| format!("write {path:?}: {e}"))?;
+            Some((w, *sync))
+        }
+    };
+    let shared = Mutex::new(Shared {
+        s: structure,
+        wal: wal_sink,
+        seq: 0,
+    });
+    let apply_logged = |batch: Batch| -> Result<_, String> {
+        use std::io::Write;
+        let mut g = shared.lock().unwrap();
+        let seq = g.seq;
+        if let Some((w, sync)) = g.wal.as_mut() {
+            let sync = *sync;
+            pbdmm::graph::wal::write_batch(w, seq, &batch)
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("singleton WAL append: {e}"))?;
+            if sync {
+                w.get_ref()
+                    .sync_data()
+                    .map_err(|e| format!("singleton WAL fsync: {e}"))?;
+            }
+        }
+        g.seq += 1;
+        g.s.apply(batch)
+            .map_err(|e| format!("singleton apply: {e}"))
+    };
+    let start = std::time::Instant::now();
+    let total: Result<u64, String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let apply_logged = &apply_logged;
+                scope.spawn(move || -> Result<u64, String> {
+                    const WINDOW: usize = 64;
+                    const UNIVERSE: u64 = 4096;
+                    let mut rng = SplitMix64::new(seed ^ (p as u64).wrapping_mul(0x9e37));
+                    let mut done = 0usize;
+                    while done < per_producer {
+                        let window = WINDOW.min(per_producer - done);
+                        let mut ids = Vec::with_capacity(window);
+                        for _ in 0..window {
+                            let a = rng.bounded(UNIVERSE) as u32;
+                            let b = a + 1 + rng.bounded(7) as u32;
+                            let vs = if rng.bounded(4) == 0 {
+                                vec![a, b, b + 1 + rng.bounded(5) as u32]
+                            } else {
+                                vec![a, b]
+                            };
+                            let out = apply_logged(Batch::new().insert(vs))?;
+                            ids.push(out.inserted[0]);
+                        }
+                        done += window;
+                        let deletes = (ids.len() / 2).min(per_producer - done);
+                        for &id in ids.iter().take(deletes) {
+                            apply_logged(Batch::new().delete(id))?;
+                        }
+                        done += deletes;
+                    }
+                    Ok(done as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("baseline producer panicked"))
+            .sum()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let guard = shared.into_inner().unwrap();
+    if let Some((path, _, _)) = &wal {
+        std::fs::remove_file(path).ok();
+    }
+    Ok((total?, seconds, guard.s))
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Drive a synthetic multi-producer load through the service and report.
+/// Returns (updates, seconds, latencies µs, stats, structure).
+fn serve_load<S: BatchDynamic + Send + 'static>(
+    structure: S,
+    producers: usize,
+    per_producer: usize,
+    policy: CoalescePolicy,
+    wal: Option<WalConfig>,
+    seed: u64,
+) -> Result<(u64, f64, Vec<f64>, ServiceStats, S), String> {
+    let config = ServiceConfig {
+        policy,
+        wal,
+        ..Default::default()
+    };
+    let svc = UpdateService::start(structure, config).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let all_latencies = Mutex::new(Vec::new());
+    let total: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let h = svc.handle();
+                let lat = &all_latencies;
+                scope.spawn(move || {
+                    let rng = SplitMix64::new(seed ^ (p as u64).wrapping_mul(0x9e37));
+                    let (n, mut l) = service_producer_load(&h, rng, per_producer);
+                    lat.lock().unwrap().append(&mut l);
+                    n as u64
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let (s, stats) = svc.shutdown();
+    let mut latencies = all_latencies.into_inner().unwrap();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Ok((total, seconds, latencies, stats, s))
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let producers: usize = args.flag("producers", 4)?;
+    let per_producer: usize = args.flag("updates", 10_000)?;
+    let max_batch: usize = args.flag("max-batch", 1024)?;
+    // 0 = group commit (flush whenever the ingress is momentarily empty);
+    // positive = linger window maximizing coalescing at a latency cost.
+    let max_delay_us: u64 = args.flag("max-delay-us", 0)?;
+    let seed: u64 = args.flag("seed", 42)?;
+    let structure = args.flag("structure", "matching".to_string())?;
+    let compare = args.flag("compare", "direct".to_string())?;
+    if producers == 0 || per_producer == 0 {
+        return Err("--producers and --updates must be positive".into());
+    }
+    if !matches!(compare.as_str(), "direct" | "none") {
+        return Err(format!("unknown --compare mode {compare:?}"));
+    }
+    let policy = CoalescePolicy {
+        max_batch: max_batch.max(1),
+        max_delay: Duration::from_micros(max_delay_us),
+    };
+    // Durable by default: an update is acknowledged only once the batch
+    // containing it is on the log (fsync per commit unless --wal-sync
+    // false). `--wal none` turns logging off entirely; `--wal FILE` picks
+    // the location (default: a file in the system temp dir).
+    let wal_sync: bool = args.flag("wal-sync", true)?;
+    let meta = WalMeta {
+        structure: structure.clone(),
+        seed,
+    };
+    let wal = match args.flags.get("wal").map(String::as_str) {
+        Some("none") => None,
+        Some(p) => Some(PathBuf::from(p)),
+        None => {
+            // Unique auto path: pid alone can recycle across container
+            // runs, and an existing WAL is never overwritten (the service
+            // refuses rather than destroying a recoverable log).
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0);
+            Some(
+                std::env::temp_dir()
+                    .join(format!("pbdmm_serve_{}_{nanos}.wal", std::process::id())),
+            )
+        }
+    }
+    .map(|path| {
+        let mut cfg = WalConfig::new(path, meta.clone());
+        cfg.sync = wal_sync;
+        cfg
+    });
+    let wal_path = wal.as_ref().map(|w| w.path.clone());
+    println!(
+        "serve: {producers} producers x {per_producer} updates, \
+         max_batch={max_batch} max_delay={max_delay_us}us structure={structure} \
+         wal={} (fsync {})",
+        wal_path
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "off".into()),
+        if wal.is_some() && wal_sync {
+            "on"
+        } else {
+            "off"
+        }
+    );
+
+    let (total, seconds, latencies, stats, final_line) = match structure.as_str() {
+        "matching" => {
+            let (total, seconds, latencies, stats, m) = serve_load(
+                DynamicMatching::with_seed(seed),
+                producers,
+                per_producer,
+                policy,
+                wal,
+                seed,
+            )?;
+            check_invariants(&m).map_err(|e| format!("post-serve invariants: {e}"))?;
+            let line = format!(
+                "final: edges={} matching={}",
+                m.num_edges(),
+                m.matching_size()
+            );
+            (total, seconds, latencies, stats, line)
+        }
+        "setcover" => {
+            let (total, seconds, latencies, stats, c) = serve_load(
+                DynamicSetCover::with_seed(seed),
+                producers,
+                per_producer,
+                policy,
+                wal,
+                seed,
+            )?;
+            check_invariants(c.matching()).map_err(|e| format!("post-serve invariants: {e}"))?;
+            let line = format!(
+                "final: edges={} matching={} cover={}",
+                c.num_elements(),
+                c.matching_size(),
+                c.cover_size()
+            );
+            (total, seconds, latencies, stats, line)
+        }
+        other => return Err(format!("unknown structure {other:?}")),
+    };
+
+    let service_rate = total as f64 / seconds;
+    println!(
+        "coalesced service: {total} updates in {:.1} ms -> {:.0} updates/s",
+        seconds * 1e3,
+        service_rate
+    );
+    println!(
+        "batches: {} applied, mean size {:.1}, max {} (flush full/idle/timer/close: {}/{}/{}/{})",
+        stats.batches,
+        stats.mean_batch_len(),
+        stats.max_batch_len,
+        stats.flush_full,
+        stats.flush_idle,
+        stats.flush_timer,
+        stats.flush_close
+    );
+    println!(
+        "ticket latency: p50 {:.0} us, p99 {:.0} us, max {:.0} us",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        percentile(&latencies, 1.0)
+    );
+    if let Some(path) = &wal_path {
+        println!(
+            "wal: {} batches appended to {}",
+            stats.wal_batches,
+            path.display()
+        );
+    }
+    println!("{final_line}");
+
+    if compare == "direct" {
+        // The baseline gets the identical durability contract: its own WAL,
+        // appended and flushed (and fsynced, if the service fsyncs) before
+        // each singleton apply is acknowledged.
+        let direct_wal = wal_path.as_ref().map(|p| {
+            let mut path = p.clone();
+            path.set_extension("direct.wal");
+            (path, meta.clone(), wal_sync)
+        });
+        let (dtotal, dseconds, _) = match structure.as_str() {
+            "matching" => {
+                let (t, s, m) = direct_singleton_load(
+                    DynamicMatching::with_seed(seed),
+                    producers,
+                    per_producer,
+                    seed,
+                    direct_wal,
+                )?;
+                (t, s, m.num_edges())
+            }
+            _ => {
+                let (t, s, c) = direct_singleton_load(
+                    DynamicSetCover::with_seed(seed),
+                    producers,
+                    per_producer,
+                    seed,
+                    direct_wal,
+                )?;
+                (t, s, c.num_elements())
+            }
+        };
+        let direct_rate = dtotal as f64 / dseconds;
+        println!(
+            "direct singleton ({producers} threads, mutex, batch=1, same durability): \
+             {dtotal} updates in {:.1} ms -> {:.0} updates/s",
+            dseconds * 1e3,
+            direct_rate
+        );
+        println!(
+            "coalescing speedup: {:.2}x {}",
+            service_rate / direct_rate,
+            if service_rate > direct_rate {
+                "(service wins)"
+            } else {
+                "(WARNING: singleton applies were faster on this run)"
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("missing WAL file argument")?;
+    let wal = read_wal_file(&PathBuf::from(path))?;
+    println!(
+        "wal: {} committed batches, {} updates, structure={} seed={}{}",
+        wal.batches.len(),
+        wal.total_updates(),
+        wal.meta.structure,
+        wal.meta.seed,
+        if wal.truncated {
+            " (trailing uncommitted batch dropped)"
+        } else {
+            ""
+        }
+    );
+    let start = std::time::Instant::now();
+    match wal.meta.structure.as_str() {
+        "matching" => {
+            let (m, report) = replay_matching(&wal)?;
+            check_invariants(&m).map_err(|e| format!("replayed invariants: {e}"))?;
+            println!(
+                "replayed {} updates in {} applies ({} deferred) in {:.1} ms",
+                report.updates,
+                report.applies,
+                report.deferred,
+                start.elapsed().as_secs_f64() * 1e3
+            );
+            println!(
+                "final: edges={} matching={}",
+                m.num_edges(),
+                m.matching_size()
+            );
+        }
+        "setcover" => {
+            let (c, report) = replay_setcover(&wal)?;
+            check_invariants(c.matching()).map_err(|e| format!("replayed invariants: {e}"))?;
+            println!(
+                "replayed {} updates in {} applies ({} deferred) in {:.1} ms",
+                report.updates,
+                report.applies,
+                report.deferred,
+                start.elapsed().as_secs_f64() * 1e3
+            );
+            println!(
+                "final: edges={} matching={} cover={}",
+                c.num_elements(),
+                c.matching_size(),
+                c.cover_size()
+            );
+        }
+        other => return Err(format!("WAL records unknown structure {other:?}")),
+    }
+    println!("invariants: ok");
     Ok(())
 }
 

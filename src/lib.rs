@@ -15,7 +15,12 @@
 //!   matching (`O(m')` work, `O(log² m)` depth whp);
 //! * [`setcover`] ([`DynamicSetCover`]) — static and batch-dynamic
 //!   r-approximate set cover via the matching reduction;
-//! * [`graph`] — hypergraphs, generators, oblivious workload streams;
+//! * [`graph`] — hypergraphs, generators, oblivious workload streams, and
+//!   the durable write-ahead log ([`graph::wal`]);
+//! * [`service`] ([`UpdateService`]) — the concurrent ingest/serve layer:
+//!   many producers submit single updates, a coalescer forms valid mixed
+//!   batches under a size/latency policy, logs them to a WAL, applies them
+//!   on a pinned pool, and completes per-submitter tickets;
 //! * [`primitives`] — the parallel toolbox (scan, semisort, dictionaries,
 //!   random permutations, work/depth metering).
 //!
@@ -47,11 +52,13 @@
 pub use pbdmm_graph as graph;
 pub use pbdmm_matching as matching;
 pub use pbdmm_primitives as primitives;
+pub use pbdmm_service as service;
 pub use pbdmm_setcover as setcover;
 
 pub use pbdmm_graph::{Batch, DeletionOrder, EdgeId, Hypergraph, Update, VertexId, Workload};
 pub use pbdmm_matching::{
     BatchDynamic, BatchOutcome, DynamicMatching, DynamicMatchingBuilder, LevelingConfig,
-    MatchResult, MeterMode, UpdateError,
+    MatchResult, MeterMode, UpdateError, UpdateOutcome,
 };
+pub use pbdmm_service::{CoalescePolicy, ServiceConfig, UpdateService};
 pub use pbdmm_setcover::{DynamicSetCover, ElementId, SetId};

@@ -124,3 +124,128 @@ fn malformed_graph_file_is_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
 }
+
+#[test]
+fn threads_flag_is_validated() {
+    let path = tmpfile("threads.hgr");
+    pbdmm(&[
+        "gen",
+        "er",
+        "--n",
+        "30",
+        "--m",
+        "60",
+        "--seed",
+        "1",
+        "-o",
+        path.to_str().unwrap(),
+    ]);
+    // Zero is rejected with a clear message, not passed through silently.
+    let out = pbdmm(&["match", path.to_str().unwrap(), "--threads", "0"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--threads 0 is invalid"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Non-numeric likewise.
+    let out = pbdmm(&["match", path.to_str().unwrap(), "--threads", "two"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("positive integer"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // A positive count works.
+    let out = pbdmm(&["match", path.to_str().unwrap(), "--threads", "2"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn serve_records_wal_and_replay_reproduces_final_state() {
+    let wal = tmpfile("serve.wal");
+    // The service refuses to overwrite an existing WAL; start clean.
+    std::fs::remove_file(&wal).ok();
+    let out = pbdmm(&[
+        "serve",
+        "--producers",
+        "2",
+        "--updates",
+        "600",
+        "--max-batch",
+        "128",
+        "--max-delay-us",
+        "300",
+        "--seed",
+        "9",
+        "--wal",
+        wal.to_str().unwrap(),
+        "--compare",
+        "none",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("coalesced service:"), "{stdout}");
+    assert!(stdout.contains("ticket latency:"), "{stdout}");
+    let served_final = stdout
+        .lines()
+        .find(|l| l.starts_with("final:"))
+        .expect("serve prints a final state line")
+        .to_string();
+
+    // Replay must reproduce the exact final state and pass verification.
+    let out = pbdmm(&["replay", wal.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let replayed_final = stdout
+        .lines()
+        .find(|l| l.starts_with("final:"))
+        .expect("replay prints a final state line")
+        .to_string();
+    assert_eq!(served_final, replayed_final, "{stdout}");
+    assert!(stdout.contains("invariants: ok"), "{stdout}");
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn serve_supports_setcover_and_compare_direct() {
+    let out = pbdmm(&[
+        "serve",
+        "--producers",
+        "2",
+        "--updates",
+        "200",
+        "--structure",
+        "setcover",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cover="), "{stdout}");
+    assert!(stdout.contains("direct singleton"), "{stdout}");
+    assert!(stdout.contains("coalescing speedup:"), "{stdout}");
+}
+
+#[test]
+fn replay_rejects_garbage() {
+    let bad = tmpfile("bad.wal");
+    std::fs::write(&bad, "this is not a wal\n").unwrap();
+    let out = pbdmm(&["replay", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let out = pbdmm(&["replay"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing WAL file"));
+}
