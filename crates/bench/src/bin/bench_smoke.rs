@@ -223,6 +223,70 @@ fn direct_singleton_load(sync: bool, per_producer: usize) {
     std::hint::black_box(final_size);
 }
 
+/// The epoch-snapshot read path under write load: one writer thread churns
+/// updates through a serving `UpdateService` while two reader threads
+/// resolve `total_reads` point queries against the latest published
+/// snapshot. Measures read-side throughput (snapshot loads + point
+/// lookups), the serving deployment's hot path.
+fn snapshot_read_load(total_reads: u64) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let (svc, query) = UpdateService::start_serving(
+        DynamicMatching::with_seed(17),
+        ServiceConfig {
+            policy: CoalescePolicy {
+                max_batch: 512,
+                max_delay: Duration::ZERO,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("no WAL to fail");
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let h = svc.handle();
+        let stop_w = &stop;
+        scope.spawn(move || {
+            let mut rng = SplitMix64::new(0x5EAD);
+            let mut ids: Vec<pbdmm_graph::edge::EdgeId> = Vec::new();
+            while !stop_w.load(Ordering::Relaxed) {
+                let tickets: Vec<_> = (0..64).map(|_| h.insert(service_edge(&mut rng))).collect();
+                ids.extend(
+                    tickets
+                        .into_iter()
+                        .map(|t| t.wait().expect("insert").done.id()),
+                );
+                if ids.len() >= 2048 {
+                    let victims: Vec<_> = ids.drain(..1024).map(|id| h.delete(id)).collect();
+                    for t in victims {
+                        t.wait().expect("delete");
+                    }
+                }
+            }
+        });
+        let readers: Vec<_> = (0..2u64)
+            .map(|r| {
+                let q = query.clone();
+                scope.spawn(move || {
+                    let mut rng = SplitMix64::new(0xBEAD ^ r);
+                    let mut matched = 0u64;
+                    for _ in 0..total_reads / 2 {
+                        let snap = q.snapshot();
+                        if snap.is_matched(rng.bounded(2048) as u32) {
+                            matched += 1;
+                        }
+                    }
+                    std::hint::black_box(matched);
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().expect("reader");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    svc.shutdown();
+}
+
 /// The fixed workload battery. Every metric name carries its thread count so
 /// serial and parallel scheduler paths are gated independently.
 fn run_battery(samples: usize) -> BTreeMap<String, f64> {
@@ -287,6 +351,17 @@ fn run_battery(samples: usize) -> BTreeMap<String, f64> {
         "info_service_coalesced_fsync_updates_per_s_t4".into(),
         throughput(samples, service_total, || {
             coalesced_service_load(true, SERVICE_UPDATES_PER_PRODUCER)
+        }),
+    );
+    // Snapshot read path: point queries against the latest published
+    // epoch snapshot while a writer churns. `info_` (ungated) for the same
+    // reason as the other service metrics — reader/writer/coalescer thread
+    // scheduling dominates on a loaded or small host.
+    let snapshot_reads = 200_000u64;
+    metrics.insert(
+        "info_snapshot_reads_per_s_t4".into(),
+        throughput(samples, snapshot_reads, || {
+            snapshot_read_load(snapshot_reads)
         }),
     );
     let singleton_per_producer = SERVICE_UPDATES_PER_PRODUCER / 8;

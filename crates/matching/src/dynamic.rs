@@ -33,6 +33,7 @@ use pbdmm_primitives::rng::SplitMix64;
 use crate::api::{validate_batch, Batch, BatchOutcome, MeterMode, UpdateError};
 use crate::greedy::parallel_greedy_match;
 use crate::level::{EdgeType, LeveledStructure};
+use crate::snapshot::{MatchingSnapshot, SnapshotCell};
 use crate::stats::{EpochEnd, MatchingStats};
 
 /// Per-batch report: the depth-relevant quantities (E5) for the most recent
@@ -77,6 +78,11 @@ pub struct DynamicMatching {
     /// submitted to this pool, so one batch means zero thread churn. `None`
     /// uses the process-global pool.
     pool: Option<Arc<ParPool>>,
+    /// Publication point for the epoch-snapshot read path: when set (via
+    /// [`crate::snapshot::Snapshots::enable_snapshots`]), every `apply`
+    /// ends by capturing a [`MatchingSnapshot`] and atomically swapping it
+    /// in, so concurrent readers always see a consistent batch boundary.
+    snapshots: Option<Arc<SnapshotCell<MatchingSnapshot>>>,
 }
 
 impl DynamicMatching {
@@ -116,6 +122,7 @@ impl DynamicMatching {
             pending_bloated_mass: 0,
             last_batch: BatchReport::default(),
             pool: None,
+            snapshots: None,
         }
     }
 
@@ -182,6 +189,36 @@ impl DynamicMatching {
     /// Number of live edges.
     pub fn num_edges(&self) -> usize {
         self.s.edges.len()
+    }
+
+    /// The structure's *epoch*: total updates (insertions + deletions)
+    /// applied so far. Epochs advance only at batch boundaries, version the
+    /// published [`MatchingSnapshot`]s, and — because the ingest service's
+    /// global `seq` numbers count exactly the applied updates — line up
+    /// with the `seq` space of a service that started this structure fresh.
+    pub fn epoch(&self) -> u64 {
+        self.stats.user_insertions + self.stats.user_deletions
+    }
+
+    /// The snapshot publication cell, created (with an immediate capture of
+    /// the current state) on first use. Prefer the trait surface
+    /// [`crate::snapshot::Snapshots::enable_snapshots`]; this accessor
+    /// exists so the trait impl and tests share one cell.
+    pub(crate) fn snapshot_cell(&mut self) -> Arc<SnapshotCell<MatchingSnapshot>> {
+        if self.snapshots.is_none() {
+            self.snapshots = Some(Arc::new(SnapshotCell::new(MatchingSnapshot::capture(self))));
+        }
+        Arc::clone(self.snapshots.as_ref().expect("just created"))
+    }
+
+    /// Publish a fresh snapshot if the read path is enabled. Called at the
+    /// end of every successful `apply`, after all mutation and *before* the
+    /// caller observes the outcome — the ingest service relies on that
+    /// ordering for its read-your-writes guarantee.
+    fn maybe_publish_snapshot(&mut self) {
+        if let Some(cell) = &self.snapshots {
+            cell.publish(MatchingSnapshot::capture(self));
+        }
     }
 
     /// The model-cost meter (shared with the internal greedy matcher).
@@ -401,6 +438,7 @@ impl DynamicMatching {
             settle_iterations,
             cost: self.meter.snapshot().since(&before),
         };
+        self.maybe_publish_snapshot();
         BatchOutcome {
             inserted,
             deleted: deletes,

@@ -18,6 +18,9 @@
 //!   neighbor-rescan dynamic algorithm, and single-update (sequential
 //!   dynamic model) driving.
 //! * [`driver`] — replay an oblivious workload against any [`BatchDynamic`].
+//! * [`snapshot`] — the epoch-versioned read path: immutable
+//!   [`MatchingSnapshot`]s published after every batch via an atomic-swap
+//!   `Arc`, so concurrent readers query while batches apply.
 //! * [`verify`] — invariant checking (used pervasively in tests).
 //! * [`stats`] — epoch/payment accounting mirroring the paper's charging
 //!   scheme, consumed by the experiment harness.
@@ -67,6 +70,7 @@ pub mod driver;
 pub mod dynamic;
 pub mod greedy;
 pub mod level;
+pub mod snapshot;
 pub mod stats;
 pub mod verify;
 
@@ -80,4 +84,7 @@ pub use greedy::{
     sequential_greedy_match_with_priorities, MatchResult,
 };
 pub use level::{EdgeType, LeveledStructure, LevelingConfig};
+pub use snapshot::{
+    MatchingSnapshot, Snapshot, SnapshotCell, SnapshotReader, SnapshotStats, Snapshots,
+};
 pub use stats::{EpochEnd, MatchingStats};

@@ -1,0 +1,490 @@
+//! Epoch-versioned immutable snapshots: the read path.
+//!
+//! The batch-dynamic structure is single-writer by construction — one
+//! `apply` at a time mutates the leveled structure — but a serving
+//! deployment must answer point queries (*is this vertex matched? who is
+//! its partner? how big is the matching?*) **while** batches apply. The
+//! mechanism here is the flat-snapshot pattern of parallel graph systems:
+//! after every batch the writer captures a compact immutable
+//! [`MatchingSnapshot`] and publishes it into a [`SnapshotCell`] by
+//! atomically swapping an [`Arc`]; any number of concurrent readers resolve
+//! queries against the latest published snapshot through a cloneable
+//! [`SnapshotReader`] without ever blocking the writer.
+//!
+//! **Epochs.** Every snapshot carries an *epoch*: the total number of
+//! updates (insertions + deletions) the structure had applied when the
+//! snapshot was captured. Epochs are exactly the batch boundaries of the
+//! apply history, which makes two properties checkable:
+//!
+//! * **prefix consistency** — a snapshot at epoch `E` equals the state
+//!   produced by sequentially replaying the first `E` updates of the
+//!   write-ahead log (asserted by the service's property tests);
+//! * **read-your-writes** — the ingest service completes a ticket only
+//!   *after* the snapshot containing its batch is published, so a submitter
+//!   that observes completion epoch `E` never reads a snapshot older
+//!   than `E`.
+//!
+//! [`Snapshots`] is the capability trait: any structure that can capture
+//! and publish snapshots (currently [`DynamicMatching`] here and
+//! `DynamicSetCover` in `pbdmm-setcover`) plugs into the generic serving
+//! layer (`pbdmm-service`'s `QueryHandle`).
+//!
+//! # Example
+//! ```
+//! use pbdmm_matching::api::Batch;
+//! use pbdmm_matching::snapshot::{Snapshot, Snapshots};
+//! use pbdmm_matching::DynamicMatching;
+//!
+//! let mut m = DynamicMatching::with_seed(7);
+//! let reader = m.enable_snapshots(); // cloneable; Send + Sync
+//! let out = m.apply(Batch::new().inserts([vec![0, 1], vec![2, 3]])).unwrap();
+//!
+//! // `reader` could live on any number of other threads.
+//! let snap = reader.latest();
+//! assert_eq!(snap.epoch(), 2); // two updates applied so far
+//! assert!(snap.is_matched(0) && snap.is_matched(2));
+//! assert_eq!(snap.matched_edge_of(1), Some(out.inserted[0]));
+//! assert_eq!(snap.partner(0), Some(1));
+//! assert_eq!(snap.stats().matching_size, 2);
+//! ```
+
+use std::sync::{Arc, RwLock};
+
+use pbdmm_graph::edge::{EdgeId, EdgeVertices, VertexId};
+
+use crate::dynamic::DynamicMatching;
+
+/// Anything an epoch-versioned snapshot must expose to the generic serving
+/// layer: its position in the apply history.
+pub trait Snapshot {
+    /// Number of updates the structure had applied when this snapshot was
+    /// captured. Monotone across publications; equal to the `seq`-space
+    /// position right after the capturing batch.
+    fn epoch(&self) -> u64;
+}
+
+/// A single-slot publication point: the writer swaps in a fresh
+/// [`Arc`]-wrapped snapshot, concurrent readers grab the latest one.
+///
+/// The cell is a `RwLock<Arc<T>>` used *only* for the pointer swap: readers
+/// hold the lock just long enough to clone the `Arc` (two atomic ops) and
+/// the writer just long enough to store it, so neither side ever blocks on
+/// snapshot-sized work. This is the std-only equivalent of an atomic
+/// `Arc` swap (no external `arc-swap` dependency).
+#[derive(Debug)]
+pub struct SnapshotCell<T> {
+    slot: RwLock<Arc<T>>,
+}
+
+impl<T> SnapshotCell<T> {
+    /// Create a cell holding `initial`.
+    pub fn new(initial: T) -> Self {
+        SnapshotCell {
+            slot: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The latest published snapshot (cheap: clones the `Arc`, not the
+    /// snapshot).
+    pub fn load(&self) -> Arc<T> {
+        self.slot.read().expect("snapshot cell poisoned").clone()
+    }
+
+    /// Atomically replace the published snapshot. Readers that already hold
+    /// an `Arc` keep their (older) snapshot alive; new loads see `next`.
+    pub fn publish(&self, next: T) {
+        let mut guard = self.slot.write().expect("snapshot cell poisoned");
+        let old = std::mem::replace(&mut *guard, Arc::new(next));
+        drop(guard);
+        // If this was the last reference, the old snapshot's deallocation
+        // (O(its size)) happens here — outside the lock, so readers are
+        // never stalled behind it.
+        drop(old);
+    }
+}
+
+/// The reader half of a [`SnapshotCell`]: cloneable, `Send + Sync`, and
+/// never blocks the writer. Obtained from [`Snapshots::enable_snapshots`].
+#[derive(Debug)]
+pub struct SnapshotReader<T> {
+    cell: Arc<SnapshotCell<T>>,
+}
+
+impl<T> Clone for SnapshotReader<T> {
+    fn clone(&self) -> Self {
+        SnapshotReader {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+}
+
+impl<T> SnapshotReader<T> {
+    /// Wrap an existing cell — for [`Snapshots`] implementations outside
+    /// this crate (e.g. the set-cover adapter) that own their own
+    /// publication point.
+    pub fn from_cell(cell: Arc<SnapshotCell<T>>) -> Self {
+        SnapshotReader { cell }
+    }
+
+    /// The latest published snapshot.
+    pub fn latest(&self) -> Arc<T> {
+        self.cell.load()
+    }
+}
+
+impl<T: Snapshot> SnapshotReader<T> {
+    /// Epoch of the latest published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.latest().epoch()
+    }
+}
+
+/// A structure that can capture and publish epoch-versioned snapshots of
+/// itself. This is the seam the serving layer's query side goes through,
+/// exactly as [`crate::api::BatchDynamic`] is the seam for the write side.
+pub trait Snapshots {
+    /// The snapshot type this structure captures.
+    type Snap: Snapshot + Send + Sync + 'static;
+
+    /// Updates (insertions + deletions) applied so far — the epoch the next
+    /// captured snapshot will carry.
+    fn epoch(&self) -> u64;
+
+    /// Capture an immutable snapshot of the current state at the current
+    /// epoch. Cost is linear in the live state (edges + matches), *not* in
+    /// history.
+    fn snapshot(&self) -> Self::Snap;
+
+    /// Start publishing: capture the current state immediately (so readers
+    /// never observe "no snapshot") and re-publish after every subsequent
+    /// `apply`. Returns a cloneable reader; calling this again returns a
+    /// reader backed by the same cell.
+    fn enable_snapshots(&mut self) -> SnapshotReader<Self::Snap>;
+}
+
+/// Summary counters of a [`MatchingSnapshot`] — the `stats()` answer the
+/// serving layer returns without touching any per-edge data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Updates applied when the snapshot was captured.
+    pub epoch: u64,
+    /// Live edges.
+    pub num_edges: usize,
+    /// Matched edges.
+    pub matching_size: usize,
+}
+
+/// A compact immutable snapshot of a [`DynamicMatching`]: the live edge
+/// set, the per-vertex matched-edge assignment, and the matched edges with
+/// their vertex lists, all in canonical (sorted) order so snapshots of
+/// equal states compare equal.
+///
+/// Point queries are `O(log n)` binary searches; the snapshot shares
+/// nothing with the live structure, so readers keep it alive (via
+/// [`Arc`]) for as long as they like without blocking writers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingSnapshot {
+    epoch: u64,
+    /// Live edge ids, ascending.
+    live: Vec<EdgeId>,
+    /// `(vertex, matched edge covering it)`, ascending by vertex; only
+    /// covered vertices appear.
+    matched_of: Vec<(VertexId, EdgeId)>,
+    /// `(matched edge, its vertex list)`, ascending by edge id.
+    matched_edges: Vec<(EdgeId, EdgeVertices)>,
+}
+
+impl MatchingSnapshot {
+    /// Capture the current state of `m` at its current epoch. Cost is
+    /// linear (plus sorting) in the *live* state — edges and matched
+    /// vertices — independent of how large the vertex id space once grew.
+    pub fn capture(m: &DynamicMatching) -> Self {
+        let s = m.structure();
+        let mut live: Vec<EdgeId> = s.edges.keys().copied().collect();
+        live.sort_unstable();
+        let mut matched_edges: Vec<(EdgeId, EdgeVertices)> = s
+            .matches
+            .keys()
+            .map(|&e| (e, s.edges[&e].vertices.clone()))
+            .collect();
+        matched_edges.sort_unstable_by_key(|&(e, _)| e);
+        // Matched edges are vertex-disjoint (Invariant: one covering match
+        // per vertex), so emitting each match's vertices yields every
+        // covered vertex exactly once — no dense vertex-table scan needed.
+        let mut matched_of: Vec<(VertexId, EdgeId)> = matched_edges
+            .iter()
+            .flat_map(|(e, vs)| vs.iter().map(move |&v| (v, *e)))
+            .collect();
+        matched_of.sort_unstable_by_key(|&(v, _)| v);
+        MatchingSnapshot {
+            epoch: Snapshots::epoch(m),
+            live,
+            matched_of,
+            matched_edges,
+        }
+    }
+
+    /// Updates applied when this snapshot was captured.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live edges.
+    pub fn num_edges(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of matched edges.
+    pub fn matching_size(&self) -> usize {
+        self.matched_edges.len()
+    }
+
+    /// Summary counters.
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            epoch: self.epoch,
+            num_edges: self.num_edges(),
+            matching_size: self.matching_size(),
+        }
+    }
+
+    /// Was `e` a live edge at this epoch?
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.live.binary_search(&e).is_ok()
+    }
+
+    /// Was `e` a matched edge at this epoch?
+    pub fn is_matched_edge(&self, e: EdgeId) -> bool {
+        self.matched_edges
+            .binary_search_by_key(&e, |&(id, _)| id)
+            .is_ok()
+    }
+
+    /// Was vertex `v` covered by the matching at this epoch?
+    pub fn is_matched(&self, v: VertexId) -> bool {
+        self.matched_edge_of(v).is_some()
+    }
+
+    /// The matched edge covering `v` at this epoch, if any.
+    pub fn matched_edge_of(&self, v: VertexId) -> Option<EdgeId> {
+        self.matched_of
+            .binary_search_by_key(&v, |&(u, _)| u)
+            .ok()
+            .map(|i| self.matched_of[i].1)
+    }
+
+    /// Vertex list of a matched edge (canonical order), if `e` was matched.
+    pub fn edge_vertices(&self, e: EdgeId) -> Option<&[VertexId]> {
+        self.matched_edges
+            .binary_search_by_key(&e, |&(id, _)| id)
+            .ok()
+            .map(|i| self.matched_edges[i].1.as_slice())
+    }
+
+    /// The partner of `v`: the first *other* vertex of the matched edge
+    /// covering `v` (for a graph edge `{u, v}` this is the unique partner;
+    /// for a hyperedge use [`Self::partners`] to see all co-members).
+    /// `None` if `v` is uncovered or its matched edge is the singleton
+    /// `{v}`.
+    pub fn partner(&self, v: VertexId) -> Option<VertexId> {
+        self.partners(v)?.iter().copied().find(|&u| u != v)
+    }
+
+    /// All vertices of the matched edge covering `v` (including `v`
+    /// itself), or `None` if `v` is uncovered.
+    pub fn partners(&self, v: VertexId) -> Option<&[VertexId]> {
+        self.edge_vertices(self.matched_edge_of(v)?)
+    }
+
+    /// Live edge ids, ascending.
+    pub fn live_edges(&self) -> &[EdgeId] {
+        &self.live
+    }
+
+    /// `(vertex, covering matched edge)` pairs, ascending by vertex.
+    pub fn matched_vertices(&self) -> &[(VertexId, EdgeId)] {
+        &self.matched_of
+    }
+
+    /// Matched edges with their vertex lists, ascending by edge id.
+    pub fn matched_edges(&self) -> &[(EdgeId, EdgeVertices)] {
+        &self.matched_edges
+    }
+
+    /// Internal cross-consistency of the snapshot itself: every matched
+    /// edge is live, covers exactly its own vertices in the per-vertex
+    /// table, and no vertex points at a non-matched edge. Readers use this
+    /// as the "query failed" predicate under concurrent load — a published
+    /// snapshot must *always* pass.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (e, vs) in &self.matched_edges {
+            if !self.contains_edge(*e) {
+                return Err(format!("matched edge {e} is not live"));
+            }
+            for &v in vs.iter() {
+                if self.matched_edge_of(v) != Some(*e) {
+                    return Err(format!("vertex {v} of matched edge {e} not mapped to it"));
+                }
+            }
+        }
+        for &(v, e) in &self.matched_of {
+            if !self.is_matched_edge(e) {
+                return Err(format!("vertex {v} mapped to non-matched edge {e}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for MatchingSnapshot {
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Snapshots for DynamicMatching {
+    type Snap = MatchingSnapshot;
+
+    fn epoch(&self) -> u64 {
+        DynamicMatching::epoch(self)
+    }
+
+    fn snapshot(&self) -> MatchingSnapshot {
+        MatchingSnapshot::capture(self)
+    }
+
+    fn enable_snapshots(&mut self) -> SnapshotReader<MatchingSnapshot> {
+        SnapshotReader {
+            cell: self.snapshot_cell(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Batch;
+
+    #[test]
+    fn snapshot_reflects_state_and_epoch() {
+        let mut m = DynamicMatching::with_seed(1);
+        let r = m.enable_snapshots();
+        assert_eq!(r.epoch(), 0);
+        assert_eq!(r.latest().num_edges(), 0);
+
+        let out = m
+            .apply(Batch::new().inserts([vec![0, 1], vec![1, 2], vec![2, 3]]))
+            .unwrap();
+        let snap = r.latest();
+        assert_eq!(snap.epoch(), 3);
+        assert_eq!(snap.num_edges(), 3);
+        assert_eq!(snap.matching_size(), m.matching_size());
+        snap.check_consistency().unwrap();
+        for &id in &out.inserted {
+            assert!(snap.contains_edge(id));
+        }
+
+        // Deleting bumps the epoch by the batch size and republishes.
+        m.apply(Batch::new().delete(out.inserted[0])).unwrap();
+        let snap2 = r.latest();
+        assert_eq!(snap2.epoch(), 4);
+        assert!(!snap2.contains_edge(out.inserted[0]));
+        // The old snapshot is untouched (immutability).
+        assert!(snap.contains_edge(out.inserted[0]));
+        assert_eq!(snap.epoch(), 3);
+    }
+
+    #[test]
+    fn point_queries_match_the_live_structure() {
+        let mut m = DynamicMatching::with_seed(2);
+        let r = m.enable_snapshots();
+        m.insert_edges(&[vec![0, 1], vec![1, 2], vec![3, 4, 5], vec![6]]);
+        let snap = r.latest();
+        for v in 0..8u32 {
+            assert_eq!(snap.matched_edge_of(v), m.matched_edge_of(v), "vertex {v}");
+            assert_eq!(snap.is_matched(v), m.matched_edge_of(v).is_some());
+        }
+        // partner(): graph edge partners are symmetric; singleton has none.
+        if let Some(p) = snap.partner(0) {
+            assert_eq!(snap.partner(p), Some(0));
+        }
+        if snap.matched_edge_of(6).is_some() {
+            assert_eq!(snap.partner(6), None, "singleton edge has no partner");
+            assert_eq!(snap.partners(6), Some(&[6u32][..]));
+        }
+    }
+
+    #[test]
+    fn snapshots_of_equal_states_compare_equal() {
+        // Same seed, same batches — captured snapshots are identical values.
+        let build = || {
+            let mut m = DynamicMatching::with_seed(9);
+            m.apply(Batch::new().inserts([vec![0, 1], vec![1, 2], vec![0, 2]]))
+                .unwrap();
+            m
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(Snapshots::snapshot(&a), Snapshots::snapshot(&b));
+    }
+
+    #[test]
+    fn legacy_wrappers_also_publish() {
+        let mut m = DynamicMatching::with_seed(3);
+        let r = m.enable_snapshots();
+        let ids = m.insert_edges(&[vec![0, 1], vec![1, 2]]);
+        assert_eq!(r.epoch(), 2);
+        m.delete_edges(&ids);
+        assert_eq!(r.epoch(), 4);
+        assert_eq!(r.latest().num_edges(), 0);
+    }
+
+    #[test]
+    fn enable_twice_shares_one_cell() {
+        let mut m = DynamicMatching::with_seed(4);
+        let r1 = m.enable_snapshots();
+        m.insert_edges(&[vec![0, 1]]);
+        let r2 = m.enable_snapshots();
+        assert_eq!(r1.epoch(), r2.epoch());
+        m.insert_edges(&[vec![2, 3]]);
+        assert_eq!(r1.epoch(), 2);
+        assert_eq!(r2.epoch(), 2);
+    }
+
+    #[test]
+    fn readers_on_other_threads_never_block_the_writer() {
+        let mut m = DynamicMatching::with_seed(5);
+        let r = m.enable_snapshots();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let r = r.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let snap = r.latest();
+                        assert!(snap.epoch() >= last, "epochs must be monotone");
+                        last = snap.epoch();
+                        snap.check_consistency().unwrap();
+                    }
+                });
+            }
+            let mut ids = Vec::new();
+            for wave in 0..20u32 {
+                let out = m
+                    .apply(Batch::new().inserts([
+                        vec![wave * 3, wave * 3 + 1],
+                        vec![wave * 3 + 1, wave * 3 + 2],
+                    ]))
+                    .unwrap();
+                ids.extend(out.inserted);
+                if ids.len() >= 4 {
+                    let victims: Vec<EdgeId> = ids.drain(..2).collect();
+                    m.apply(Batch::new().deletes(victims)).unwrap();
+                }
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(r.epoch(), Snapshots::epoch(&m));
+    }
+}

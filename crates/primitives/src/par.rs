@@ -178,7 +178,7 @@ pub(crate) fn chunk_count(n: usize) -> usize {
 /// Run `f` over contiguous index ranges covering `0..n` and return the
 /// per-range results in order. The partition has a few chunks per worker
 /// (balanced by work stealing); callers that need a *specific* partition
-/// compute it with [`ranges`] and use [`par_run_ranges`].
+/// compute it with the crate-private `ranges` and `par_run_ranges` pair.
 pub fn par_ranges<U, F>(n: usize, f: F) -> Vec<U>
 where
     U: Send,
@@ -193,7 +193,7 @@ where
 /// Run `f(index, range)` over an explicit pre-computed partition, results in
 /// partition order. Each range is one pool task. Callers that need the
 /// *same* partition across two passes (e.g. the blocked scan) compute it
-/// once with [`ranges`] and run both passes through this, so a concurrent
+/// once with `ranges` and run both passes through this, so a concurrent
 /// [`set_num_threads`] cannot desynchronize the passes.
 pub(crate) fn par_run_ranges<U, F>(rs: Vec<std::ops::Range<usize>>, f: F) -> Vec<U>
 where

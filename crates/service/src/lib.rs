@@ -28,6 +28,16 @@
 //!    [`BatchOutcome`] (its assigned [`EdgeId`] for inserts), plus the
 //!    update's position in the global apply order.
 //!
+//! The **read path** rides on epoch snapshots: start the service with
+//! [`UpdateService::start_serving`] and any number of reader threads
+//! resolve `is_matched` / `partner` / `stats` queries through a cloneable
+//! [`QueryHandle`] against the latest snapshot the structure published —
+//! never blocking the coalescer. Every [`Completion`] carries the epoch at
+//! which its batch became visible, published *before* the ticket resolves,
+//! so completed writes are always readable (read-your-writes), and every
+//! observed snapshot equals a sequential replay prefix of the WAL at its
+//! epoch (the property `tests/snapshots.rs` checks).
+//!
 //! [`replay`] reconstructs a structure from a recorded WAL
 //! deterministically — crash recovery and a trace-replay harness for
 //! benchmarking real update streams in one mechanism.
@@ -72,6 +82,6 @@ pub mod service;
 pub use coalesce::{plan_batch, BatchPlan, CoalescePolicy, Slot};
 pub use replay::{replay_into, replay_matching, replay_setcover, ReplayReport};
 pub use service::{
-    Completion, Done, ServiceConfig, ServiceError, ServiceHandle, ServiceStats, Ticket,
-    UpdateService, WalConfig,
+    Completion, Done, QueryHandle, ServiceConfig, ServiceError, ServiceHandle, ServiceStats,
+    Ticket, UpdateService, WalConfig,
 };

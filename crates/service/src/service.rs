@@ -23,6 +23,7 @@ use pbdmm_graph::edge::{EdgeId, EdgeVertices};
 use pbdmm_graph::update::{Batch, Update};
 use pbdmm_graph::wal::{self, WalMeta};
 use pbdmm_matching::api::{BatchDynamic, UpdateError};
+use pbdmm_matching::snapshot::{Snapshot, SnapshotReader, Snapshots};
 use pbdmm_primitives::pool::ParPool;
 
 use crate::coalesce::{plan_batch, CoalescePolicy, Slot};
@@ -95,6 +96,23 @@ pub struct Completion {
     /// Coalesced duplicate deletes share the sequence number of the delete
     /// that held the batch slot.
     pub seq: u64,
+    /// The epoch at which this update's batch became **visible** on the
+    /// snapshot read path (shared by every ticket of the batch).
+    ///
+    /// For a service started with [`UpdateService::start_serving`] this is
+    /// the *structure's* update count right after the batch applied (the
+    /// service captures the structure's pre-existing epoch at start and
+    /// offsets by it), and the snapshot carrying this batch is published
+    /// *before* the ticket completes — so a reader consulted after
+    /// `wait()` returns never observes
+    /// `QueryHandle::epoch() < completion.epoch`: read your writes.
+    ///
+    /// For a plain [`UpdateService::start`] (no read path, so no
+    /// `Snapshots` bound to ask the structure through) the base is 0:
+    /// epochs then count updates applied *through this service*, which
+    /// coincides with the structure's epoch exactly when the structure
+    /// started fresh.
+    pub epoch: u64,
     /// What the update resolved to.
     pub done: Done,
 }
@@ -341,11 +359,72 @@ pub struct UpdateService<S: BatchDynamic + Send + 'static> {
     join: Option<JoinHandle<(S, ServiceStats)>>,
 }
 
+/// The read side of a serving deployment: a cloneable, `Send + Sync`
+/// handle through which any number of reader threads resolve queries
+/// against the **latest published snapshot** — without ever blocking the
+/// coalescer or each other. Obtained from [`UpdateService::start_serving`].
+///
+/// Readers see epochs advance monotonically, one step per applied batch;
+/// a snapshot observed after a ticket's `wait()` returned is never older
+/// than that ticket's [`Completion::epoch`] (read-your-writes).
+///
+/// ```
+/// use pbdmm_matching::DynamicMatching;
+/// use pbdmm_service::{ServiceConfig, UpdateService};
+///
+/// let (svc, query) =
+///     UpdateService::start_serving(DynamicMatching::with_seed(7), ServiceConfig::default())
+///         .unwrap();
+/// let c = svc.handle().insert(vec![0, 1]).wait().unwrap();
+/// // The batch is already visible: read your writes.
+/// assert!(query.epoch() >= c.epoch);
+/// let snap = query.snapshot();
+/// assert!(snap.is_matched(0) && snap.partner(0) == Some(1));
+/// svc.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct QueryHandle<T> {
+    reader: SnapshotReader<T>,
+}
+
+impl<T> Clone for QueryHandle<T> {
+    fn clone(&self) -> Self {
+        QueryHandle {
+            reader: self.reader.clone(),
+        }
+    }
+}
+
+impl<T> QueryHandle<T> {
+    /// The latest published snapshot (cheap: an `Arc` clone; the snapshot
+    /// itself is immutable and stays valid for as long as the caller holds
+    /// it, regardless of how many batches apply meanwhile).
+    pub fn snapshot(&self) -> Arc<T> {
+        self.reader.latest()
+    }
+}
+
+impl<T: Snapshot> QueryHandle<T> {
+    /// Epoch of the latest published snapshot: how many updates were
+    /// applied when it was captured.
+    pub fn epoch(&self) -> u64 {
+        self.reader.epoch()
+    }
+}
+
 impl<S: BatchDynamic + Send + 'static> UpdateService<S> {
     /// Start the service: spawns the coalescer thread, which takes
     /// ownership of `structure` (get it back from [`Self::shutdown`]).
     /// Fails only if the WAL cannot be created.
     pub fn start(structure: S, config: ServiceConfig) -> Result<Self, ServiceError> {
+        Self::start_inner(structure, config, 0)
+    }
+
+    fn start_inner(
+        structure: S,
+        config: ServiceConfig,
+        epoch_base: u64,
+    ) -> Result<Self, ServiceError> {
         let wal_sink = match &config.wal {
             Some(cfg) => Some(WalSink::open(cfg)?),
             None => None,
@@ -353,12 +432,41 @@ impl<S: BatchDynamic + Send + 'static> UpdateService<S> {
         let (tx, rx) = mpsc::channel();
         let join = std::thread::Builder::new()
             .name("pbdmm-coalescer".into())
-            .spawn(move || coalescer_loop(structure, config, wal_sink, rx))
+            .spawn(move || coalescer_loop(structure, config, wal_sink, rx, epoch_base))
             .expect("spawn coalescer thread");
         Ok(UpdateService {
             tx: Some(tx),
             join: Some(join),
         })
+    }
+
+    /// Start the service **with the snapshot read path enabled**: the
+    /// structure publishes an epoch-versioned snapshot after every applied
+    /// batch (and once immediately, so readers never find the cell empty),
+    /// and the returned [`QueryHandle`] — cloneable across any number of
+    /// reader threads — resolves queries against the latest one without
+    /// blocking the coalescer.
+    ///
+    /// Ordering guarantee: a batch's snapshot is published *before* its
+    /// tickets complete, so after `ticket.wait()` returns a completion `c`,
+    /// `query.epoch() >= c.epoch` always holds (read-your-writes), and
+    /// every published epoch equals the prefix of the apply history (= the
+    /// WAL) it reflects.
+    pub fn start_serving(
+        mut structure: S,
+        config: ServiceConfig,
+    ) -> Result<(Self, QueryHandle<S::Snap>), ServiceError>
+    where
+        S: Snapshots,
+    {
+        // Capture the pre-service epoch: `seq` numbers count updates
+        // applied *through this service*, while epochs count updates ever
+        // applied to the structure — they coincide exactly when the
+        // structure starts fresh, and differ by this base otherwise.
+        let epoch_base = structure.epoch();
+        let reader = structure.enable_snapshots();
+        let svc = Self::start_inner(structure, config, epoch_base)?;
+        Ok((svc, QueryHandle { reader }))
     }
 
     /// A new producer handle. Handles are cheap to clone and `Send`; the
@@ -396,6 +504,7 @@ fn coalescer_loop<S: BatchDynamic>(
     config: ServiceConfig,
     mut wal: Option<WalSink>,
     rx: mpsc::Receiver<Msg>,
+    epoch_base: u64,
 ) -> (S, ServiceStats) {
     let policy = config.policy;
     let max_batch = policy.max_batch.max(1);
@@ -617,6 +726,12 @@ fn coalescer_loop<S: BatchDynamic>(
             stats.max_batch_len = stats.max_batch_len.max(batch_len);
         }
         next_seq += batch_len as u64;
+        // The epoch at which this whole batch became visible: the
+        // structure's update count right after the apply — which is also
+        // the epoch the snapshot published inside `apply` carries, so
+        // completing tickets *after* this point is what makes
+        // read-your-writes hold.
+        let visible_epoch = epoch_base + next_seq;
         for (tx, slot) in waiting {
             let msg = match slot {
                 Slot::InBatch(pos) => {
@@ -628,6 +743,7 @@ fn coalescer_loop<S: BatchDynamic>(
                     };
                     Ok(Completion {
                         seq: batch_base + pos as u64,
+                        epoch: visible_epoch,
                         done,
                     })
                 }
@@ -640,6 +756,7 @@ fn coalescer_loop<S: BatchDynamic>(
                         .expect("duplicate of a planned delete");
                     Ok(Completion {
                         seq: batch_base + pos as u64,
+                        epoch: visible_epoch,
                         done: Done::AlreadyDeleted(id),
                     })
                 }
@@ -769,6 +886,72 @@ mod tests {
         assert_eq!(stats.batches, 6);
         assert_eq!(stats.max_batch_len, 1);
         assert!((stats.mean_batch_len() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_handle_reads_latest_epoch_and_state() {
+        let (svc, q) =
+            UpdateService::start_serving(DynamicMatching::with_seed(8), quick_config()).unwrap();
+        assert_eq!(q.epoch(), 0);
+        assert_eq!(q.snapshot().num_edges(), 0);
+        let h = svc.handle();
+        let c = h.insert(vec![0, 1]).wait().unwrap();
+        // Read-your-writes: the batch's snapshot was published before the
+        // ticket completed.
+        assert!(q.epoch() >= c.epoch);
+        let snap = q.snapshot();
+        assert!(snap.contains_edge(c.done.id()));
+        assert!(snap.is_matched(0));
+        assert_eq!(snap.partner(0), Some(1));
+        snap.check_consistency().unwrap();
+
+        let c2 = h.delete(c.done.id()).wait().unwrap();
+        assert!(c2.epoch > c.epoch);
+        assert!(!q.snapshot().contains_edge(c.done.id()));
+        // The old snapshot is immutable: still shows the edge.
+        assert!(snap.contains_edge(c.done.id()));
+        drop(h);
+        let (m, stats) = svc.shutdown();
+        assert_eq!(stats.updates, 2);
+        assert_eq!(pbdmm_matching::snapshot::Snapshots::epoch(&m), 2);
+        // The handle outlives the service; it serves the final state.
+        assert_eq!(q.epoch(), 2);
+    }
+
+    #[test]
+    fn completion_epochs_are_batch_visibility_points() {
+        // Singleton batches: each update's epoch is its seq + 1 (visible
+        // right after its own one-update batch).
+        let cfg = ServiceConfig {
+            policy: CoalescePolicy::singleton(),
+            ..Default::default()
+        };
+        let (svc, q) = UpdateService::start_serving(DynamicMatching::with_seed(9), cfg).unwrap();
+        let h = svc.handle();
+        for v in 0..5u32 {
+            let c = h.insert(vec![v, v + 1]).wait().unwrap();
+            assert_eq!(c.epoch, c.seq + 1);
+            assert!(q.epoch() >= c.epoch);
+        }
+        drop(h);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn epoch_base_offsets_a_non_fresh_structure() {
+        // A structure that already applied updates before serving: seq
+        // numbers still start at 0, epochs continue from the structure's
+        // history, and read-your-writes holds throughout.
+        let mut m = DynamicMatching::with_seed(10);
+        let pre = m.insert_edges(&[vec![0, 1], vec![2, 3]]);
+        let (svc, q) = UpdateService::start_serving(m, quick_config()).unwrap();
+        assert_eq!(q.epoch(), 2);
+        assert!(q.snapshot().contains_edge(pre[0]));
+        let c = svc.handle().insert(vec![4, 5]).wait().unwrap();
+        assert_eq!(c.seq, 0, "seq space is the service's own");
+        assert_eq!(c.epoch, 3, "epoch space is the structure's history");
+        assert!(q.epoch() >= c.epoch);
+        svc.shutdown();
     }
 
     #[test]

@@ -124,6 +124,13 @@ fn concurrent_interleavings_linearize_and_replay() {
             .iter()
             .enumerate()
             .all(|(i, (_, c))| c.seq == i as u64));
+        // Visibility epochs: every update becomes visible strictly after
+        // its own position, never later than the end of the run, and
+        // monotonically along the apply order (batch boundaries).
+        assert!(ordered
+            .iter()
+            .all(|(_, c)| c.epoch > c.seq && c.epoch <= stats.updates));
+        assert!(ordered.windows(2).all(|w| w[0].1.epoch <= w[1].1.epoch));
         let mut sequential = DynamicMatching::with_seed(structure_seed ^ 0x5EED);
         for (op, c) in &ordered {
             let out = sequential

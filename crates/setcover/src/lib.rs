@@ -21,8 +21,11 @@
 
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
 use pbdmm_graph::edge::{EdgeId, VertexId};
 use pbdmm_matching::api::{Batch, BatchDynamic, BatchOutcome, UpdateError};
+use pbdmm_matching::snapshot::{Snapshot, SnapshotCell, SnapshotReader, Snapshots};
 use pbdmm_matching::{BatchReport, DynamicMatching};
 use pbdmm_primitives::hash::{FxHashMap, FxHashSet};
 use pbdmm_primitives::rng::SplitMix64;
@@ -93,6 +96,10 @@ pub fn static_cover(elements: &[Vec<SetId>], seed: u64) -> (Vec<SetId>, usize) {
 /// ```
 pub struct DynamicSetCover {
     matching: DynamicMatching,
+    /// Publication point for the epoch-snapshot read path (see
+    /// [`Snapshots::enable_snapshots`]): refreshed after every element
+    /// batch so concurrent readers query the cover while batches apply.
+    snapshots: Option<Arc<SnapshotCell<CoverSnapshot>>>,
 }
 
 impl DynamicSetCover {
@@ -100,6 +107,23 @@ impl DynamicSetCover {
     pub fn with_seed(seed: u64) -> Self {
         DynamicSetCover {
             matching: DynamicMatching::with_seed(seed),
+            snapshots: None,
+        }
+    }
+
+    /// The structure's epoch: total element updates applied so far (the
+    /// version carried by published [`CoverSnapshot`]s; see
+    /// [`pbdmm_matching::DynamicMatching::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.matching.epoch()
+    }
+
+    /// Publish a fresh [`CoverSnapshot`] if the read path is enabled.
+    /// Called after every mutating entry point, before the outcome is
+    /// returned to the caller.
+    fn maybe_publish_snapshot(&mut self) {
+        if let Some(cell) = &self.snapshots {
+            cell.publish(CoverSnapshot::capture(self));
         }
     }
 
@@ -114,7 +138,9 @@ impl DynamicSetCover {
     /// containing a new element; delete = a live element id). Strict; see
     /// [`UpdateError`].
     pub fn apply(&mut self, batch: Batch) -> Result<BatchOutcome<BatchReport>, UpdateError> {
-        self.matching.apply(batch)
+        let out = self.matching.apply(batch)?;
+        self.maybe_publish_snapshot();
+        Ok(out)
     }
 
     /// Insert a batch of elements; `batch[i]` lists the sets containing the
@@ -123,14 +149,18 @@ impl DynamicSetCover {
     /// # Panics
     /// If any element is contained in no set.
     pub fn insert_elements(&mut self, batch: &[Vec<SetId>]) -> Vec<ElementId> {
-        self.matching.insert_edges(batch)
+        let ids = self.matching.insert_edges(batch);
+        self.maybe_publish_snapshot();
+        ids
     }
 
     /// Delete a batch of elements by id, tolerantly (unknown and duplicate
     /// ids are skipped). Returns the ids actually deleted so callers can
     /// reconcile.
     pub fn delete_elements(&mut self, ids: &[ElementId]) -> Vec<ElementId> {
-        self.matching.delete_edges(ids)
+        let gone = self.matching.delete_edges(ids);
+        self.maybe_publish_snapshot();
+        gone
     }
 
     /// The current cover: every set incident on a matched element.
@@ -205,6 +235,150 @@ impl BatchDynamic for DynamicSetCover {
 
     fn work(&self) -> u64 {
         self.matching.meter().work()
+    }
+}
+
+/// Summary counters of a [`CoverSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverStats {
+    /// Element updates applied when the snapshot was captured.
+    pub epoch: u64,
+    /// Live elements.
+    pub num_elements: usize,
+    /// Chosen sets.
+    pub cover_size: usize,
+    /// Matching size — the lower bound on `OPT`.
+    pub lower_bound: usize,
+}
+
+/// A compact immutable snapshot of a [`DynamicSetCover`]: the live element
+/// ids, the chosen sets, and the `OPT` lower bound, at one epoch. Published
+/// after every element batch once [`Snapshots::enable_snapshots`] is
+/// called, so concurrent readers answer *"is this set in the cover?"* /
+/// *"is this element still covered?"* while batches apply.
+///
+/// # Example
+/// ```
+/// use pbdmm_matching::snapshot::{Snapshot, Snapshots};
+/// use pbdmm_setcover::DynamicSetCover;
+///
+/// let mut dc = DynamicSetCover::with_seed(3);
+/// let reader = dc.enable_snapshots();
+/// let ids = dc.insert_elements(&[vec![0, 1], vec![1, 2], vec![2]]);
+/// let snap = reader.latest();
+/// assert_eq!(snap.epoch(), 3);
+/// assert!(ids.iter().all(|&e| snap.is_covered(e)));
+/// assert!(snap.cover_size() <= 2 * snap.lower_bound()); // r = 2 here
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverSnapshot {
+    epoch: u64,
+    /// Live element ids, ascending.
+    elements: Vec<ElementId>,
+    /// Chosen sets, ascending.
+    cover: Vec<SetId>,
+    /// Matching size at capture time.
+    lower_bound: usize,
+}
+
+impl CoverSnapshot {
+    /// Capture the current state of `dc` at its current epoch.
+    pub fn capture(dc: &DynamicSetCover) -> Self {
+        let mut elements: Vec<ElementId> = dc.matching.structure().edges.keys().copied().collect();
+        elements.sort_unstable();
+        let mut cover = dc.cover();
+        cover.sort_unstable();
+        CoverSnapshot {
+            epoch: dc.epoch(),
+            elements,
+            cover,
+            lower_bound: dc.opt_lower_bound(),
+        }
+    }
+
+    /// Element updates applied when this snapshot was captured.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live elements.
+    pub fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of chosen sets.
+    pub fn cover_size(&self) -> usize {
+        self.cover.len()
+    }
+
+    /// The matching size at capture time — a lower bound on the optimal
+    /// cover size, so `cover_size() <= r * lower_bound()`.
+    pub fn lower_bound(&self) -> usize {
+        self.lower_bound
+    }
+
+    /// Summary counters.
+    pub fn stats(&self) -> CoverStats {
+        CoverStats {
+            epoch: self.epoch,
+            num_elements: self.num_elements(),
+            cover_size: self.cover_size(),
+            lower_bound: self.lower_bound,
+        }
+    }
+
+    /// Was `s` a chosen set at this epoch?
+    pub fn in_cover(&self, s: SetId) -> bool {
+        self.cover.binary_search(&s).is_ok()
+    }
+
+    /// Was `e` a live element at this epoch?
+    pub fn contains_element(&self, e: ElementId) -> bool {
+        self.elements.binary_search(&e).is_ok()
+    }
+
+    /// Was `e` covered at this epoch? Snapshots are captured only at batch
+    /// boundaries, where the maintained invariant guarantees every live
+    /// element is covered — so this is liveness, stated as the query the
+    /// serving layer answers.
+    pub fn is_covered(&self, e: ElementId) -> bool {
+        self.contains_element(e)
+    }
+
+    /// Live element ids, ascending.
+    pub fn elements(&self) -> &[ElementId] {
+        &self.elements
+    }
+
+    /// The chosen sets, ascending.
+    pub fn cover(&self) -> &[SetId] {
+        &self.cover
+    }
+}
+
+impl Snapshot for CoverSnapshot {
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Snapshots for DynamicSetCover {
+    type Snap = CoverSnapshot;
+
+    fn epoch(&self) -> u64 {
+        DynamicSetCover::epoch(self)
+    }
+
+    fn snapshot(&self) -> CoverSnapshot {
+        CoverSnapshot::capture(self)
+    }
+
+    fn enable_snapshots(&mut self) -> SnapshotReader<CoverSnapshot> {
+        if self.snapshots.is_none() {
+            self.snapshots = Some(Arc::new(SnapshotCell::new(CoverSnapshot::capture(self))));
+        }
+        let cell = Arc::clone(self.snapshots.as_ref().expect("just created"));
+        SnapshotReader::from_cell(cell)
     }
 }
 

@@ -22,8 +22,11 @@ fn main() {
 
     // 1. Start the service: it takes ownership of the structure; producers
     //    talk to it through cloneable handles. Every formed batch is
-    //    appended to the WAL before it is applied.
-    let svc = UpdateService::start(
+    //    appended to the WAL before it is applied. `start_serving` (vs
+    //    plain `start`) also enables the snapshot read path and hands back
+    //    a QueryHandle — see examples/concurrent_queries.rs for the read
+    //    tier in full.
+    let (svc, query) = UpdateService::start_serving(
         DynamicMatching::with_seed(seed),
         ServiceConfig {
             policy: CoalescePolicy::default(), // group commit, max_batch 1024
@@ -66,9 +69,18 @@ fn main() {
     });
 
     // 3. Shut down: drains everything queued, returns the structure and
-    //    the run's statistics.
+    //    the run's statistics. The query handle keeps serving the final
+    //    published snapshot even after shutdown.
     let (served, stats) = svc.shutdown();
     check_invariants(&served).expect("invariants after serving");
+    let snap = query.snapshot();
+    assert_eq!(snap.num_edges(), served.num_edges());
+    println!(
+        "read path: final snapshot at epoch {} ({} edges, matching {})",
+        snap.epoch(),
+        snap.num_edges(),
+        snap.matching_size()
+    );
     println!(
         "served {} updates in {} batches (mean batch {:.1}), final: {} edges, matching {}",
         stats.updates,

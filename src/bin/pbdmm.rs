@@ -14,6 +14,7 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -22,13 +23,16 @@ use pbdmm::graph::workload::{insert_then_delete, DeletionOrder};
 use pbdmm::graph::{gen, io, Batch, EdgeId, Hypergraph};
 use pbdmm::matching::baseline::{NaiveDynamic, RecomputeMatching};
 use pbdmm::matching::driver::run_workload;
+use pbdmm::matching::snapshot::{Snapshot, Snapshots};
 use pbdmm::matching::verify::check_invariants;
+use pbdmm::matching::MatchingSnapshot;
 use pbdmm::primitives::cost::CostMeter;
 use pbdmm::primitives::rng::SplitMix64;
 use pbdmm::service::{
     replay_matching, replay_setcover, CoalescePolicy, Done, ServiceConfig, ServiceHandle,
     ServiceStats, UpdateService, WalConfig,
 };
+use pbdmm::setcover::CoverSnapshot;
 use pbdmm::{BatchDynamic, DynamicMatching, DynamicSetCover};
 
 fn main() -> ExitCode {
@@ -49,20 +53,25 @@ usage:
                 [--contender dynamic|recompute|naive|setcover] [--seed S] [--threads T]
   pbdmm cover <graph-file> [--seed S] [--threads T]
   pbdmm gen <er|hyper|powerlaw|star|bipartite> [--n N] [--m M] [--rank R] [--seed S] -o <file>
-  pbdmm serve [--producers P] [--updates N] [--max-batch B] [--max-delay-us D]
-              [--structure matching|setcover] [--wal FILE|none] [--wal-sync BOOL]
+  pbdmm serve [--producers P] [--updates N] [--readers R] [--max-batch B]
+              [--max-delay-us D] [--structure matching|setcover]
+              [--wal FILE|none] [--wal-sync BOOL]
               [--compare direct|none] [--seed S] [--threads T]
   pbdmm replay <wal-file> [--threads T]
 
   serve drives a synthetic P-producer load through the batch-coalescing
-  update service (ingress -> coalesce -> WAL -> apply) and reports
-  throughput and per-update latency. Durable by default: each formed
-  batch is appended to the WAL (a temp file unless --wal names one;
-  --wal none disables) and fsynced (--wal-sync false for flush-only)
-  before its tickets complete. --compare direct (the default) runs the
-  same load at the same durability as per-update singleton applies under
-  a mutex — the group-commit comparison. replay rebuilds a structure
-  from a recorded WAL and verifies its invariants.
+  update service (ingress -> coalesce -> WAL -> apply -> snapshot) and
+  reports throughput and per-update latency. Durable by default: each
+  formed batch is appended to the WAL (a temp file unless --wal names
+  one; --wal none disables) and fsynced (--wal-sync false for
+  flush-only) before its tickets complete. --readers R (default 2; 0
+  disables) runs R concurrent reader threads resolving point queries
+  against the epoch-snapshot read path while writers run, reporting read
+  throughput and snapshot-staleness percentiles. --compare direct (the
+  default) runs the same load at the same durability as per-update
+  singleton applies under a mutex — the group-commit comparison. replay
+  rebuilds a structure from a recorded WAL and verifies its invariants;
+  its final: line (epoch included) is byte-comparable with serve's.
 
   --threads T sizes the work-stealing scheduler (a positive integer; omit
   the flag to use all cores; also settable process-wide via the
@@ -254,16 +263,31 @@ fn cmd_cover(args: &Args) -> Result<(), String> {
 /// One producer's synthetic load against the service: windows of inserts
 /// (random rank-2/3 edges over a shared vertex universe) whose tickets are
 /// awaited — recording submit→complete latency — followed by deletes of
-/// half the committed ids. Returns (updates submitted, latencies in µs).
+/// half the committed ids. Publishes the highest acknowledged visibility
+/// epoch into `acked` (the staleness reference point for readers) and
+/// counts read-your-writes violations against `epoch_now` (the query
+/// handle's current epoch; never fires by construction). Returns
+/// (updates submitted, latencies in µs, RYW violations).
 fn service_producer_load(
     h: &ServiceHandle,
     mut rng: SplitMix64,
     total_updates: usize,
-) -> (usize, Vec<f64>) {
+    acked: &AtomicU64,
+    epoch_now: &(dyn Fn() -> u64 + Sync),
+) -> (usize, Vec<f64>, u64) {
     const WINDOW: usize = 64;
     const UNIVERSE: u64 = 4096;
     let mut latencies = Vec::with_capacity(total_updates);
     let mut done = 0usize;
+    let mut ryw_violations = 0u64;
+    let mut observe = |c: &pbdmm::service::Completion| {
+        acked.fetch_max(c.epoch, Ordering::Relaxed);
+        // Read-your-writes: the snapshot carrying this batch is published
+        // before the ticket completes, so the handle can never be behind.
+        if epoch_now() < c.epoch {
+            ryw_violations += 1;
+        }
+    };
     while done < total_updates {
         let window = WINDOW.min(total_updates - done);
         let mut tickets = Vec::with_capacity(window);
@@ -281,6 +305,7 @@ fn service_producer_load(
         for (t0, t) in tickets {
             let c = t.wait().expect("service insert");
             latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+            observe(&c);
             ids.push(c.done.id());
         }
         done += window;
@@ -292,11 +317,86 @@ fn service_producer_load(
         for (t0, t) in tickets {
             let c = t.wait().expect("service delete");
             latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+            observe(&c);
             debug_assert!(matches!(c.done, Done::Deleted(_) | Done::AlreadyDeleted(_)));
         }
         done += deletes;
     }
-    (done, latencies)
+    (done, latencies, ryw_violations)
+}
+
+/// What a `serve` snapshot type must answer for the CLI's reader threads:
+/// a handful of point queries per poll (counted as reads; `Err` means a
+/// failed query) plus a full self-consistency check run once per newly
+/// observed epoch.
+trait ProbeSnapshot: Snapshot {
+    fn probe(&self, rng: &mut SplitMix64) -> Result<(), String>;
+    fn consistency(&self) -> Result<(), String>;
+}
+
+impl ProbeSnapshot for MatchingSnapshot {
+    fn probe(&self, rng: &mut SplitMix64) -> Result<(), String> {
+        let v = rng.bounded(4096) as u32;
+        if self.is_matched(v) {
+            let e = self
+                .matched_edge_of(v)
+                .ok_or_else(|| format!("vertex {v} matched but has no matched edge"))?;
+            if !self.is_matched_edge(e) || !self.contains_edge(e) {
+                return Err(format!("vertex {v}'s matched edge {e} is not live+matched"));
+            }
+            let partners = self
+                .partners(v)
+                .ok_or_else(|| format!("vertex {v} matched but has no partners"))?;
+            if !partners.contains(&v) {
+                return Err(format!("matched edge {e} does not contain vertex {v}"));
+            }
+        } else if self.partner(v).is_some() {
+            return Err(format!("unmatched vertex {v} has a partner"));
+        }
+        Ok(())
+    }
+
+    fn consistency(&self) -> Result<(), String> {
+        self.check_consistency()
+    }
+}
+
+impl ProbeSnapshot for CoverSnapshot {
+    fn probe(&self, rng: &mut SplitMix64) -> Result<(), String> {
+        let s = self.stats();
+        if s.cover_size != self.cover().len() || s.num_elements != self.elements().len() {
+            return Err("stats disagree with snapshot contents".into());
+        }
+        // Every live element is covered at a batch boundary.
+        if !self.elements().is_empty() {
+            let e = self.elements()[rng.bounded(self.elements().len() as u64) as usize];
+            if !self.is_covered(e) {
+                return Err(format!("live element {e} uncovered"));
+            }
+        }
+        Ok(())
+    }
+
+    fn consistency(&self) -> Result<(), String> {
+        if self.cover_size() > 0 && self.num_elements() == 0 {
+            return Err("non-empty cover over zero elements".into());
+        }
+        Ok(())
+    }
+}
+
+/// What the reader tier observed during one `serve` run.
+struct ReadReport {
+    /// Point queries resolved.
+    reads: u64,
+    /// Queries that returned inconsistent results (must stay 0), plus any
+    /// read-your-writes violations seen by the producers.
+    failed: u64,
+    /// Wall-clock seconds the readers ran (the writers' window).
+    seconds: f64,
+    /// Per-poll staleness samples, sorted: how many acknowledged updates
+    /// the observed snapshot was behind at poll time.
+    staleness: Vec<f64>,
 }
 
 /// The same load at the same durability contract, without the coalescing
@@ -415,49 +515,140 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-/// Drive a synthetic multi-producer load through the service and report.
-/// Returns (updates, seconds, latencies µs, stats, structure).
-fn serve_load<S: BatchDynamic + Send + 'static>(
+/// What one `serve` run produced: (updates, seconds, latencies µs, service
+/// stats, read report, final structure).
+type ServeOutcome<S> = (u64, f64, Vec<f64>, ServiceStats, ReadReport, S);
+
+/// Drive a synthetic multi-producer load through the service — with
+/// `readers` concurrent snapshot-reader threads resolving point queries
+/// against the epoch read path the whole time — and report.
+fn serve_load<S>(
     structure: S,
     producers: usize,
     per_producer: usize,
+    readers: usize,
     policy: CoalescePolicy,
     wal: Option<WalConfig>,
     seed: u64,
-) -> Result<(u64, f64, Vec<f64>, ServiceStats, S), String> {
+) -> Result<ServeOutcome<S>, String>
+where
+    S: BatchDynamic + Snapshots + Send + 'static,
+    S::Snap: ProbeSnapshot,
+{
     let config = ServiceConfig {
         policy,
         wal,
         ..Default::default()
     };
-    let svc = UpdateService::start(structure, config).map_err(|e| e.to_string())?;
+    // --readers 0 really disables the read tier: plain `start`, so the
+    // structure never captures snapshots and producers skip the epoch
+    // checks — the write path (and the --compare direct speedup) is then
+    // measured without any read-side overhead.
+    let (svc, query) = if readers > 0 {
+        let (svc, q) =
+            UpdateService::start_serving(structure, config).map_err(|e| e.to_string())?;
+        (svc, Some(q))
+    } else {
+        let svc = UpdateService::start(structure, config).map_err(|e| e.to_string())?;
+        (svc, None)
+    };
     let start = std::time::Instant::now();
     let all_latencies = Mutex::new(Vec::new());
+    // Highest acknowledged visibility epoch across all producers — the
+    // reference point snapshot staleness is measured against.
+    let acked = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let read_acc = Mutex::new((0u64, 0u64, Vec::<f64>::new())); // reads, failed, staleness
     let total: u64 = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..producers)
+        for r in 0..readers {
+            let q = query.clone().expect("readers > 0 implies start_serving");
+            let (acked, stop, read_acc) = (&acked, &stop, &read_acc);
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(seed ^ 0xD0_5EED ^ (r as u64) << 17);
+                let (mut reads, mut failed) = (0u64, 0u64);
+                let mut staleness = Vec::new();
+                let mut checked_epoch = u64::MAX;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = q.snapshot();
+                    // Full consistency check once per newly observed epoch;
+                    // cheap point probes on every poll.
+                    if snap.epoch() != checked_epoch {
+                        checked_epoch = snap.epoch();
+                        if let Err(e) = snap.consistency() {
+                            eprintln!("reader {r}: inconsistent snapshot: {e}");
+                            failed += 1;
+                        }
+                        reads += 1;
+                    }
+                    for _ in 0..32 {
+                        if let Err(e) = snap.probe(&mut rng) {
+                            eprintln!("reader {r}: failed query: {e}");
+                            failed += 1;
+                        }
+                        reads += 1;
+                    }
+                    staleness
+                        .push(acked.load(Ordering::Relaxed).saturating_sub(snap.epoch()) as f64);
+                    // Busy-polling readers must not starve the coalescer
+                    // (or each other) on hosts with few cores.
+                    std::thread::yield_now();
+                }
+                let mut acc = read_acc.lock().unwrap();
+                acc.0 += reads;
+                acc.1 += failed;
+                acc.2.append(&mut staleness);
+            });
+        }
+        let writer_handles: Vec<_> = (0..producers)
             .map(|p| {
                 let h = svc.handle();
-                let lat = &all_latencies;
+                let q = query.clone();
+                let (lat, acked) = (&all_latencies, &acked);
                 scope.spawn(move || {
                     let rng = SplitMix64::new(seed ^ (p as u64).wrapping_mul(0x9e37));
-                    let (n, mut l) = service_producer_load(&h, rng, per_producer);
+                    // Read path off: no epoch to consult, the RYW check
+                    // trivially holds.
+                    let epoch_now: Box<dyn Fn() -> u64 + Sync> = match q {
+                        Some(q) => Box::new(move || q.epoch()),
+                        None => Box::new(|| u64::MAX),
+                    };
+                    let (n, mut l, ryw) =
+                        service_producer_load(&h, rng, per_producer, acked, epoch_now.as_ref());
                     lat.lock().unwrap().append(&mut l);
-                    n as u64
+                    (n as u64, ryw)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).sum()
+        let mut total = 0u64;
+        let mut ryw_total = 0u64;
+        for h in writer_handles {
+            let (n, ryw) = h.join().unwrap();
+            total += n;
+            ryw_total += ryw;
+        }
+        stop.store(true, Ordering::Relaxed);
+        read_acc.lock().unwrap().1 += ryw_total;
+        total
     });
     let seconds = start.elapsed().as_secs_f64();
     let (s, stats) = svc.shutdown();
     let mut latencies = all_latencies.into_inner().unwrap();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    Ok((total, seconds, latencies, stats, s))
+    let (reads, failed, mut staleness) = read_acc.into_inner().unwrap();
+    staleness.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let read = ReadReport {
+        reads,
+        failed,
+        seconds,
+        staleness,
+    };
+    Ok((total, seconds, latencies, stats, read, s))
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let producers: usize = args.flag("producers", 4)?;
     let per_producer: usize = args.flag("updates", 10_000)?;
+    let readers: usize = args.flag("readers", 2)?;
     let max_batch: usize = args.flag("max-batch", 1024)?;
     // 0 = group commit (flush whenever the ingress is momentarily empty);
     // positive = linger window maximizing coalescing at a latency cost.
@@ -508,7 +699,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     });
     let wal_path = wal.as_ref().map(|w| w.path.clone());
     println!(
-        "serve: {producers} producers x {per_producer} updates, \
+        "serve: {producers} producers x {per_producer} updates, {readers} readers, \
          max_batch={max_batch} max_delay={max_delay_us}us structure={structure} \
          wal={} (fsync {})",
         wal_path
@@ -522,41 +713,45 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
     );
 
-    let (total, seconds, latencies, stats, final_line) = match structure.as_str() {
+    let (total, seconds, latencies, stats, read, final_line) = match structure.as_str() {
         "matching" => {
-            let (total, seconds, latencies, stats, m) = serve_load(
+            let (total, seconds, latencies, stats, read, m) = serve_load(
                 DynamicMatching::with_seed(seed),
                 producers,
                 per_producer,
+                readers,
                 policy,
                 wal,
                 seed,
             )?;
             check_invariants(&m).map_err(|e| format!("post-serve invariants: {e}"))?;
             let line = format!(
-                "final: edges={} matching={}",
+                "final: epoch={} edges={} matching={}",
+                m.epoch(),
                 m.num_edges(),
                 m.matching_size()
             );
-            (total, seconds, latencies, stats, line)
+            (total, seconds, latencies, stats, read, line)
         }
         "setcover" => {
-            let (total, seconds, latencies, stats, c) = serve_load(
+            let (total, seconds, latencies, stats, read, c) = serve_load(
                 DynamicSetCover::with_seed(seed),
                 producers,
                 per_producer,
+                readers,
                 policy,
                 wal,
                 seed,
             )?;
             check_invariants(c.matching()).map_err(|e| format!("post-serve invariants: {e}"))?;
             let line = format!(
-                "final: edges={} matching={} cover={}",
+                "final: epoch={} edges={} matching={} cover={}",
+                c.epoch(),
                 c.num_elements(),
                 c.matching_size(),
                 c.cover_size()
             );
-            (total, seconds, latencies, stats, line)
+            (total, seconds, latencies, stats, read, line)
         }
         other => return Err(format!("unknown structure {other:?}")),
     };
@@ -583,6 +778,28 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         percentile(&latencies, 0.99),
         percentile(&latencies, 1.0)
     );
+    if readers > 0 {
+        println!(
+            "reads: {} snapshot queries in {:.1} ms -> {:.0} reads/s \
+             ({readers} readers, failed queries: {})",
+            read.reads,
+            read.seconds * 1e3,
+            read.reads as f64 / read.seconds.max(1e-9),
+            read.failed
+        );
+        println!(
+            "snapshot staleness: p50 {:.0}, p99 {:.0}, max {:.0} updates behind acknowledged",
+            percentile(&read.staleness, 0.50),
+            percentile(&read.staleness, 0.99),
+            percentile(&read.staleness, 1.0)
+        );
+        if read.failed > 0 {
+            return Err(format!(
+                "{} failed snapshot queries during serve (expected 0)",
+                read.failed
+            ));
+        }
+    }
     if let Some(path) = &wal_path {
         println!(
             "wal: {} batches appended to {}",
@@ -671,7 +888,8 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
                 start.elapsed().as_secs_f64() * 1e3
             );
             println!(
-                "final: edges={} matching={}",
+                "final: epoch={} edges={} matching={}",
+                m.epoch(),
                 m.num_edges(),
                 m.matching_size()
             );
@@ -687,7 +905,8 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
                 start.elapsed().as_secs_f64() * 1e3
             );
             println!(
-                "final: edges={} matching={} cover={}",
+                "final: epoch={} edges={} matching={} cover={}",
+                c.epoch(),
                 c.num_elements(),
                 c.matching_size(),
                 c.cover_size()

@@ -196,6 +196,9 @@ fn serve_records_wal_and_replay_reproduces_final_state() {
         .find(|l| l.starts_with("final:"))
         .expect("serve prints a final state line")
         .to_string();
+    // The final line carries the epoch (= updates applied), so the diff
+    // below also pins serve and replay to the same apply-history position.
+    assert!(served_final.contains("epoch=1200"), "{served_final}");
 
     // Replay must reproduce the exact final state and pass verification.
     let out = pbdmm(&["replay", wal.to_str().unwrap()]);
@@ -237,6 +240,59 @@ fn serve_supports_setcover_and_compare_direct() {
     assert!(stdout.contains("cover="), "{stdout}");
     assert!(stdout.contains("direct singleton"), "{stdout}");
     assert!(stdout.contains("coalescing speedup:"), "{stdout}");
+}
+
+#[test]
+fn serve_sustains_concurrent_readers_with_zero_failed_queries() {
+    // The acceptance workload: 4 reader threads resolving snapshot point
+    // queries while writers run; every query must succeed and the
+    // staleness report must be present.
+    let out = pbdmm(&[
+        "serve",
+        "--producers",
+        "2",
+        "--updates",
+        "500",
+        "--readers",
+        "4",
+        "--wal",
+        "none",
+        "--compare",
+        "none",
+        "--seed",
+        "11",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("reads:"), "{stdout}");
+    assert!(
+        stdout.contains("(4 readers, failed queries: 0)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("snapshot staleness: p50"), "{stdout}");
+    assert!(stdout.contains("epoch=1000"), "{stdout}");
+
+    // --readers 0 turns the read tier off entirely.
+    let out = pbdmm(&[
+        "serve",
+        "--producers",
+        "1",
+        "--updates",
+        "100",
+        "--readers",
+        "0",
+        "--wal",
+        "none",
+        "--compare",
+        "none",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("reads:"), "{stdout}");
 }
 
 #[test]
