@@ -27,7 +27,7 @@ use pbdmm_graph::update::Batch;
 use pbdmm_graph::wal::{self, WalMeta};
 use pbdmm_graph::workload::{churn, insert_then_delete, DeletionOrder};
 use pbdmm_matching::driver::run_workload;
-use pbdmm_matching::DynamicMatching;
+use pbdmm_matching::{DynamicMatching, DynamicMatchingBuilder};
 use pbdmm_primitives::par;
 use pbdmm_primitives::rng::SplitMix64;
 use pbdmm_service::{CoalescePolicy, Done, ServiceConfig, UpdateService, WalConfig};
@@ -326,6 +326,35 @@ fn run_battery(samples: usize) -> BTreeMap<String, f64> {
                 let mut dm = DynamicMatching::with_seed(2);
                 run_workload(&mut dm, &w_itd);
             }),
+        );
+    }
+
+    // Storage-backend occupancy (ungated `info_*`, and counts rather than
+    // throughputs): high-water slot usage of the flat edge table after the
+    // churn stream, in both id modes. The monotonic number spans every id
+    // ever assigned; the recycled number is bounded by the peak live set —
+    // the density the slab free-list buys under unbounded churn.
+    {
+        let mut dm = DynamicMatching::with_seed(1);
+        run_workload(&mut dm, &w_churn);
+        let st = dm.storage_stats();
+        metrics.insert(
+            "info_slab_churn_edge_slots_monotonic".into(),
+            st.edge_slots as f64,
+        );
+        metrics.insert(
+            "info_slab_churn_ids_allocated".into(),
+            st.ids_allocated as f64,
+        );
+        let mut dm = DynamicMatchingBuilder::new()
+            .seed(1)
+            .recycle_ids(true)
+            .build();
+        run_workload(&mut dm, &w_churn);
+        let st = dm.storage_stats();
+        metrics.insert(
+            "info_slab_churn_edge_slots_recycled".into(),
+            st.edge_slots as f64,
         );
     }
 

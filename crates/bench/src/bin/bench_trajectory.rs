@@ -1,0 +1,261 @@
+//! `bench_trajectory` — the cross-PR benchmark history tool.
+//!
+//! `bench_smoke` gates each commit against a static baseline, but a 20%
+//! regression spread over four PRs never trips a 25% per-PR gate. This tool
+//! maintains a cumulative history file (the `BENCH_trajectory` CI artifact,
+//! downloaded and re-uploaded by every `bench-smoke` run on `main`) and
+//! prints per-metric trends so slow drift is visible.
+//!
+//! ```text
+//! bench_trajectory append --history BENCH_trajectory.json \
+//!                         --run BENCH_smoke.json \
+//!                         --sha <commit> [--timestamp <iso8601>]
+//! bench_trajectory show --history BENCH_trajectory.json [--last N]
+//! ```
+//!
+//! Every stored entry keeps the run's full metric map; `show` normalizes
+//! each metric by the run's own `calibration_scalar_hashes_per_s` so
+//! entries from differently-loaded runners stay comparable (the same
+//! normalization the regression gate uses).
+
+use std::process::ExitCode;
+
+use pbdmm_bench::json::{self, obj, Value};
+use pbdmm_bench::{fmt_f, Table};
+
+/// History schema tag.
+const SCHEMA: &str = "pbdmm-bench-trajectory-v1";
+/// Schema the appended runs must carry.
+const RUN_SCHEMA: &str = "pbdmm-bench-smoke-v1";
+/// Per-entry machine-speed normalizer.
+const CALIBRATION: &str = "calibration_scalar_hashes_per_s";
+/// Default cap on stored entries (oldest dropped first).
+const DEFAULT_MAX_ENTRIES: usize = 400;
+
+fn usage() -> String {
+    "usage:\n  bench_trajectory append --history FILE --run FILE --sha SHA \
+     [--timestamp TS] [--max-entries N]\n  bench_trajectory show --history FILE [--last N]"
+        .to_string()
+}
+
+/// Load the history, or start fresh. A missing file is the normal first
+/// run; a truncated/corrupt file or a schema bump must *also* fall back to
+/// an empty history (with a warning) — the history is best-effort
+/// telemetry, and a bad artifact uploaded by an interrupted run must never
+/// brick the CI gate that maintains it. Only a real I/O error (permission,
+/// not-a-file) is fatal.
+fn read_history(path: &str) -> Result<Vec<Value>, String> {
+    let fresh = |why: String| {
+        eprintln!("bench_trajectory: {why}; starting a fresh history");
+        Vec::new()
+    };
+    match std::fs::read_to_string(path) {
+        Ok(text) => match json::parse(&text) {
+            Ok(doc) => match doc.get("schema") {
+                Some(Value::Str(s)) if s == SCHEMA => Ok(doc
+                    .get("entries")
+                    .and_then(Value::as_arr)
+                    .map(<[Value]>::to_vec)
+                    .unwrap_or_else(|| fresh(format!("{path}: no entries array")))),
+                other => Ok(fresh(format!("{path}: history schema mismatch: {other:?}"))),
+            },
+            Err(e) => Ok(fresh(format!("{path}: unparseable history ({e})"))),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("read {path}: {e}")),
+    }
+}
+
+fn write_history(path: &str, entries: Vec<Value>) -> Result<(), String> {
+    let doc = obj([
+        ("schema".to_string(), Value::Str(SCHEMA.into())),
+        ("entries".to_string(), Value::Arr(entries)),
+    ]);
+    std::fs::write(path, doc.render()).map_err(|e| format!("write {path}: {e}"))
+}
+
+fn append(
+    history_path: &str,
+    run_path: &str,
+    sha: &str,
+    timestamp: &str,
+    max_entries: usize,
+) -> Result<(), String> {
+    let run_text =
+        std::fs::read_to_string(run_path).map_err(|e| format!("read {run_path}: {e}"))?;
+    let run = json::parse(&run_text).map_err(|e| format!("parse {run_path}: {e}"))?;
+    match run.get("schema") {
+        Some(Value::Str(s)) if s == RUN_SCHEMA => {}
+        other => return Err(format!("{run_path}: run schema mismatch: {other:?}")),
+    }
+    let metrics = run
+        .get("metrics")
+        .cloned()
+        .ok_or(format!("{run_path}: no metrics object"))?;
+    let mut entries = read_history(history_path)?;
+    // Re-runs of the same commit replace its entry instead of duplicating.
+    entries.retain(|e| !matches!(e.get("sha"), Some(Value::Str(s)) if s == sha));
+    entries.push(obj([
+        ("sha".to_string(), Value::Str(sha.into())),
+        ("timestamp".to_string(), Value::Str(timestamp.into())),
+        ("metrics".to_string(), metrics),
+    ]));
+    if entries.len() > max_entries {
+        let drop = entries.len() - max_entries;
+        entries.drain(..drop);
+    }
+    let n = entries.len();
+    write_history(history_path, entries)?;
+    println!("appended {sha} to {history_path} ({n} entries)");
+    Ok(())
+}
+
+/// A metric value normalized by its own entry's calibration throughput.
+fn normalized(entry: &Value, name: &str) -> Option<f64> {
+    let metrics = entry.get("metrics")?;
+    let cal = metrics.get(CALIBRATION)?.as_num().filter(|c| *c > 0.0)?;
+    let v = metrics.get(name)?.as_num()?;
+    Some(v / cal)
+}
+
+fn entry_str<'a>(entry: &'a Value, key: &str) -> &'a str {
+    match entry.get(key) {
+        Some(Value::Str(s)) => s.as_str(),
+        _ => "?",
+    }
+}
+
+fn show(history_path: &str, last: usize) -> Result<(), String> {
+    let entries = read_history(history_path)?;
+    if entries.is_empty() {
+        println!("{history_path}: no entries yet");
+        return Ok(());
+    }
+    let window = &entries[entries.len().saturating_sub(last)..];
+    println!(
+        "trajectory: {} entries, showing last {}",
+        entries.len(),
+        window.len()
+    );
+    for e in window {
+        let sha = entry_str(e, "sha");
+        println!(
+            "  {} {}",
+            &sha[..sha.len().min(12)],
+            entry_str(e, "timestamp")
+        );
+    }
+
+    // Gated metrics of the newest entry define the rows; each row shows the
+    // calibration-normalized trend across the window.
+    let newest = window.last().expect("nonempty window");
+    let metric_names: Vec<String> = newest
+        .get("metrics")
+        .and_then(Value::as_obj)
+        .map(|m| {
+            m.keys()
+                .filter(|k| *k != CALIBRATION && !k.starts_with("info_"))
+                .cloned()
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut table = Table::new(
+        "per-metric trend (calibration-normalized, newest last)",
+        &["metric", "n", "last raw", "vs prev", "vs best", "trend"],
+    );
+    for name in &metric_names {
+        let series: Vec<f64> = window.iter().filter_map(|e| normalized(e, name)).collect();
+        if series.is_empty() {
+            continue;
+        }
+        let last_v = *series.last().expect("nonempty");
+        let prev = series.len().checked_sub(2).map(|i| series[i]);
+        let best = series.iter().copied().fold(f64::MIN, f64::max);
+        let pct = |base: f64| format!("{:+.1}%", (last_v / base - 1.0) * 100.0);
+        let spark: String = series
+            .iter()
+            .map(|&v| {
+                // Eight-level sparkline against the window's own range.
+                let (lo, hi) = series
+                    .iter()
+                    .fold((f64::MAX, f64::MIN), |(l, h), &x| (l.min(x), h.max(x)));
+                let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+                const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+                BARS[((t * 7.0).round() as usize).min(7)]
+            })
+            .collect();
+        let raw = newest
+            .get("metrics")
+            .and_then(|m| m.get(name))
+            .and_then(Value::as_num)
+            .unwrap_or(0.0);
+        table.row(&[
+            name.clone(),
+            series.len().to_string(),
+            fmt_f(raw),
+            prev.map(&pct).unwrap_or_else(|| "-".into()),
+            pct(best),
+            spark,
+        ]);
+    }
+    table.print();
+    Ok(())
+}
+
+fn arg_map(args: &[String]) -> Result<std::collections::BTreeMap<String, String>, String> {
+    let mut map = std::collections::BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or(format!("unexpected argument {a:?}\n{}", usage()))?;
+        let val = it.next().ok_or(format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), val.clone());
+    }
+    Ok(map)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = args.split_first().ok_or(usage())?;
+    let opts = arg_map(rest)?;
+    let want = |key: &str| -> Result<&String, String> {
+        opts.get(key)
+            .ok_or(format!("--{key} is required\n{}", usage()))
+    };
+    match cmd.as_str() {
+        "append" => {
+            let max_entries = match opts.get("max-entries") {
+                Some(s) => s.parse().map_err(|e| format!("--max-entries: {e}"))?,
+                None => DEFAULT_MAX_ENTRIES,
+            };
+            let fallback_ts = "unknown".to_string();
+            let ts = opts.get("timestamp").unwrap_or(&fallback_ts);
+            append(
+                want("history")?,
+                want("run")?,
+                want("sha")?,
+                ts,
+                max_entries,
+            )
+        }
+        "show" => {
+            let last = match opts.get("last") {
+                Some(s) => s.parse().map_err(|e| format!("--last: {e}"))?,
+                None => 12,
+            };
+            show(want("history")?, last)
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_trajectory: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

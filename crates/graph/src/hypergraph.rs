@@ -55,28 +55,7 @@ impl Hypergraph {
 
     /// Vertex→incident-edge adjacency in CSR form.
     pub fn adjacency(&self) -> Csr {
-        let mut deg = vec![0u32; self.n];
-        for e in &self.edges {
-            for &v in e {
-                deg[v as usize] += 1;
-            }
-        }
-        let mut offsets = Vec::with_capacity(self.n + 1);
-        let mut acc = 0u32;
-        for &d in &deg {
-            offsets.push(acc);
-            acc += d;
-        }
-        offsets.push(acc);
-        let mut cursor = offsets.clone();
-        let mut incident = vec![0u32; acc as usize];
-        for (ei, e) in self.edges.iter().enumerate() {
-            for &v in e {
-                incident[cursor[v as usize] as usize] = ei as u32;
-                cursor[v as usize] += 1;
-            }
-        }
-        Csr { offsets, incident }
+        Csr::from_edge_lists(self.n, &self.edges)
     }
 
     /// Per-vertex degrees (number of incident edges).
@@ -135,6 +114,48 @@ pub struct Csr {
 }
 
 impl Csr {
+    /// Build vertex→incident-edge adjacency over `n` vertices from edge
+    /// vertex lists (each entry must be `< n`). This is the one CSR
+    /// constructor in the workspace — [`Hypergraph::adjacency`] and the
+    /// greedy matcher's compacted adjacency both go through it.
+    ///
+    /// One counting pass plus one fill pass over the edges; the single
+    /// `n`-sized scratch array serves as degree counter, then (after an
+    /// in-place exclusive scan) as the fill cursor, and finally — holding
+    /// each row's end position — becomes the tail of `offsets`.
+    pub fn from_edge_lists(n: usize, edges: &[EdgeVertices]) -> Csr {
+        let mut cursor = vec![0u32; n];
+        for e in edges {
+            for &v in e {
+                cursor[v as usize] += 1;
+            }
+        }
+        let mut acc = 0u32;
+        for c in cursor.iter_mut() {
+            let d = *c;
+            *c = acc;
+            acc += d;
+        }
+        let mut incident = vec![0u32; acc as usize];
+        for (ei, e) in edges.iter().enumerate() {
+            for &v in e {
+                incident[cursor[v as usize] as usize] = ei as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        // `cursor[v]` now holds the end of row `v`, i.e. `offsets[v + 1]`.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        offsets.extend_from_slice(&cursor);
+        Csr { offsets, incident }
+    }
+
+    /// Number of rows (vertices).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
     /// Incident edge indices of vertex `v`.
     #[inline]
     pub fn row(&self, v: VertexId) -> &[u32] {
@@ -183,6 +204,18 @@ mod tests {
         let mut r0 = adj.row(0).to_vec();
         r0.sort_unstable();
         assert_eq!(r0, vec![0, 2]);
+    }
+
+    #[test]
+    fn csr_from_edge_lists_handles_isolated_vertices() {
+        let csr = Csr::from_edge_lists(4, &[vec![0, 2], vec![2, 3]]);
+        assert_eq!(csr.num_rows(), 4);
+        assert_eq!(csr.degree(1), 0);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row(0), &[0]);
+        assert_eq!(csr.row(2), &[0, 1]);
+        assert_eq!(csr.row(3), &[1]);
+        assert_eq!(csr.offsets, vec![0, 1, 1, 3, 4]);
     }
 
     #[test]

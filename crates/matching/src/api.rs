@@ -327,6 +327,7 @@ pub struct DynamicMatchingBuilder {
     config: Option<LevelingConfig>,
     metering: MeterMode,
     pool: Option<Arc<ParPool>>,
+    recycle_ids: bool,
 }
 
 impl DynamicMatchingBuilder {
@@ -364,6 +365,17 @@ impl DynamicMatchingBuilder {
         self
     }
 
+    /// Recycle deleted edge ids (default: off). With recycling on, freed
+    /// ids are reused LIFO by later insertions, keeping the id space — and
+    /// therefore the flat storage tables — dense under unbounded churn.
+    /// Reuse is deterministic in apply order, so WAL replay of a recycling
+    /// structure reproduces the exact same ids; the historical
+    /// "ids are never reused" contract only holds with recycling off.
+    pub fn recycle_ids(mut self, recycle: bool) -> Self {
+        self.recycle_ids = recycle;
+        self
+    }
+
     /// Build the structure.
     pub fn build(self) -> DynamicMatching {
         let mut dm = DynamicMatching::with_options(
@@ -371,6 +383,9 @@ impl DynamicMatchingBuilder {
             self.config.unwrap_or_default(),
             self.metering,
         );
+        if self.recycle_ids {
+            dm.set_recycle_ids(true);
+        }
         if let Some(pool) = self.pool {
             dm.set_pool(pool);
         }

@@ -26,13 +26,13 @@ use std::sync::Arc;
 
 use pbdmm_graph::edge::{EdgeId, EdgeVertices, VertexId};
 use pbdmm_primitives::cost::{CostMeter, CostSnapshot};
-use pbdmm_primitives::hash::FxHashSet;
 use pbdmm_primitives::pool::ParPool;
 use pbdmm_primitives::rng::SplitMix64;
+use pbdmm_primitives::slab::{EpochSet, Slab};
 
 use crate::api::{validate_batch, Batch, BatchOutcome, MeterMode, UpdateError};
-use crate::greedy::parallel_greedy_match;
-use crate::level::{EdgeType, LeveledStructure};
+use crate::greedy::{parallel_greedy_match_in, GreedyScratch};
+use crate::level::{EdgeRec, EdgeType, LeveledStructure};
 use crate::snapshot::{MatchingSnapshot, SnapshotCell};
 use crate::stats::{EpochEnd, MatchingStats};
 
@@ -44,6 +44,87 @@ pub struct BatchReport {
     pub settle_iterations: u64,
     /// Model cost delta for the batch.
     pub cost: CostSnapshot,
+}
+
+/// Occupancy of the flat storage backend (see
+/// [`DynamicMatching::storage_stats`]): live entries vs. slots allocated in
+/// the edge/match tables, plus the id allocator's recycling state. The
+/// benches record these as ungated `info_*` telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Live edges.
+    pub live_edges: usize,
+    /// Edge-table slots allocated (high-water of the id space).
+    pub edge_slots: usize,
+    /// Current matches.
+    pub live_matches: usize,
+    /// Match-table slots allocated.
+    pub match_slots: usize,
+    /// Distinct id values ever handed out.
+    pub ids_allocated: u64,
+    /// Freed ids currently awaiting reuse (always 0 without recycling).
+    pub free_ids: usize,
+    /// Whether deleted ids are recycled (see
+    /// [`crate::api::DynamicMatchingBuilder::recycle_ids`]).
+    pub recycling: bool,
+}
+
+impl StorageStats {
+    /// Live edges per allocated edge slot, in `[0, 1]` (1 when empty).
+    pub fn edge_occupancy(&self) -> f64 {
+        if self.edge_slots == 0 {
+            1.0
+        } else {
+            self.live_edges as f64 / self.edge_slots as f64
+        }
+    }
+}
+
+/// The edge-id allocator: sequential by default (ids are never reused — the
+/// historical contract), or slab-backed with deterministic LIFO reuse of
+/// deleted ids so the id space stays dense under unbounded churn. Both modes
+/// are deterministic in apply order, so WAL replay reproduces the exact ids.
+#[derive(Debug)]
+enum IdAlloc {
+    /// Monotonically increasing ids, never reused.
+    Monotonic { next: u64 },
+    /// Slab-backed: freed ids are reused LIFO.
+    Recycling { slots: Slab<()> },
+}
+
+impl IdAlloc {
+    fn alloc(&mut self) -> EdgeId {
+        match self {
+            IdAlloc::Monotonic { next } => {
+                let id = EdgeId(*next);
+                *next += 1;
+                id
+            }
+            IdAlloc::Recycling { slots } => EdgeId(slots.insert(()) as u64),
+        }
+    }
+
+    /// Return a deleted id to the allocator (no-op without recycling).
+    fn free(&mut self, id: EdgeId) {
+        if let IdAlloc::Recycling { slots } = self {
+            slots.remove(id.0 as usize);
+        }
+    }
+
+    /// Distinct id values ever handed out.
+    fn allocated(&self) -> u64 {
+        match self {
+            IdAlloc::Monotonic { next } => *next,
+            IdAlloc::Recycling { slots } => slots.high_water() as u64,
+        }
+    }
+
+    fn free_ids(&self) -> usize {
+        match self {
+            IdAlloc::Monotonic { .. } => 0,
+            IdAlloc::Recycling { slots } => slots.free_slots(),
+        }
+    }
 }
 
 /// One row of [`DynamicMatching::level_histogram`].
@@ -65,7 +146,13 @@ pub struct DynamicMatching {
     rng: SplitMix64,
     meter: CostMeter,
     stats: MatchingStats,
-    next_id: u64,
+    ids: IdAlloc,
+    /// Reusable greedy-matcher scratch: the dense vertex-compaction map and
+    /// round dedup stamps are shared by every settlement round, so the hot
+    /// path never rebuilds a compaction table (or hashes a vertex id).
+    greedy: GreedyScratch,
+    /// Reusable dedup scratch for stolen-match collection in `randomSettle`.
+    stolen_seen: EpochSet,
     /// Rank bound `r`: max cardinality seen (min 1). `isHeavy` thresholds use
     /// `4 r² 2^l`.
     max_rank: usize,
@@ -117,12 +204,49 @@ impl DynamicMatching {
             rng: SplitMix64::new(seed),
             meter: CostMeter::new(),
             stats: MatchingStats::default(),
-            next_id: 0,
+            ids: IdAlloc::Monotonic { next: 0 },
+            greedy: GreedyScratch::default(),
+            stolen_seen: EpochSet::default(),
             max_rank: 1,
             pending_bloated_mass: 0,
             last_batch: BatchReport::default(),
             pool: None,
             snapshots: None,
+        }
+    }
+
+    /// Switch deleted-id recycling on or off (see
+    /// [`crate::api::DynamicMatchingBuilder::recycle_ids`]). Only allowed
+    /// on a structure that has not assigned any id yet: recycling changes
+    /// which ids future insertions receive, so flipping it mid-history
+    /// would break WAL replay of the earlier prefix.
+    ///
+    /// # Panics
+    /// If any edge was ever inserted.
+    pub fn set_recycle_ids(&mut self, recycle: bool) {
+        assert_eq!(
+            self.ids.allocated(),
+            0,
+            "id recycling must be configured before the first insertion"
+        );
+        self.ids = if recycle {
+            IdAlloc::Recycling { slots: Slab::new() }
+        } else {
+            IdAlloc::Monotonic { next: 0 }
+        };
+    }
+
+    /// Occupancy of the flat storage backend: live entries vs. allocated
+    /// slots in the edge/match tables and the id allocator's state.
+    pub fn storage_stats(&self) -> StorageStats {
+        StorageStats {
+            live_edges: self.s.edges.len(),
+            edge_slots: self.s.edges.high_water(),
+            live_matches: self.s.matches.len(),
+            match_slots: self.s.matches.high_water(),
+            ids_allocated: self.ids.allocated(),
+            free_ids: self.ids.free_ids(),
+            recycling: matches!(self.ids, IdAlloc::Recycling { .. }),
         }
     }
 
@@ -173,17 +297,17 @@ impl DynamicMatching {
 
     /// Whether `e` is currently a live edge.
     pub fn contains_edge(&self, e: EdgeId) -> bool {
-        self.s.edges.contains_key(&e)
+        self.s.edges.contains(e)
     }
 
     /// Whether `e` is currently matched.
     pub fn is_matched(&self, e: EdgeId) -> bool {
-        self.s.matches.contains_key(&e)
+        self.s.matches.contains(e)
     }
 
     /// The vertex set of a live edge.
     pub fn edge_vertices(&self, e: EdgeId) -> Option<&[VertexId]> {
-        self.s.edges.get(&e).map(|r| r.vertices.as_slice())
+        self.s.edges.get(e).map(|r| r.vertices.as_slice())
     }
 
     /// Number of live edges.
@@ -252,10 +376,14 @@ impl DynamicMatching {
     /// keeps `O(log m)` levels with sample sizes in `[2^l, 2^{l+1})`; this
     /// is the telemetry behind experiment E15.
     pub fn level_histogram(&self) -> Vec<LevelOccupancy> {
-        let mut by_level: pbdmm_primitives::hash::FxHashMap<u8, LevelOccupancy> =
-            Default::default();
-        for rec in self.s.matches.values() {
-            let slot = by_level.entry(rec.level).or_insert(LevelOccupancy {
+        // Levels are small integers (≤ lg m), so a dense table suffices.
+        let mut by_level: Vec<Option<LevelOccupancy>> = Vec::new();
+        for (_, rec) in self.s.matches.iter() {
+            let l = rec.level as usize;
+            if l >= by_level.len() {
+                by_level.resize(l + 1, None);
+            }
+            let slot = by_level[l].get_or_insert(LevelOccupancy {
                 level: rec.level,
                 matches: 0,
                 sample_mass: 0,
@@ -265,9 +393,7 @@ impl DynamicMatching {
             slot.sample_mass += rec.sample.len();
             slot.cross_mass += rec.cross.len();
         }
-        let mut out: Vec<LevelOccupancy> = by_level.into_values().collect();
-        out.sort_by_key(|o| o.level);
-        out
+        by_level.into_iter().flatten().collect()
     }
 
     // --- User interface: apply (the unified mixed-batch entry point) --------
@@ -298,7 +424,7 @@ impl DynamicMatching {
     /// assert!(pbdmm_matching::verify::check_invariants(&m).is_ok());
     /// ```
     pub fn apply(&mut self, batch: Batch) -> Result<BatchOutcome<BatchReport>, UpdateError> {
-        let (inserts, deletes) = validate_batch(&batch, |id| self.s.edges.contains_key(&id))?;
+        let (inserts, deletes) = validate_batch(&batch, |id| self.s.edges.contains(id))?;
         Ok(self.on_pool(|dm| dm.apply_validated(inserts, deletes)))
     }
 
@@ -367,21 +493,18 @@ impl DynamicMatching {
         // (early).
         let mut matched: Vec<EdgeId> = Vec::new();
         for &e in &deletes {
-            match self.s.edges[&e].etype {
+            match self.s.edges[e].etype {
                 EdgeType::Cross => {
                     self.s.remove_cross_edge(e);
-                    self.s.edges.remove(&e);
+                    self.s.edges.remove(e);
+                    self.ids.free(e);
                 }
                 EdgeType::Sampled => {
-                    let owner = self.s.edges[&e].owner;
-                    self.s
-                        .matches
-                        .get_mut(&owner)
-                        .expect("sampled edge's owner must be matched")
-                        .sample
-                        .remove(&e);
+                    let owner = self.s.edges[e].owner;
+                    self.s.remove_from_sample(owner, e);
                     self.stats.total_payment += 1;
-                    self.s.edges.remove(&e);
+                    self.s.edges.remove(e);
+                    self.ids.free(e);
                 }
                 EdgeType::Matched => matched.push(e),
                 EdgeType::Unsettled => unreachable!("unsettled edge between batches"),
@@ -392,9 +515,8 @@ impl DynamicMatching {
         // above), then drop the match from its own sample so it is not
         // reinserted.
         for &m in &matched {
-            let rec = self.s.matches.get_mut(&m).unwrap();
-            self.stats.total_payment += rec.sample.len() as u64;
-            rec.sample.remove(&m);
+            self.stats.total_payment += self.s.matches[m].sample.len() as u64;
+            self.s.remove_from_sample(m, m);
         }
 
         // The workhorse: deleteMatchedEdges, then rounds of randomSettle.
@@ -415,19 +537,11 @@ impl DynamicMatching {
         // greedy pass together.
         let mut inserted = Vec::with_capacity(inserts.len());
         for vs in inserts {
-            let id = EdgeId(self.next_id);
-            self.next_id += 1;
+            let id = self.ids.alloc();
             for &v in &vs {
                 self.s.ensure_vertex(v);
             }
-            self.s.edges.insert(
-                id,
-                crate::level::EdgeRec {
-                    vertices: vs,
-                    etype: EdgeType::Unsettled,
-                    owner: id,
-                },
-            );
+            self.s.edges.insert(id, EdgeRec::unsettled(id, vs));
             inserted.push(id);
         }
         e_prime.extend(inserted.iter().copied());
@@ -456,22 +570,23 @@ impl DynamicMatching {
         let free: Vec<EdgeId> = ids
             .iter()
             .copied()
-            .filter(|&e| self.s.all_free(&self.s.edges[&e].vertices))
+            .filter(|&e| self.s.all_free(&self.s.edges[e].vertices))
             .collect();
         let free_vs: Vec<EdgeVertices> = free
             .iter()
-            .map(|e| self.s.edges[e].vertices.clone())
+            .map(|&e| self.s.edges[e].vertices.clone())
             .collect();
-        let result = parallel_greedy_match(&free_vs, &mut self.rng, &self.meter);
-        let mut matched: FxHashSet<EdgeId> = FxHashSet::default();
+        let result =
+            parallel_greedy_match_in(&mut self.greedy, &free_vs, &mut self.rng, &self.meter);
         for &(mi, _) in &result.matches {
             let m = free[mi];
             self.s.add_match(m, vec![m]);
             self.stats.epoch_created(1);
-            matched.insert(m);
         }
         for &e in &ids {
-            if !matched.contains(&e) {
+            // Everything the greedy pass did not match is still unsettled
+            // (the matched edges were just flipped to `Matched`).
+            if self.s.edges[e].etype == EdgeType::Unsettled {
                 self.s.add_cross_edge(e);
             }
         }
@@ -498,7 +613,7 @@ impl DynamicMatching {
     /// assert_eq!(m.num_edges(), 0);
     /// ```
     pub fn delete_edges(&mut self, ids: &[EdgeId]) -> Vec<EdgeId> {
-        let live = crate::api::filter_live_dedup(ids, |e| self.s.edges.contains_key(&e));
+        let live = crate::api::filter_live_dedup(ids, |e| self.s.edges.contains(e));
         self.on_pool(|dm| dm.apply_validated(Vec::new(), live).deleted)
     }
 
@@ -520,7 +635,7 @@ impl DynamicMatching {
         //    sees a consistent structure.
         let mut all_samples: Vec<EdgeId> = Vec::new();
         for &(m, _) in &victims {
-            all_samples.extend(self.s.matches[&m].sample.iter().copied());
+            all_samples.extend_from_slice(&self.s.matches[m].sample);
         }
         for &e in &all_samples {
             self.s.add_cross_edge(e);
@@ -546,7 +661,8 @@ impl DynamicMatching {
             self.end_epoch(m, end);
             light_cross.extend(self.s.remove_match(m));
             if end == EpochEnd::Natural {
-                self.s.edges.remove(&m);
+                self.s.edges.remove(m);
+                self.ids.free(m);
             }
         }
         self.meter
@@ -559,14 +675,15 @@ impl DynamicMatching {
             self.end_epoch(m, end);
             out.extend(self.s.remove_match(m));
             if end == EpochEnd::Natural {
-                self.s.edges.remove(&m);
+                self.s.edges.remove(m);
+                self.ids.free(m);
             }
         }
         out
     }
 
     fn end_epoch(&mut self, m: EdgeId, end: EpochEnd) {
-        let initial = self.s.matches[&m].initial_sample_size;
+        let initial = self.s.matches[m].initial_sample_size;
         self.stats.epoch_ended(end, initial);
     }
 
@@ -582,17 +699,21 @@ impl DynamicMatching {
         }
         let edge_vs: Vec<EdgeVertices> = e_prime
             .iter()
-            .map(|e| self.s.edges[e].vertices.clone())
+            .map(|&e| self.s.edges[e].vertices.clone())
             .collect();
-        let result = parallel_greedy_match(&edge_vs, &mut self.rng, &self.meter);
+        let result =
+            parallel_greedy_match_in(&mut self.greedy, &edge_vs, &mut self.rng, &self.meter);
 
         // Stolen: existing matches incident on new matches — collected
         // before p(v) is overwritten by addMatch.
-        let mut stolen: FxHashSet<EdgeId> = FxHashSet::default();
+        self.stolen_seen.clear();
+        let mut stolen: Vec<EdgeId> = Vec::new();
         for &(mi, _) in &result.matches {
             for &v in &edge_vs[mi] {
                 if let Some(old) = self.s.vertex_match(v) {
-                    stolen.insert(old);
+                    if self.stolen_seen.insert(old.0 as usize) {
+                        stolen.push(old);
+                    }
                 }
             }
         }
@@ -625,11 +746,11 @@ impl DynamicMatching {
         // round's bloated.
         let stolen_mass: u64 = stolen
             .iter()
-            .map(|m| self.s.matches[m].initial_sample_size as u64)
+            .map(|&m| self.s.matches[m].initial_sample_size as u64)
             .sum();
         let bloated_mass: u64 = bloated
             .iter()
-            .map(|m| self.s.matches[m].initial_sample_size as u64)
+            .map(|&m| self.s.matches[m].initial_sample_size as u64)
             .sum();
         self.stats.settle_round_samples.push((
             e_prime.len() as u64,
@@ -703,6 +824,7 @@ mod tests {
     use super::*;
     use crate::verify::check_invariants;
     use pbdmm_graph::gen;
+    use pbdmm_primitives::hash::FxHashSet;
 
     fn assert_ok(dm: &DynamicMatching) {
         if let Err(e) = check_invariants(dm) {

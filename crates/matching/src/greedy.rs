@@ -15,13 +15,28 @@
 //! work telescopes to `O(m')` (Lemma 3.1).
 
 use pbdmm_graph::edge::EdgeVertices;
+use pbdmm_graph::hypergraph::Csr;
 use pbdmm_primitives::cost::CostMeter;
 use pbdmm_primitives::find_next::find_next_in;
-use pbdmm_primitives::hash::{FxHashMap, FxHashSet};
+use pbdmm_primitives::hash::FxHashSet;
 use pbdmm_primitives::par::{par_apply_disjoint, par_filter_map};
 use pbdmm_primitives::permutation::{random_priorities, Priority};
 use pbdmm_primitives::rng::SplitMix64;
 use pbdmm_primitives::semisort::{group_by, sum_by};
+use pbdmm_primitives::slab::{EpochMap, EpochSet};
+
+/// Reusable scratch state for the greedy matchers: the dense vertex-id
+/// compaction map and round-local dedup stamps. Epoch-stamped, so reusing
+/// one scratch across many calls (as the dynamic structure does for every
+/// settlement round) costs `O(1)` per call instead of rebuilding a hash
+/// table — no hashing anywhere in the matcher's setup or rounds.
+#[derive(Debug, Default)]
+pub struct GreedyScratch {
+    /// Global vertex id → compact id (valid for the current call only).
+    remap: EpochMap<u32>,
+    /// Round-local vertex dedup (valid for the current round only).
+    seen: EpochSet,
+}
 
 /// Output of a greedy matching: matched edges with their sample spaces
 /// (indices into the input edge slice), plus the number of parallel rounds
@@ -63,7 +78,8 @@ pub fn sequential_greedy_match_with_priorities(
         return MatchResult::default();
     }
     // Adjacency over compacted vertices.
-    let (vert_of, adj) = build_adjacency(edges);
+    let mut scratch = GreedyScratch::default();
+    let (verts_of_edge, adj) = build_adjacency(edges, &mut scratch.remap);
     // Random priorities admit expected-linear bucket sorting (§3, Thm 3.2).
     let order: Vec<u32> = pbdmm_primitives::sort::bucket_sort_ord(
         (0..m as u32).map(|i| (priorities[i as usize], i)).collect(),
@@ -81,9 +97,8 @@ pub fn sequential_greedy_match_with_priorities(
         }
         free[ei] = false;
         let mut sample = vec![ei];
-        for &v in &edges[ei] {
-            let cv = vert_of[&v] as usize;
-            for &other in &adj[cv] {
+        for &cv in &verts_of_edge[ei] {
+            for &other in adj.row(cv) {
                 let other = other as usize;
                 if free[other] {
                     free[other] = false;
@@ -118,6 +133,19 @@ pub fn parallel_greedy_match_with_priorities(
     priorities: &[Priority],
     meter: &CostMeter,
 ) -> MatchResult {
+    let mut scratch = GreedyScratch::default();
+    parallel_greedy_match_with_priorities_in(&mut scratch, edges, priorities, meter)
+}
+
+/// [`parallel_greedy_match_with_priorities`] with caller-owned scratch
+/// state, so repeated calls (every settlement round of the dynamic
+/// structure) reuse the dense compaction map instead of rebuilding it.
+pub fn parallel_greedy_match_with_priorities_in(
+    scratch: &mut GreedyScratch,
+    edges: &[EdgeVertices],
+    priorities: &[Priority],
+    meter: &CostMeter,
+) -> MatchResult {
     assert_eq!(edges.len(), priorities.len());
     let m = edges.len();
     if m == 0 {
@@ -127,26 +155,59 @@ pub fn parallel_greedy_match_with_priorities(
     meter.charge_primitive(total_cardinality); // permutation + build
 
     // --- Setup: per-vertex priority-sorted edge lists -----------------------
-    let (vert_of, mut adj) = build_adjacency(edges);
-    let nv = adj.len();
-    // edges(v): sort each vertex's list by priority.
+    // One pass compacts vertex ids (epoch-stamped remap, no hashing) and
+    // builds the per-vertex incident lists directly — the mutable
+    // Vec-of-rows form the sort and the deletable sets need anyway, so no
+    // intermediate CSR is materialized on this hot path (the read-only
+    // sequential matcher is where `Csr::from_edge_lists` is reused).
+    let remap = &mut scratch.remap;
+    remap.clear();
+    let mut edges_v: Vec<Vec<u32>> = Vec::new();
+    let verts_of_edge: Vec<Vec<u32>> = edges
+        .iter()
+        .enumerate()
+        .map(|(ei, e)| {
+            e.iter()
+                .map(|&v| {
+                    let cv = match remap.get(v as usize) {
+                        Some(cv) => cv,
+                        None => {
+                            let cv = edges_v.len() as u32;
+                            remap.insert(v as usize, cv);
+                            edges_v.push(Vec::new());
+                            cv
+                        }
+                    };
+                    edges_v[cv as usize].push(ei as u32);
+                    cv
+                })
+                .collect()
+        })
+        .collect();
+    let nv = edges_v.len();
+    // edges(v): each vertex's incident list, sorted by priority.
     par_apply_disjoint(
-        &mut adj,
+        &mut edges_v,
         (0..nv).map(|v| (v, ())).collect(),
         |list: &mut Vec<u32>, ()| list.sort_unstable_by_key(|&e| priorities[e as usize]),
     );
-    let edges_v = adj; // now sorted
     let mut top = vec![0usize; nv];
-    // N(v): remaining (alive) incident edges, as a deletable set.
-    let mut nbr: Vec<FxHashSet<u32>> = edges_v
+    // N(v): remaining (alive) incident edges, as a flat deletable vector
+    // with per-(edge, vertex) positions — removal is a swap plus one
+    // back-pointer fix, membership is an array index, no hashing.
+    let mut nbr: Vec<Vec<u32>> = edges_v
         .iter()
-        .map(|list| list.iter().copied().collect())
+        .map(|list| Vec::with_capacity(list.len()))
         .collect();
-    // Compact vertex list per edge (so inner loops avoid hashing).
-    let verts_of_edge: Vec<Vec<u32>> = edges
-        .iter()
-        .map(|e| e.iter().map(|v| vert_of[v]).collect())
-        .collect();
+    let mut nbr_pos: Vec<Vec<u32>> = Vec::with_capacity(m);
+    for (ei, vs) in verts_of_edge.iter().enumerate() {
+        let mut pos = Vec::with_capacity(vs.len());
+        for &cv in vs {
+            pos.push(nbr[cv as usize].len() as u32);
+            nbr[cv as usize].push(ei as u32);
+        }
+        nbr_pos.push(pos);
+    }
 
     let mut counter = vec![0u32; m];
     let mut done = vec![false; m];
@@ -204,24 +265,21 @@ pub fn parallel_greedy_match_with_priorities(
         );
 
         // V_f: vertices of finished edges; remove finished edges from N(v)
+        // (dense swap-remove — the total removal work telescopes to O(m'))
         // and slide top pointers (updateTop), collecting candidate new tops.
-        let mut vf_deletes: Vec<(u32, u32)> = Vec::new();
+        scratch.seen.clear();
+        let mut vf: Vec<usize> = Vec::new();
+        let mut removals = 0usize;
         for &e in &finished {
             for &cv in &verts_of_edge[e as usize] {
-                vf_deletes.push((cv, e));
+                if scratch.seen.insert(cv as usize) {
+                    vf.push(cv as usize);
+                }
+                remove_from_nbr(&mut nbr, &mut nbr_pos, &verts_of_edge, cv, e);
+                removals += 1;
             }
         }
-        meter.charge_primitive(vf_deletes.len().max(1));
-        let delete_groups: Vec<(usize, Vec<u32>)> = group_by(vf_deletes)
-            .into_iter()
-            .map(|(v, es)| (v as usize, es))
-            .collect();
-        let vf: Vec<usize> = delete_groups.iter().map(|&(v, _)| v).collect();
-        par_apply_disjoint(&mut nbr, delete_groups, |set, es| {
-            for e in es {
-                set.remove(&e);
-            }
-        });
+        meter.charge_primitive(removals.max(1));
 
         // updateTop(v) for each affected vertex, in parallel (tops are
         // per-vertex; counter increments aggregated afterwards via sumBy).
@@ -285,26 +343,75 @@ pub fn parallel_greedy_match(
     rng: &mut SplitMix64,
     meter: &CostMeter,
 ) -> MatchResult {
-    let pri = random_priorities(edges.len(), rng);
-    parallel_greedy_match_with_priorities(edges, &pri, meter)
+    let mut scratch = GreedyScratch::default();
+    parallel_greedy_match_in(&mut scratch, edges, rng, meter)
 }
 
-/// Compact the (possibly sparse, global) vertex ids appearing in `edges` and
-/// build vertex→incident-edge lists. Returns `(global→compact map, lists)`.
-fn build_adjacency(edges: &[EdgeVertices]) -> (FxHashMap<u32, u32>, Vec<Vec<u32>>) {
-    let mut vert_of: FxHashMap<u32, u32> = FxHashMap::default();
-    let mut adj: Vec<Vec<u32>> = Vec::new();
-    for (ei, e) in edges.iter().enumerate() {
-        for &v in e {
-            let next_id = adj.len() as u32;
-            let cv = *vert_of.entry(v).or_insert(next_id);
-            if cv == next_id {
-                adj.push(Vec::new());
-            }
-            adj[cv as usize].push(ei as u32);
-        }
+/// [`parallel_greedy_match`] with caller-owned scratch state (see
+/// [`GreedyScratch`]).
+pub fn parallel_greedy_match_in(
+    scratch: &mut GreedyScratch,
+    edges: &[EdgeVertices],
+    rng: &mut SplitMix64,
+    meter: &CostMeter,
+) -> MatchResult {
+    let pri = random_priorities(edges.len(), rng);
+    parallel_greedy_match_with_priorities_in(scratch, edges, &pri, meter)
+}
+
+/// Compact the (possibly sparse, global) vertex ids appearing in `edges`
+/// (epoch-stamped dense remap — no hashing) and build the vertex→incident-
+/// edge adjacency through the workspace's one CSR constructor. Returns
+/// `(compact vertex list per edge, adjacency)`.
+fn build_adjacency(edges: &[EdgeVertices], remap: &mut EpochMap<u32>) -> (Vec<Vec<u32>>, Csr) {
+    remap.clear();
+    let mut nv = 0u32;
+    let verts_of_edge: Vec<Vec<u32>> = edges
+        .iter()
+        .map(|e| {
+            e.iter()
+                .map(|&v| match remap.get(v as usize) {
+                    Some(cv) => cv,
+                    None => {
+                        let cv = nv;
+                        remap.insert(v as usize, cv);
+                        nv += 1;
+                        cv
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let adj = Csr::from_edge_lists(nv as usize, &verts_of_edge);
+    (verts_of_edge, adj)
+}
+
+/// Remove edge `e` from the deletable incident list of compact vertex `cv`:
+/// swap-remove via the stored position, then fix the moved edge's
+/// back-pointer for that vertex (a scan of its ≤ r compact vertices).
+fn remove_from_nbr(
+    nbr: &mut [Vec<u32>],
+    nbr_pos: &mut [Vec<u32>],
+    verts_of_edge: &[Vec<u32>],
+    cv: u32,
+    e: u32,
+) {
+    let i = verts_of_edge[e as usize]
+        .iter()
+        .position(|&u| u == cv)
+        .expect("edge incident on its vertex");
+    let p = nbr_pos[e as usize][i] as usize;
+    let list = &mut nbr[cv as usize];
+    debug_assert_eq!(list[p], e, "nbr position out of sync");
+    list.swap_remove(p);
+    if p < list.len() {
+        let f = list[p] as usize;
+        let j = verts_of_edge[f]
+            .iter()
+            .position(|&u| u == cv)
+            .expect("moved edge incident on its vertex");
+        nbr_pos[f][j] = p as u32;
     }
-    (vert_of, adj)
 }
 
 /// Validity check used by tests and the dynamic structure's debug assertions:

@@ -78,10 +78,11 @@ pub use api::{
     Batch, BatchDynamic, BatchOutcome, DynamicMatchingBuilder, MeterMode, Update, UpdateError,
     UpdateOutcome,
 };
-pub use dynamic::{BatchReport, DynamicMatching, LevelOccupancy};
+pub use dynamic::{BatchReport, DynamicMatching, LevelOccupancy, StorageStats};
 pub use greedy::{
-    parallel_greedy_match, parallel_greedy_match_with_priorities, sequential_greedy_match,
-    sequential_greedy_match_with_priorities, MatchResult,
+    parallel_greedy_match, parallel_greedy_match_in, parallel_greedy_match_with_priorities,
+    parallel_greedy_match_with_priorities_in, sequential_greedy_match,
+    sequential_greedy_match_with_priorities, GreedyScratch, MatchResult,
 };
 pub use level::{EdgeType, LeveledStructure, LevelingConfig};
 pub use snapshot::{

@@ -200,12 +200,13 @@ impl MatchingSnapshot {
     /// vertices — independent of how large the vertex id space once grew.
     pub fn capture(m: &DynamicMatching) -> Self {
         let s = m.structure();
-        let mut live: Vec<EdgeId> = s.edges.keys().copied().collect();
+        let mut live: Vec<EdgeId> = s.edges.ids().to_vec();
         live.sort_unstable();
         let mut matched_edges: Vec<(EdgeId, EdgeVertices)> = s
             .matches
-            .keys()
-            .map(|&e| (e, s.edges[&e].vertices.clone()))
+            .ids()
+            .iter()
+            .map(|&e| (e, s.edges[e].vertices.clone()))
             .collect();
         matched_edges.sort_unstable_by_key(|&(e, _)| e);
         // Matched edges are vertex-disjoint (Invariant: one covering match

@@ -1,11 +1,12 @@
 //! Invariant checking for the leveled matching structure (Definition 4.1).
 //!
 //! [`check_invariants`] validates, between batches, every structural
-//! invariant the correctness argument rests on. The dynamic tests call it
-//! after every batch; it is `O(total state)`, for tests only.
+//! invariant the correctness argument rests on — including the flat-storage
+//! back-pointers (`owner_pos`, bag positions) that the `O(1)` swap-remove
+//! maintenance depends on. The dynamic tests call it after every batch; it
+//! is `O(total state)`, for tests only.
 
 use pbdmm_graph::edge::EdgeId;
-use pbdmm_primitives::hash::FxHashSet;
 
 use crate::dynamic::DynamicMatching;
 use crate::level::{EdgeType, LeveledStructure};
@@ -20,7 +21,7 @@ pub fn check_invariants(dm: &DynamicMatching) -> Result<(), String> {
 pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
     // Invariant 1: every edge is sampled (incl. matched) or cross; no
     // unsettled edges between batches.
-    for (&e, rec) in &s.edges {
+    for (e, rec) in s.edges.iter() {
         if rec.etype == EdgeType::Unsettled {
             return Err(format!("{e} is unsettled between batches"));
         }
@@ -28,10 +29,10 @@ pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
 
     // M is consistent: every match has an edge record typed Matched, is in
     // its own sample, and level = ⌊lg(initial sample size)⌋.
-    for (&m, mrec) in &s.matches {
+    for (m, mrec) in s.matches.iter() {
         let rec = s
             .edges
-            .get(&m)
+            .get(m)
             .ok_or_else(|| format!("match {m} has no edge record"))?;
         if rec.etype != EdgeType::Matched {
             return Err(format!("match {m} typed {:?}", rec.etype));
@@ -53,36 +54,52 @@ pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
                 mrec.initial_sample_size
             ));
         }
-        // Invariant 2 (samples): sample edges incident on their match.
-        for &e in &mrec.sample {
-            if e == m {
-                continue;
-            }
+        // Invariant 2 (samples): sample edges incident on their match, with
+        // consistent back-pointers (sample[owner_pos] == edge).
+        for (i, &e) in mrec.sample.iter().enumerate() {
             let erec = s
                 .edges
-                .get(&e)
+                .get(e)
                 .ok_or_else(|| format!("sample edge {e} of {m} missing"))?;
-            if erec.etype != EdgeType::Sampled {
+            let expected = if e == m {
+                EdgeType::Matched
+            } else {
+                EdgeType::Sampled
+            };
+            if erec.etype != expected {
                 return Err(format!("sample edge {e} of {m} typed {:?}", erec.etype));
             }
-            if erec.owner != m {
+            if e != m && erec.owner != m {
                 return Err(format!("sample edge {e} owner {} != {m}", erec.owner));
+            }
+            if erec.owner_pos as usize != i {
+                return Err(format!(
+                    "sample edge {e}: owner_pos {} but sits at S({m})[{i}]",
+                    erec.owner_pos
+                ));
             }
             if !pbdmm_graph::edge::edges_intersect(&erec.vertices, &rec.vertices) {
                 return Err(format!("sample edge {e} not incident on match {m}"));
             }
         }
-        // Cross edges owned by m: incident, typed cross, owner back-pointer.
-        for &e in &mrec.cross {
+        // Cross edges owned by m: incident, typed cross, owner and
+        // owner_pos back-pointers consistent.
+        for (i, &e) in mrec.cross.iter().enumerate() {
             let erec = s
                 .edges
-                .get(&e)
+                .get(e)
                 .ok_or_else(|| format!("cross edge {e} of {m} missing"))?;
             if erec.etype != EdgeType::Cross {
                 return Err(format!("cross edge {e} of {m} typed {:?}", erec.etype));
             }
             if erec.owner != m {
                 return Err(format!("cross edge {e} owner {} != {m}", erec.owner));
+            }
+            if erec.owner_pos as usize != i {
+                return Err(format!(
+                    "cross edge {e}: owner_pos {} but sits at C({m})[{i}]",
+                    erec.owner_pos
+                ));
             }
             if !pbdmm_graph::edge::edges_intersect(&erec.vertices, &rec.vertices) {
                 return Err(format!("cross edge {e} not incident on its owner {m}"));
@@ -93,8 +110,8 @@ pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
     // Matching validity: matched edges pairwise vertex-disjoint, and p(v)
     // consistent both ways.
     let mut covered: std::collections::HashMap<u32, EdgeId> = std::collections::HashMap::new();
-    for &m in s.matches.keys() {
-        for &v in &s.edges[&m].vertices {
+    for (m, _) in s.matches.iter() {
+        for &v in &s.edges[m].vertices {
             if let Some(&other) = covered.get(&v) {
                 return Err(format!("vertex {v} covered by matches {other} and {m}"));
             }
@@ -116,29 +133,30 @@ pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
     }
 
     // Invariant 2 (every edge owned by an incident match) + Invariant 4
-    // (cross owner at max incident level) + maximality.
-    let mut owned: FxHashSet<EdgeId> = FxHashSet::default();
-    for (&e, rec) in &s.edges {
+    // (cross owner at max incident level) + maximality. Ownership is
+    // checked through the back-pointers, so this pass is O(state).
+    let mut owned = 0usize;
+    for (e, rec) in s.edges.iter() {
         match rec.etype {
             EdgeType::Matched => {
-                owned.insert(e);
+                owned += 1;
             }
             EdgeType::Sampled => {
                 let mrec = s
                     .matches
-                    .get(&rec.owner)
+                    .get(rec.owner)
                     .ok_or_else(|| format!("sampled {e}: owner {} not matched", rec.owner))?;
-                if !mrec.sample.contains(&e) {
+                if mrec.sample.get(rec.owner_pos as usize) != Some(&e) {
                     return Err(format!("sampled {e} missing from S({})", rec.owner));
                 }
-                owned.insert(e);
+                owned += 1;
             }
             EdgeType::Cross => {
                 let mrec = s
                     .matches
-                    .get(&rec.owner)
+                    .get(rec.owner)
                     .ok_or_else(|| format!("cross {e}: owner {} not matched", rec.owner))?;
-                if !mrec.cross.contains(&e) {
+                if mrec.cross.get(rec.owner_pos as usize) != Some(&e) {
                     return Err(format!("cross {e} missing from C({})", rec.owner));
                 }
                 // Invariant 4: owner level is the max over incident matches.
@@ -146,7 +164,7 @@ pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
                     .vertices
                     .iter()
                     .filter_map(|&v| s.vertex_match(v))
-                    .map(|m| s.matches[&m].level)
+                    .map(|m| s.matches[m].level)
                     .max()
                     .ok_or_else(|| format!("cross {e} touches no matched vertex (not maximal)"))?;
                 if mrec.level != max_incident {
@@ -156,34 +174,33 @@ pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
                     ));
                 }
                 // P-bag consistency: present at the owner's level on each
-                // endpoint.
-                for &v in &rec.vertices {
+                // endpoint, exactly where the bag back-pointer says.
+                for (i, &v) in rec.vertices.iter().enumerate() {
                     let vr = &s.vertices[v as usize];
-                    let ok = vr
-                        .bags
-                        .get(&mrec.level)
-                        .map(|b| b.contains(&e))
-                        .unwrap_or(false);
-                    if !ok {
+                    let pos =
+                        *rec.bag_pos.get(i).ok_or_else(|| {
+                            format!("cross {e}: no bag back-pointer for vertex {v}")
+                        })? as usize;
+                    if vr.bags.bag(mrec.level).get(pos) != Some(&e) {
                         return Err(format!("cross {e} missing from P({v}, {})", mrec.level));
                     }
                 }
-                owned.insert(e);
+                owned += 1;
             }
             EdgeType::Unsettled => unreachable!(),
         }
     }
-    if owned.len() != s.edges.len() {
+    if owned != s.edges.len() {
         return Err("some edge is not owned by any match".into());
     }
 
     // P-bags contain only live cross edges at the right level.
     for (v, vr) in s.vertices.iter().enumerate() {
-        for (&lvl, bag) in &vr.bags {
+        for (lvl, bag) in vr.bags.iter() {
             for &e in bag {
                 let rec = s
                     .edges
-                    .get(&e)
+                    .get(e)
                     .ok_or_else(|| format!("P({v},{lvl}) holds dead edge {e}"))?;
                 if rec.etype != EdgeType::Cross {
                     return Err(format!(
@@ -191,10 +208,10 @@ pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
                         rec.etype
                     ));
                 }
-                if s.matches[&rec.owner].level != lvl {
+                if s.matches[rec.owner].level != lvl {
                     return Err(format!(
                         "P({v},{lvl}) holds {e} whose owner is at level {}",
-                        s.matches[&rec.owner].level
+                        s.matches[rec.owner].level
                     ));
                 }
                 if !rec.vertices.contains(&(v as u32)) {
@@ -207,7 +224,7 @@ pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
     // Maximality: every live edge has at least one covered vertex (sampled
     // and cross edges are incident on their owners; matched cover
     // themselves — checked above via Invariant-4 path for cross edges).
-    for (&e, rec) in &s.edges {
+    for (e, rec) in s.edges.iter() {
         if !rec.vertices.iter().any(|&v| s.vertex_match(v).is_some()) {
             return Err(format!("edge {e} is free: matching not maximal"));
         }
@@ -220,6 +237,7 @@ pub fn check_structure(s: &LeveledStructure) -> Result<(), String> {
 mod tests {
     use super::*;
     use crate::dynamic::DynamicMatching;
+    use crate::level::{EdgeRec, EdgeType};
 
     #[test]
     fn fresh_structure_passes() {
@@ -239,20 +257,15 @@ mod tests {
         // Corrupt a structure manually and confirm the checker notices.
         let mut dm = DynamicMatching::new();
         let ids = dm.insert_edges(&[vec![0, 1], vec![1, 2]]);
-        // Reach inside: flip an owner pointer via the public structure
-        // accessor is read-only, so rebuild a corrupt structure directly.
+        // Reach inside: the public structure accessor is read-only, so
+        // rebuild a corrupt structure directly.
         let mut s = LeveledStructure::new();
         for &v in &[0u32, 1, 2] {
             s.ensure_vertex(v);
         }
-        s.edges.insert(
-            ids[0],
-            crate::level::EdgeRec {
-                vertices: vec![0, 1],
-                etype: EdgeType::Matched,
-                owner: ids[0],
-            },
-        );
+        let mut rec = EdgeRec::unsettled(ids[0], vec![0, 1]);
+        rec.etype = EdgeType::Matched;
+        s.edges.insert(ids[0], rec);
         // Matched edge with no match record: must fail.
         assert!(check_structure(&s).is_err());
     }

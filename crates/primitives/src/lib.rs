@@ -19,7 +19,10 @@
 //!   bounds rather than wall-clock proxies;
 //! * [`pool`] — the persistent work-stealing thread pool (per-worker
 //!   deques, global injector, lazy binary task splitting);
-//! * [`par`] — fork-join helpers on the pool, with adaptive grain control.
+//! * [`par`] — fork-join helpers on the pool, with adaptive grain control;
+//! * [`slab`] — flat slab storage: `Vec`-backed free-list slabs and
+//!   epoch-stamped dense sets/maps, the index-addressed state tables the
+//!   hot path uses instead of hash structures.
 
 #![warn(missing_docs)]
 
@@ -34,6 +37,7 @@ pub mod rng;
 pub mod scan;
 pub mod semisort;
 pub mod sharded;
+pub mod slab;
 pub mod sort;
 
 pub use cost::{CostHint, CostMeter, CostSnapshot};
@@ -46,4 +50,5 @@ pub use rng::SplitMix64;
 pub use scan::{exclusive_scan, filter, inclusive_scan};
 pub use semisort::{count_by, group_by, remove_duplicates, sum_by};
 pub use sharded::ShardedMap;
+pub use slab::{EpochMap, EpochSet, Slab};
 pub use sort::{bucket_sort_by_key, bucket_sort_indices};

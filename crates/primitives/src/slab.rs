@@ -1,0 +1,419 @@
+//! Flat slab storage: the dense, index-addressed building blocks behind the
+//! hot-path state tables.
+//!
+//! The theoretically-efficient parallel graph systems this repo follows
+//! (CSR/dense-array state, not pointer/hash structures) get their constant
+//! factors from index-addressed storage: an id *is* a slot, a lookup is one
+//! array access, iteration is a linear scan of live slots. This module
+//! provides the generic pieces:
+//!
+//! * [`Slab<T>`] — a `Vec`-backed slab with a LIFO free list: `O(1)` insert
+//!   (reusing freed slots), `O(1)` remove/get by index, iteration over live
+//!   slots, and **swap-free stable ids** (a slot's index never changes while
+//!   it is live, unlike a swap-remove vector). Freed-slot reuse is
+//!   deterministic (LIFO in free order), so structures that allocate ids
+//!   from a slab replay identically.
+//! * [`EpochSet`] — a dense membership set over small integer keys with
+//!   `O(1)` insert/contains and `O(1)` *clear* (bump the epoch stamp instead
+//!   of touching the array). The batch logic reuses one set across millions
+//!   of settlement rounds without ever re-zeroing memory.
+//! * [`EpochMap`] — the keyed variant: an epoch-stamped dense `key → value`
+//!   map, used e.g. to compact sparse vertex ids into a dense range once per
+//!   greedy call without hashing.
+
+/// A `Vec`-backed slab with free-list id reuse.
+///
+/// Indices handed out by [`Slab::insert`] are stable for the lifetime of the
+/// entry (no swapping), and freed indices are reused LIFO — deterministic,
+/// so id assignment driven by a slab is reproducible in apply order.
+///
+/// # Examples
+/// ```
+/// use pbdmm_primitives::slab::Slab;
+///
+/// let mut s = Slab::new();
+/// let a = s.insert("a");
+/// let b = s.insert("b");
+/// assert_eq!(s.remove(a), Some("a"));
+/// // The freed slot is reused (LIFO), so ids stay dense.
+/// let c = s.insert("c");
+/// assert_eq!(c, a);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s[b], "b");
+/// assert_eq!(s.high_water(), 2); // never grew past two slots
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T> Slab<T> {
+    /// Create an empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty slab with room for `n` entries before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(n),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Insert a value, returning its slot index. Reuses the most recently
+    /// freed slot if any (LIFO), else appends a fresh one.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.live += 1;
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none());
+                self.slots[i as usize] = Some(value);
+                i as usize
+            }
+            None => {
+                self.slots.push(Some(value));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Remove and return the value at `key`, if live. The slot goes onto the
+    /// free list for reuse.
+    pub fn remove(&mut self, key: usize) -> Option<T> {
+        let v = self.slots.get_mut(key)?.take()?;
+        self.free.push(key as u32);
+        self.live -= 1;
+        Some(v)
+    }
+
+    /// The value at `key`, if live.
+    #[inline]
+    pub fn get(&self, key: usize) -> Option<&T> {
+        self.slots.get(key)?.as_ref()
+    }
+
+    /// Mutable access to the value at `key`, if live.
+    #[inline]
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        self.slots.get_mut(key)?.as_mut()
+    }
+
+    /// Is `key` a live slot?
+    #[inline]
+    pub fn contains(&self, key: usize) -> bool {
+        matches!(self.slots.get(key), Some(Some(_)))
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the slab empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// High-water mark: total slots ever allocated (live + free). The
+    /// occupancy ratio `len() / high_water()` is the storage-efficiency
+    /// telemetry the benches record.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of freed slots currently awaiting reuse.
+    #[inline]
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Iterate over live `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+    }
+
+    /// Drop every entry and forget the free list.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+    }
+}
+
+impl<T> std::ops::Index<usize> for Slab<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, key: usize) -> &T {
+        self.get(key).expect("indexed a dead slab slot")
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for Slab<T> {
+    #[inline]
+    fn index_mut(&mut self, key: usize) -> &mut T {
+        self.get_mut(key).expect("indexed a dead slab slot")
+    }
+}
+
+/// A dense membership set over `usize` keys with `O(1)` clear.
+///
+/// Each key has a stamp; a key is a member iff its stamp equals the current
+/// epoch, so [`EpochSet::clear`] is a single counter bump — no memory
+/// traffic proportional to capacity. Grows on demand; keys should be dense
+/// (memory is proportional to the largest key seen).
+///
+/// # Examples
+/// ```
+/// use pbdmm_primitives::slab::EpochSet;
+///
+/// let mut s = EpochSet::default();
+/// assert!(s.insert(3));
+/// assert!(!s.insert(3)); // already present
+/// assert!(s.contains(3));
+/// s.clear(); // O(1)
+/// assert!(!s.contains(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EpochSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochSet {
+    /// Create an empty set pre-sized for keys `< n`.
+    pub fn with_capacity(n: usize) -> Self {
+        EpochSet {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Remove every member in `O(1)`.
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            // Stamp wrap-around: pay one real reset every 2^32 - 1 clears.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Insert `key`; returns `true` if it was not already a member.
+    pub fn insert(&mut self, key: usize) -> bool {
+        if self.epoch == 0 {
+            self.epoch = 1;
+        }
+        if key >= self.stamp.len() {
+            self.stamp.resize(key + 1, 0);
+        }
+        if self.stamp[key] == self.epoch {
+            false
+        } else {
+            self.stamp[key] = self.epoch;
+            true
+        }
+    }
+
+    /// Is `key` a member?
+    #[inline]
+    pub fn contains(&self, key: usize) -> bool {
+        self.epoch != 0 && self.stamp.get(key) == Some(&self.epoch)
+    }
+}
+
+/// An epoch-stamped dense `key → value` map over `usize` keys: `O(1)`
+/// insert/get/clear, memory proportional to the largest key. The greedy
+/// matcher uses one to compact sparse global vertex ids into a dense range
+/// per call without a hash table.
+///
+/// # Examples
+/// ```
+/// use pbdmm_primitives::slab::EpochMap;
+///
+/// let mut m: EpochMap<u32> = EpochMap::default();
+/// assert_eq!(m.get(5), None);
+/// m.insert(5, 42);
+/// assert_eq!(m.get(5), Some(42));
+/// m.clear(); // O(1)
+/// assert_eq!(m.get(5), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EpochMap<V: Copy> {
+    stamp: Vec<u32>,
+    value: Vec<V>,
+    epoch: u32,
+}
+
+impl<V: Copy + Default> EpochMap<V> {
+    /// Remove every entry in `O(1)`.
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Map `key` to `value` (overwrites).
+    pub fn insert(&mut self, key: usize, value: V) {
+        if self.epoch == 0 {
+            self.epoch = 1;
+        }
+        if key >= self.stamp.len() {
+            self.stamp.resize(key + 1, 0);
+            self.value.resize(key + 1, V::default());
+        }
+        self.stamp[key] = self.epoch;
+        self.value[key] = value;
+    }
+
+    /// The value mapped to `key`, if present.
+    #[inline]
+    pub fn get(&self, key: usize) -> Option<V> {
+        if self.epoch != 0 && self.stamp.get(key) == Some(&self.epoch) {
+            Some(self.value[key])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_insert_get_remove() {
+        let mut s: Slab<u64> = Slab::with_capacity(4);
+        let a = s.insert(10);
+        let b = s.insert(20);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.get(a), Some(&10));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), Some(10));
+        assert_eq!(s.remove(a), None, "double remove is None");
+        assert!(!s.contains(a));
+        assert!(s.contains(b));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots_lifo() {
+        let mut s: Slab<&str> = Slab::new();
+        let ids: Vec<usize> = (0..4).map(|i| s.insert(["a", "b", "c", "d"][i])).collect();
+        s.remove(ids[1]);
+        s.remove(ids[3]);
+        // LIFO: most recently freed first.
+        assert_eq!(s.insert("x"), ids[3]);
+        assert_eq!(s.insert("y"), ids[1]);
+        // Exhausted free list appends a fresh slot.
+        assert_eq!(s.insert("z"), 4);
+        assert_eq!(s.high_water(), 5);
+        assert_eq!(s.free_slots(), 0);
+    }
+
+    #[test]
+    fn slab_ids_are_stable_across_unrelated_removals() {
+        let mut s: Slab<u32> = Slab::new();
+        let keep = s.insert(7);
+        let gone = s.insert(8);
+        s.insert(9);
+        s.remove(gone);
+        // Unlike swap-remove vectors, `keep`'s index is untouched.
+        assert_eq!(s[keep], 7);
+        assert_eq!(s.get(gone), None);
+    }
+
+    #[test]
+    fn slab_iterates_live_slots_in_index_order() {
+        let mut s: Slab<u32> = Slab::new();
+        let ids: Vec<usize> = (0..5).map(|i| s.insert(i * 10)).collect();
+        s.remove(ids[2]);
+        let seen: Vec<(usize, u32)> = s.iter().map(|(i, &v)| (i, v)).collect();
+        assert_eq!(seen, vec![(0, 0), (1, 10), (3, 30), (4, 40)]);
+    }
+
+    #[test]
+    fn slab_high_water_tracks_total_slots() {
+        let mut s: Slab<()> = Slab::new();
+        for _ in 0..100 {
+            s.insert(());
+        }
+        for i in 0..100 {
+            s.remove(i);
+        }
+        for _ in 0..100 {
+            s.insert(()); // all reused
+        }
+        assert_eq!(s.high_water(), 100);
+        assert_eq!(s.len(), 100);
+        s.clear();
+        assert_eq!(s.high_water(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn epoch_set_clear_is_logical() {
+        let mut s = EpochSet::with_capacity(8);
+        assert!(s.insert(1));
+        assert!(s.insert(100)); // grows past the pre-size
+        assert!(!s.insert(100));
+        assert!(s.contains(1) && s.contains(100));
+        assert!(!s.contains(2));
+        s.clear();
+        assert!(!s.contains(1) && !s.contains(100));
+        assert!(s.insert(1));
+    }
+
+    #[test]
+    fn epoch_set_fresh_contains_nothing() {
+        let s = EpochSet::default();
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn epoch_map_insert_get_clear() {
+        let mut m: EpochMap<u32> = EpochMap::default();
+        m.insert(3, 30);
+        m.insert(3, 31); // overwrite
+        assert_eq!(m.get(3), Some(31));
+        assert_eq!(m.get(4), None);
+        m.clear();
+        assert_eq!(m.get(3), None);
+        m.insert(3, 99);
+        assert_eq!(m.get(3), Some(99));
+    }
+
+    #[test]
+    fn epoch_set_survives_many_clears() {
+        let mut s = EpochSet::with_capacity(2);
+        for round in 0..10_000usize {
+            s.clear();
+            assert!(s.insert(round % 2));
+            assert!(s.contains(round % 2));
+            assert!(!s.contains(1 - round % 2));
+        }
+    }
+}

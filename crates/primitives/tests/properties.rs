@@ -11,7 +11,14 @@ use pbdmm_primitives::scan::{exclusive_scan, filter, inclusive_scan, pack_indice
 use pbdmm_primitives::semisort::{count_by, group_by, remove_duplicates, sum_by};
 use pbdmm_primitives::sort::{bucket_sort_by_key, bucket_sort_ord};
 
-const CASES: u64 = 48;
+/// Cases per property: 48 by default; the nightly CI job raises it via
+/// `PBDMM_PROP_CASES` for deeper sweeps at the same fixed seeds.
+fn cases() -> u64 {
+    std::env::var("PBDMM_PROP_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48)
+}
 
 /// A random vector length skewed toward both tiny (sequential-path) and
 /// large (parallel-path) cases.
@@ -31,7 +38,7 @@ fn arb_vec_u64(rng: &mut SplitMix64, max_len: usize, bound: u64) -> Vec<u64> {
 #[test]
 fn exclusive_scan_matches_fold() {
     let mut rng = SplitMix64::new(0xA0);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let xs = arb_vec_u64(&mut rng, 20_000, 1_000_000);
         let (scan, total) = exclusive_scan(&xs);
         let mut acc = 0u64;
@@ -46,7 +53,7 @@ fn exclusive_scan_matches_fold() {
 #[test]
 fn inclusive_scan_is_exclusive_plus_self() {
     let mut rng = SplitMix64::new(0xA1);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let xs = arb_vec_u64(&mut rng, 10_000, 1000);
         let inc = inclusive_scan(&xs);
         let (exc, _) = exclusive_scan(&xs);
@@ -59,7 +66,7 @@ fn inclusive_scan_is_exclusive_plus_self() {
 #[test]
 fn filter_matches_iterator_filter() {
     let mut rng = SplitMix64::new(0xA2);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let xs: Vec<i64> = arb_vec_u64(&mut rng, 16_000, 100)
             .into_iter()
             .map(|x| x as i64)
@@ -74,7 +81,7 @@ fn filter_matches_iterator_filter() {
 #[test]
 fn pack_indices_matches_positions() {
     let mut rng = SplitMix64::new(0xA3);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let flags: Vec<bool> = arb_vec_u64(&mut rng, 16_000, 2)
             .into_iter()
             .map(|x| x == 1)
@@ -92,7 +99,7 @@ fn pack_indices_matches_positions() {
 #[test]
 fn group_by_preserves_multiset() {
     let mut rng = SplitMix64::new(0xA4);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let n = arb_len(&mut rng, 12_000);
         let pairs: Vec<(u8, u32)> = (0..n)
             .map(|_| (rng.bounded(32) as u8, rng.next_u64() as u32))
@@ -112,7 +119,7 @@ fn group_by_preserves_multiset() {
 #[test]
 fn sum_by_matches_hashmap_fold() {
     let mut rng = SplitMix64::new(0xA5);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let n = arb_len(&mut rng, 12_000);
         let pairs: Vec<(u16, u64)> = (0..n)
             .map(|_| (rng.bounded(100) as u16, rng.bounded(1000)))
@@ -132,7 +139,7 @@ fn sum_by_matches_hashmap_fold() {
 #[test]
 fn count_by_and_dedup_agree() {
     let mut rng = SplitMix64::new(0xA6);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let keys: Vec<u32> = arb_vec_u64(&mut rng, 12_000, 64)
             .into_iter()
             .map(|x| x as u32)
@@ -151,7 +158,7 @@ fn count_by_and_dedup_agree() {
 #[test]
 fn bucket_sort_equals_comparison_sort() {
     let mut rng = SplitMix64::new(0xA7);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let n = arb_len(&mut rng, 10_000);
         let xs: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let got = bucket_sort_by_key(xs.clone(), |&x| x);
@@ -164,7 +171,7 @@ fn bucket_sort_equals_comparison_sort() {
 #[test]
 fn bucket_sort_ord_equals_comparison_sort() {
     let mut rng = SplitMix64::new(0xA8);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let n = arb_len(&mut rng, 10_000);
         let pairs: Vec<(u64, u32)> = (0..n)
             .map(|_| (rng.next_u64() >> rng.bounded(64), rng.next_u64() as u32))
@@ -179,7 +186,7 @@ fn bucket_sort_ord_equals_comparison_sort() {
 #[test]
 fn find_next_equals_linear_scan() {
     let mut rng = SplitMix64::new(0xA9);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let xs: Vec<u8> = arb_vec_u64(&mut rng, 500, 4)
             .into_iter()
             .map(|x| x as u8)
@@ -194,7 +201,7 @@ fn find_next_equals_linear_scan() {
 #[test]
 fn priorities_induce_uniform_support_permutation() {
     let mut rng = SplitMix64::new(0xAA);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let n = arb_len(&mut rng, 8000);
         let mut seed_rng = SplitMix64::new(rng.next_u64());
         let pri = random_priorities(n, &mut seed_rng);
@@ -208,7 +215,7 @@ fn priorities_induce_uniform_support_permutation() {
 #[test]
 fn dict_agrees_with_hashset() {
     let mut rng = SplitMix64::new(0xAB);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         // Pre-size: single-item insert is a phase operation and does not
         // grow the table (see the method docs).
         let dict = ConcurrentU64Set::with_capacity(600);
@@ -238,7 +245,7 @@ fn dict_agrees_with_hashset() {
 #[test]
 fn dict_batch_ops_agree_with_hashset() {
     let mut rng = SplitMix64::new(0xAC);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let ins = arb_vec_u64(&mut rng, 3000, 2000);
         let del = arb_vec_u64(&mut rng, 3000, 2000);
         let mut dict = ConcurrentU64Set::new();

@@ -247,6 +247,6 @@ fn service_is_generic_over_the_trait_family() {
     assert!(stats.updates > 0);
     check_invariants(cover.matching()).unwrap();
     // Every live element is covered (the maintained r-approximation).
-    let live: Vec<EdgeId> = cover.matching().structure().edges.keys().copied().collect();
+    let live: Vec<EdgeId> = cover.matching().structure().edges.ids().to_vec();
     assert!(live.iter().all(|&e| cover.is_covered(e)));
 }

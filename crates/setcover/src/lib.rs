@@ -284,7 +284,7 @@ pub struct CoverSnapshot {
 impl CoverSnapshot {
     /// Capture the current state of `dc` at its current epoch.
     pub fn capture(dc: &DynamicSetCover) -> Self {
-        let mut elements: Vec<ElementId> = dc.matching.structure().edges.keys().copied().collect();
+        let mut elements: Vec<ElementId> = dc.matching.structure().edges.ids().to_vec();
         elements.sort_unstable();
         let mut cover = dc.cover();
         cover.sort_unstable();

@@ -7,7 +7,7 @@ use pbdmm::graph::{gen, workload, DeletionOrder};
 use pbdmm::matching::driver::run_workload_with;
 use pbdmm::matching::verify::check_invariants;
 use pbdmm::primitives::par;
-use pbdmm::{Batch, DynamicMatching};
+use pbdmm::{Batch, DynamicMatching, DynamicMatchingBuilder};
 
 #[test]
 fn dynamic_matching_sound_under_forced_parallelism() {
@@ -41,4 +41,32 @@ fn dynamic_matching_sound_under_forced_parallelism() {
     let mut dm = DynamicMatching::with_seed(2);
     run_workload_with(&mut dm, &w, |m| check_invariants(m).unwrap());
     assert_eq!(dm.num_edges(), 0);
+}
+
+#[test]
+fn id_recycling_is_deterministic_under_forced_parallelism() {
+    // Slab id reuse with the scheduler cap above the core count: the ids a
+    // recycling structure assigns across reuse boundaries must not depend
+    // on thread scheduling, and every invariant must hold throughout.
+    par::set_num_threads(4);
+    let g = gen::erdos_renyi(1500, 6000, 0xF2);
+    let w = workload::churn(&g, 512, 0xF3);
+    let run = |_: ()| {
+        let mut dm = DynamicMatchingBuilder::new()
+            .seed(3)
+            .recycle_ids(true)
+            .build();
+        run_workload_with(&mut dm, &w, |m| check_invariants(m).unwrap());
+        let st = dm.storage_stats();
+        assert!(st.recycling);
+        assert_eq!(dm.num_edges(), 0);
+        // Empty-to-empty churn returns the whole id space to the free list.
+        assert_eq!(st.free_ids as u64, st.ids_allocated);
+        (st.ids_allocated, st.edge_slots)
+    };
+    let (ids_a, slots_a) = run(());
+    let (ids_b, slots_b) = run(());
+    assert_eq!((ids_a, slots_a), (ids_b, slots_b));
+    // Recycling keeps the table far denser than the total insert history.
+    assert!(slots_a < g.m(), "slots {slots_a} vs {} inserts", g.m());
 }

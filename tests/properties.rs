@@ -15,7 +15,14 @@ use pbdmm::primitives::permutation::random_priorities;
 use pbdmm::primitives::rng::SplitMix64;
 use pbdmm::{Batch, DynamicMatching};
 
-const CASES: u64 = 64;
+/// Cases per property: 64 by default; the nightly CI job raises it via
+/// `PBDMM_PROP_CASES` for deeper sweeps at the same fixed seeds.
+fn cases() -> u64 {
+    std::env::var("PBDMM_PROP_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
 
 /// A small random hypergraph: 1..=max_edges edges, each 1..=4 vertices in
 /// [0, 24). Duplicate vertices within an edge are allowed (the library
@@ -33,7 +40,7 @@ fn arb_edges(rng: &mut SplitMix64, max_edges: usize) -> Vec<Vec<u32>> {
 #[test]
 fn greedy_parallel_matches_sequential_matching() {
     let mut rng = SplitMix64::new(0xB0);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let edges: Vec<Vec<u32>> = arb_edges(&mut rng, 40)
             .into_iter()
             .map(|e| pbdmm::graph::normalize_vertices(e).unwrap())
@@ -55,7 +62,7 @@ fn greedy_parallel_matches_sequential_matching() {
 #[test]
 fn greedy_sample_spaces_partition() {
     let mut rng = SplitMix64::new(0xB1);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let edges: Vec<Vec<u32>> = arb_edges(&mut rng, 40)
             .into_iter()
             .map(|e| pbdmm::graph::normalize_vertices(e).unwrap())
@@ -76,7 +83,7 @@ fn greedy_sample_spaces_partition() {
 #[test]
 fn dynamic_invariants_hold_for_arbitrary_schedules() {
     let mut rng = SplitMix64::new(0xB2);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let edges = arb_edges(&mut rng, 30);
         let num_ops = 1 + rng.bounded(60) as usize;
         let seed = rng.bounded(1000);
@@ -113,7 +120,7 @@ fn dynamic_invariants_hold_for_arbitrary_schedules() {
 #[test]
 fn matched_queries_agree_with_matching_set() {
     let mut rng = SplitMix64::new(0xB3);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let edges = arb_edges(&mut rng, 25);
         let seed = rng.bounded(100);
         let mut dm = DynamicMatching::with_seed(seed);
@@ -135,7 +142,7 @@ fn matched_queries_agree_with_matching_set() {
 #[test]
 fn workload_generators_always_validate() {
     let mut rng = SplitMix64::new(0xB4);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let n = 4 + rng.bounded(46) as usize;
         let m = 1 + rng.bounded(99) as usize;
         let batch = 1 + rng.bounded(31) as usize;
@@ -160,7 +167,7 @@ fn workload_generators_always_validate() {
 #[test]
 fn scan_filter_agree_with_std() {
     let mut rng = SplitMix64::new(0xB5);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let n = rng.bounded(4000) as usize;
         let xs: Vec<u64> = (0..n).map(|_| rng.bounded(1000)).collect();
         let (scanned, total) = pbdmm::primitives::exclusive_scan(&xs);
@@ -179,7 +186,7 @@ fn scan_filter_agree_with_std() {
 #[test]
 fn group_by_loses_nothing() {
     let mut rng = SplitMix64::new(0xB6);
-    for _ in 0..CASES {
+    for _ in 0..cases() {
         let n = rng.bounded(6000) as usize;
         let pairs: Vec<(u16, u32)> = (0..n)
             .map(|_| (rng.bounded(64) as u16, rng.bounded(10_000) as u32))
