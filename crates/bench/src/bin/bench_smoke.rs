@@ -28,6 +28,8 @@ use pbdmm_graph::wal::{self, WalMeta};
 use pbdmm_graph::workload::{churn, insert_then_delete, DeletionOrder};
 use pbdmm_matching::driver::run_workload;
 use pbdmm_matching::{DynamicMatching, DynamicMatchingBuilder};
+use pbdmm_net::load::{run_load, LoadConfig, LoadReport};
+use pbdmm_net::{Daemon, DaemonConfig};
 use pbdmm_primitives::par;
 use pbdmm_primitives::rng::SplitMix64;
 use pbdmm_service::{CoalescePolicy, Done, ServiceConfig, UpdateService, WalConfig};
@@ -223,6 +225,43 @@ fn direct_singleton_load(sync: bool, per_producer: usize) {
     std::hint::black_box(final_size);
 }
 
+/// The network tier end to end on loopback: a daemon over the coalescing
+/// service, driven by the multi-connection load generator with the same
+/// workload shape as `pbdmm load`. Returns the load report so the caller
+/// can record acknowledged-update and snapshot-read rates from one run.
+fn daemon_loopback_load(per_connection: usize) -> LoadReport {
+    let daemon = Daemon::start(
+        DynamicMatching::with_seed(23),
+        DaemonConfig {
+            policy: CoalescePolicy {
+                max_batch: 512,
+                max_delay: Duration::ZERO,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("loopback daemon");
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let serving = std::thread::spawn(move || daemon.run());
+    let report = run_load(
+        addr,
+        &LoadConfig {
+            connections: SERVICE_PRODUCERS,
+            per_connection,
+            queries_per_window: 8,
+            seed: 23,
+        },
+    )
+    .expect("loopback load");
+    assert_eq!(report.failed, 0, "read-your-writes failed over loopback");
+    assert_eq!(report.protocol_errors, 0, "protocol errors over loopback");
+    stop.stop();
+    let daemon_report = serving.join().expect("daemon thread");
+    std::hint::black_box(daemon_report.structure.matching_size());
+    report
+}
+
 /// The epoch-snapshot read path under write load: one writer thread churns
 /// updates through a serving `UpdateService` while two reader threads
 /// resolve `total_reads` point queries against the latest published
@@ -393,6 +432,22 @@ fn run_battery(samples: usize) -> BTreeMap<String, f64> {
             snapshot_read_load(snapshot_reads)
         }),
     );
+    // Network tier on loopback: the daemon + load-generator pair, the
+    // deployment's wire-path hot loop (framing, per-connection threads,
+    // TCP backpressure on top of the coalescing service). Both rates come
+    // from the same runs — best over samples of each. `info_` (ungated):
+    // loopback scheduling across 2×connections threads dominates.
+    {
+        let per_connection = SERVICE_UPDATES_PER_PRODUCER / 4;
+        let (mut best_updates, mut best_reads) = (0.0f64, 0.0f64);
+        for _ in 0..samples.max(1) {
+            let r = daemon_loopback_load(per_connection);
+            best_updates = best_updates.max(r.updates as f64 / r.seconds);
+            best_reads = best_reads.max(r.reads as f64 / r.seconds);
+        }
+        metrics.insert("info_daemon_wire_updates_per_s_t4".into(), best_updates);
+        metrics.insert("info_daemon_wire_reads_per_s_t4".into(), best_reads);
+    }
     let singleton_per_producer = SERVICE_UPDATES_PER_PRODUCER / 8;
     metrics.insert(
         "info_direct_singleton_fsync_updates_per_s_t4".into(),

@@ -48,7 +48,8 @@
 //! assert_eq!(snap.stats().matching_size, 2);
 //! ```
 
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use pbdmm_graph::edge::{EdgeId, EdgeVertices, VertexId};
 
@@ -74,6 +75,11 @@ pub trait Snapshot {
 #[derive(Debug)]
 pub struct SnapshotCell<T> {
     slot: RwLock<Arc<T>>,
+    /// Publication counter guarding the condvar below. Bumped *after* the
+    /// slot swap, so a waiter that re-checks the slot on every pulse never
+    /// misses a publication (slot-write happens-before pulse-bump).
+    pulse: Mutex<u64>,
+    published: Condvar,
 }
 
 impl<T> SnapshotCell<T> {
@@ -81,6 +87,8 @@ impl<T> SnapshotCell<T> {
     pub fn new(initial: T) -> Self {
         SnapshotCell {
             slot: RwLock::new(Arc::new(initial)),
+            pulse: Mutex::new(0),
+            published: Condvar::new(),
         }
     }
 
@@ -92,6 +100,7 @@ impl<T> SnapshotCell<T> {
 
     /// Atomically replace the published snapshot. Readers that already hold
     /// an `Arc` keep their (older) snapshot alive; new loads see `next`.
+    /// Wakes every [`Self::wait_newer`] waiter.
     pub fn publish(&self, next: T) {
         let mut guard = self.slot.write().expect("snapshot cell poisoned");
         let old = std::mem::replace(&mut *guard, Arc::new(next));
@@ -100,6 +109,41 @@ impl<T> SnapshotCell<T> {
         // (O(its size)) happens here — outside the lock, so readers are
         // never stalled behind it.
         drop(old);
+        // Pulse strictly after the slot swap: a waiter woken by this notify
+        // is guaranteed to observe (at least) the snapshot just published.
+        let mut gen = self.pulse.lock().expect("snapshot pulse poisoned");
+        *gen += 1;
+        self.published.notify_all();
+    }
+}
+
+impl<T: Snapshot> SnapshotCell<T> {
+    /// Block until a snapshot with epoch **greater than** `epoch` is
+    /// published, or `timeout` elapses — whichever first — and return the
+    /// latest snapshot either way (the caller distinguishes progress from
+    /// timeout by its epoch). This is the primitive epoch *subscriptions*
+    /// ride on: no polling loop, one condvar wakeup per publication.
+    pub fn wait_newer(&self, epoch: u64, timeout: Duration) -> Arc<T> {
+        let deadline = Instant::now() + timeout;
+        let mut gen = self.pulse.lock().expect("snapshot pulse poisoned");
+        loop {
+            // Check the slot while holding the pulse lock: a publisher that
+            // swapped the slot after this load cannot complete its pulse
+            // bump (and drop its notify) until we wait — no lost wakeup.
+            let snap = self.load();
+            if snap.epoch() > epoch {
+                return snap;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return snap;
+            }
+            gen = self
+                .published
+                .wait_timeout(gen, deadline - now)
+                .expect("snapshot pulse poisoned")
+                .0;
+        }
     }
 }
 
@@ -136,6 +180,13 @@ impl<T: Snapshot> SnapshotReader<T> {
     /// Epoch of the latest published snapshot.
     pub fn epoch(&self) -> u64 {
         self.latest().epoch()
+    }
+
+    /// Block until a snapshot **newer than** `epoch` is published or
+    /// `timeout` elapses, returning the latest snapshot either way. See
+    /// [`SnapshotCell::wait_newer`].
+    pub fn wait_for_newer(&self, epoch: u64, timeout: Duration) -> Arc<T> {
+        self.cell.wait_newer(epoch, timeout)
     }
 }
 
@@ -449,6 +500,37 @@ mod tests {
         m.insert_edges(&[vec![2, 3]]);
         assert_eq!(r1.epoch(), 2);
         assert_eq!(r2.epoch(), 2);
+    }
+
+    #[test]
+    fn wait_for_newer_times_out_at_the_current_epoch() {
+        let mut m = DynamicMatching::with_seed(6);
+        let r = m.enable_snapshots();
+        m.insert_edges(&[vec![0, 1]]);
+        // Nothing newer than epoch 1 will ever be published here: the call
+        // must come back at the deadline with the epoch-1 snapshot.
+        let snap = r.wait_for_newer(1, Duration::from_millis(10));
+        assert_eq!(snap.epoch(), 1);
+        // Asking about an older epoch returns immediately.
+        let snap = r.wait_for_newer(0, Duration::from_secs(60));
+        assert_eq!(snap.epoch(), 1);
+    }
+
+    #[test]
+    fn wait_for_newer_wakes_on_publication() {
+        let mut m = DynamicMatching::with_seed(7);
+        let r = m.enable_snapshots();
+        m.insert_edges(&[vec![0, 1]]);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| r.wait_for_newer(1, Duration::from_secs(60)));
+            // Publish epoch 2 while the waiter blocks; it must observe it
+            // long before the 60s deadline.
+            std::thread::sleep(Duration::from_millis(20));
+            m.insert_edges(&[vec![2, 3]]);
+            let snap = waiter.join().unwrap();
+            assert_eq!(snap.epoch(), 2);
+            assert!(snap.is_matched(2));
+        });
     }
 
     #[test]

@@ -1,0 +1,653 @@
+//! The pbdmm daemon: a std-only TCP front end over the coalescing service.
+//!
+//! One accept loop, one **reader/writer thread pair per connection** — no
+//! async runtime. Every connection funnels into the same
+//! [`ServiceHandle`]/[`QueryHandle`] pair, so coalescing, WAL durability,
+//! epoch snapshots, and read-your-writes all come for free from the
+//! in-process service; the network tier adds exactly two things:
+//!
+//! * **Admission control** — a cap on concurrent connections (excess
+//!   connections are greeted, told [`ErrorCode::Overloaded`], and closed)
+//!   and a per-connection bounded in-flight window (a `SubmitBatch` that
+//!   would exceed it is refused with `Overloaded` instead of queueing
+//!   without bound). Daemon memory is bounded by
+//!   `connections × (window + channel slack)`.
+//! * **Fault isolation** — a protocol violation (bad magic, oversized or
+//!   torn frame, unknown opcode) draws a structured [`Response::Error`] and
+//!   closes *that* connection; the daemon and its other clients keep
+//!   running.
+//!
+//! Shutdown is a graceful drain: on a [`Request::Shutdown`] frame (or
+//! [`StopHandle::stop`]) the daemon stops accepting, half-closes every
+//! connection so readers see EOF, lets writers flush their in-flight
+//! completions, then shuts the service down and returns the structure and
+//! final counters in a [`DaemonReport`].
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pbdmm_matching::snapshot::MatchingSnapshot;
+use pbdmm_matching::DynamicMatching;
+use pbdmm_primitives::pool::ParPool;
+use pbdmm_service::{
+    CoalescePolicy, Done, QueryHandle, ServiceConfig, ServiceError, ServiceHandle, ServiceStats,
+    Ticket, UpdateService, WalConfig,
+};
+
+use crate::proto::{
+    self, ErrorCode, FrameError, Request, Response, UpdateResult, WireStats, MAX_FRAME,
+};
+
+/// How long a subscribed writer waits for a new epoch before re-checking
+/// its work channel. Bounds subscription wake-up latency without polling
+/// the snapshot (the wait rides the publication condvar).
+const SUBSCRIPTION_TICK: Duration = Duration::from_millis(25);
+
+/// Write timeout on every connection: a client that stops reading cannot
+/// stall the drain forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Handshake deadline: a connected-but-silent peer cannot hold an
+/// admission slot indefinitely.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"` (port 0 = ephemeral; read the
+    /// bound port back from [`Daemon::local_addr`]).
+    pub addr: String,
+    /// Connection cap; further connections are refused with
+    /// [`ErrorCode::Overloaded`].
+    pub max_connections: usize,
+    /// Per-connection in-flight update window: a `SubmitBatch` that would
+    /// push the connection past this many un-completed updates is refused
+    /// with [`ErrorCode::Overloaded`].
+    pub max_inflight: usize,
+    /// Per-frame body cap handed to the decoder.
+    pub max_frame: usize,
+    /// Coalescing policy for the underlying service.
+    pub policy: CoalescePolicy,
+    /// Durable write-ahead log (None: in-memory only).
+    pub wal: Option<WalConfig>,
+    /// Scheduler every `apply` runs on (None: the process-global pool).
+    pub pool: Option<Arc<ParPool>>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: 64,
+            max_inflight: 4096,
+            max_frame: MAX_FRAME,
+            policy: CoalescePolicy::default(),
+            wal: None,
+            pool: None,
+        }
+    }
+}
+
+/// Wire-tier counters a finished daemon reports (the service-tier counters
+/// ride in [`ServiceStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCounters {
+    /// Connections ever accepted (including refused ones).
+    pub total_connections: u64,
+    /// Updates/connections refused by admission control.
+    pub overloaded: u64,
+    /// Connections closed for protocol violations.
+    pub protocol_errors: u64,
+}
+
+/// Everything a drained daemon hands back.
+#[derive(Debug)]
+pub struct DaemonReport {
+    /// The structure, for final-state inspection (`final:` line, invariant
+    /// checks) exactly as an in-process `serve` run would yield it.
+    pub structure: DynamicMatching,
+    /// Service-tier counters.
+    pub service: ServiceStats,
+    /// Wire-tier counters.
+    pub wire: WireCounters,
+}
+
+/// State shared by the acceptor and every connection thread.
+struct Shared {
+    handle: ServiceHandle,
+    query: QueryHandle<MatchingSnapshot>,
+    cfg: DaemonConfig,
+    draining: AtomicBool,
+    conn_count: AtomicUsize,
+    total_conns: AtomicU64,
+    overloaded: AtomicU64,
+    protocol_errors: AtomicU64,
+    /// Read-half clones of every open connection, for the drain's
+    /// half-close. Entries are removed as connections exit.
+    registry: Mutex<Vec<(u64, TcpStream)>>,
+    /// Connection/writer thread handles the drain joins.
+    joins: Mutex<Vec<JoinHandle<()>>>,
+    /// Signals the drain (a `Shutdown` frame or a [`StopHandle`]).
+    control: mpsc::Sender<()>,
+}
+
+impl Shared {
+    fn wire_stats(&self) -> WireStats {
+        let st = self.query.snapshot().stats();
+        WireStats {
+            epoch: st.epoch,
+            num_edges: st.num_edges as u64,
+            matching_size: st.matching_size as u64,
+            connections: self.conn_count.load(Ordering::Relaxed) as u32,
+            total_connections: self.total_conns.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Relaxed) as u8,
+        }
+    }
+}
+
+/// A cloneable handle that asks a running [`Daemon`] to drain, for
+/// in-process embedders (benchmarks, tests) that have no wire client handy.
+#[derive(Clone)]
+pub struct StopHandle {
+    shared: Arc<Shared>,
+}
+
+impl StopHandle {
+    /// Begin the drain (idempotent).
+    pub fn stop(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let _ = self.shared.control.send(());
+    }
+}
+
+/// A running daemon. Bind with [`Daemon::start`], read the ephemeral port
+/// from [`Daemon::local_addr`], then block in [`Daemon::run`] until a
+/// client (or a [`StopHandle`]) requests shutdown.
+pub struct Daemon {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    svc: UpdateService<DynamicMatching>,
+    acceptor: JoinHandle<()>,
+    control_rx: mpsc::Receiver<()>,
+}
+
+impl Daemon {
+    /// Bind the listener, start the coalescing service over `structure`,
+    /// and spawn the accept loop. Fails if the address cannot be bound or
+    /// the WAL cannot be created.
+    pub fn start(structure: DynamicMatching, cfg: DaemonConfig) -> Result<Daemon, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        let svc_config = ServiceConfig {
+            policy: cfg.policy,
+            wal: cfg.wal.clone(),
+            pool: cfg.pool.clone(),
+        };
+        let (svc, query) = UpdateService::start_serving(structure, svc_config)
+            .map_err(|e| format!("start service: {e}"))?;
+        let (control, control_rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            handle: svc.handle(),
+            query,
+            cfg,
+            draining: AtomicBool::new(false),
+            conn_count: AtomicUsize::new(0),
+            total_conns: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            registry: Mutex::new(Vec::new()),
+            joins: Mutex::new(Vec::new()),
+            control,
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pbdmm-acceptor".into())
+                .spawn(move || accept_loop(listener, shared))
+                .map_err(|e| format!("spawn acceptor: {e}"))?
+        };
+        Ok(Daemon {
+            local_addr,
+            shared,
+            svc,
+            acceptor,
+            control_rx,
+        })
+    }
+
+    /// The bound address (resolves `--port 0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that can trigger the drain without a wire client.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Block until shutdown is requested, then drain: stop accepting,
+    /// half-close every connection (readers see EOF), let writers flush
+    /// their remaining completions, shut the service down, and return the
+    /// final state and counters.
+    pub fn run(self) -> DaemonReport {
+        // Block until a Shutdown frame / StopHandle fires. A disconnected
+        // channel (impossible while `shared.control` lives in Shared, but
+        // defensive) also drains.
+        let _ = self.control_rx.recv();
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection, then join.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.acceptor.join();
+        // Half-close every open connection: blocked reads return EOF, the
+        // reader exits, its writer drains the in-flight tickets and exits.
+        for (_, s) in self.shared.registry.lock().expect("registry").iter() {
+            let _ = s.shutdown(std::net::Shutdown::Read);
+        }
+        loop {
+            let handle = self.shared.joins.lock().expect("joins").pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        let (structure, service) = self.svc.shutdown();
+        let wire = WireCounters {
+            total_connections: self.shared.total_conns.load(Ordering::Relaxed),
+            overloaded: self.shared.overloaded.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+        };
+        DaemonReport {
+            structure,
+            service,
+            wire,
+        }
+    }
+}
+
+/// Accept until draining. Over-capacity connections are refused politely
+/// (handshake + `Error{Overloaded}`) on a detached thread so a slow peer
+/// never blocks the accept loop.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break; // woken by the drain's throwaway connection
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn_id = shared.total_conns.fetch_add(1, Ordering::Relaxed) + 1;
+        reap_finished(&shared);
+        // Reserve a slot atomically; refuse when full.
+        let admitted = shared
+            .conn_count
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+                (c < shared.cfg.max_connections).then_some(c + 1)
+            })
+            .is_ok();
+        if !admitted {
+            shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            let h = std::thread::spawn(move || refuse(stream));
+            shared.joins.lock().expect("joins").push(h);
+            continue;
+        }
+        let conn_shared = Arc::clone(&shared);
+        let h = std::thread::Builder::new()
+            .name("pbdmm-conn".into())
+            .spawn(move || {
+                connection(stream, &conn_shared, conn_id);
+                conn_shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("spawn connection thread");
+        shared.joins.lock().expect("joins").push(h);
+    }
+}
+
+/// Join connection threads that have already exited, so the handle list
+/// tracks *live* connections rather than total connections served — daemon
+/// memory stays bounded by the connection cap, not by uptime.
+fn reap_finished(shared: &Arc<Shared>) {
+    let mut joins = shared.joins.lock().expect("joins");
+    let mut i = 0;
+    while i < joins.len() {
+        if joins[i].is_finished() {
+            let _ = joins.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Greet and turn away one over-capacity connection.
+fn refuse(stream: TcpStream) {
+    use std::io::Write;
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut w = std::io::BufWriter::new(&stream);
+    let _ = proto::write_handshake(&mut w);
+    let err = Response::Error {
+        req_id: 0,
+        code: ErrorCode::Overloaded,
+        message: "connection limit reached".into(),
+    };
+    let _ = proto::write_frame(&mut w, &err.encode());
+    let _ = w.flush();
+    linger_close(&stream);
+}
+
+/// Graceful close for a connection we are abandoning while the peer may
+/// still be mid-send: send our FIN first, then drain the peer's bytes
+/// until its EOF (bounded by a deadline). Dropping a socket with unread
+/// bytes pending resets the connection, which can discard the final frames
+/// we wrote (the refusal / protocol-error verdict) before the peer reads
+/// them — the drain guarantees those frames survive delivery.
+fn linger_close(stream: &TcpStream) {
+    use std::io::Read;
+    // Short deadline: a peer that holds its end open only delays its own
+    // thread this long; the frames we already flushed are ACKed well within
+    // it on any real link.
+    const LINGER_TIMEOUT: Duration = Duration::from_secs(1);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(LINGER_TIMEOUT));
+    let mut sink = [0u8; 512];
+    let mut r = stream;
+    while matches!(r.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// What the reader hands the writer, in request order.
+enum WorkItem {
+    /// A submitted batch: the writer waits the tickets (in order), builds
+    /// the `Completion`, and releases the in-flight window.
+    Batch {
+        req_id: u64,
+        n: usize,
+        tickets: Vec<Ticket>,
+    },
+    /// A response the reader already resolved (queries, stats, errors).
+    Ready(Response),
+    /// Switch the writer into subscription mode.
+    Subscribe { from_epoch: u64 },
+}
+
+/// One connection, run on its own thread: handshake, spawn the writer,
+/// then decode requests until EOF, error, or violation.
+fn connection(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
+    use std::io::Write;
+
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+
+    // Handshake, under a read deadline so silent peers release their slot.
+    let _ = stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+    {
+        let mut w = std::io::BufWriter::new(&stream);
+        if proto::write_handshake(&mut w).is_err() || w.flush().is_err() {
+            return;
+        }
+    }
+    let mut read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    if let Err(e) = proto::read_handshake(&mut read_half) {
+        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        let err = Response::Error {
+            req_id: 0,
+            code: ErrorCode::Protocol,
+            message: format!("{e}"),
+        };
+        let mut w = std::io::BufWriter::new(&stream);
+        let _ = proto::write_frame(&mut w, &err.encode());
+        let _ = w.flush();
+        linger_close(&stream);
+        return;
+    }
+    let _ = stream.set_read_timeout(None);
+
+    // Register the read half so the drain can half-close it.
+    if let Ok(clone) = stream.try_clone() {
+        shared
+            .registry
+            .lock()
+            .expect("registry")
+            .push((conn_id, clone));
+    }
+
+    // The writer: bounded channel, so even a request flood cannot queue
+    // unboundedly — the reader blocks, TCP backpressure does the rest.
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = mpsc::sync_channel::<WorkItem>(shared.cfg.max_inflight.max(16));
+    let writer = {
+        let stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let shared = Arc::clone(shared);
+        let inflight = Arc::clone(&inflight);
+        std::thread::Builder::new()
+            .name("pbdmm-conn-writer".into())
+            .spawn(move || writer_loop(stream, rx, &shared, &inflight))
+            .expect("spawn connection writer")
+    };
+    shared.joins.lock().expect("joins").push(writer);
+
+    reader_loop(&mut read_half, tx, shared, &inflight);
+
+    shared
+        .registry
+        .lock()
+        .expect("registry")
+        .retain(|(id, _)| *id != conn_id);
+}
+
+/// Map a per-update service error onto its wire code.
+fn code_of(e: &ServiceError) -> ErrorCode {
+    match e {
+        ServiceError::UnknownEdge(_) => ErrorCode::UnknownEdge,
+        ServiceError::EmptyEdge => ErrorCode::EmptyEdge,
+        ServiceError::Closed => ErrorCode::Closed,
+        ServiceError::Rejected(_) | ServiceError::Wal(_) => ErrorCode::Internal,
+    }
+}
+
+/// Decode requests until the client leaves or misbehaves. Resolves reads
+/// inline (snapshots never block the coalescer); forwards writes as
+/// tickets. Returning closes the channel, which lets the writer finish.
+fn reader_loop(
+    read_half: &mut TcpStream,
+    tx: mpsc::SyncSender<WorkItem>,
+    shared: &Arc<Shared>,
+    inflight: &AtomicUsize,
+) {
+    let mut body = Vec::new();
+    loop {
+        let frame = proto::read_frame(read_half, shared.cfg.max_frame, &mut body);
+        let request = match frame {
+            Ok(None) => return, // clean EOF: client is done
+            Ok(Some(())) => Request::decode(&body),
+            Err(FrameError::Io(_)) => return, // reset/timeout: nothing to say
+            Err(e) => Err(e),
+        };
+        let request = match request {
+            Ok(r) => r,
+            Err(e) => {
+                // Protocol violation: structured error, then close only
+                // this connection.
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(WorkItem::Ready(Response::Error {
+                    req_id: 0,
+                    code: ErrorCode::Protocol,
+                    message: format!("{e}"),
+                }));
+                return;
+            }
+        };
+        let item = match request {
+            Request::SubmitBatch { req_id, updates } => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    WorkItem::Ready(Response::Error {
+                        req_id,
+                        code: ErrorCode::Draining,
+                        message: "daemon is draining".into(),
+                    })
+                } else {
+                    let n = updates.len();
+                    let window = shared.cfg.max_inflight;
+                    if n > window || inflight.load(Ordering::SeqCst) + n > window {
+                        shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                        WorkItem::Ready(Response::Error {
+                            req_id,
+                            code: ErrorCode::Overloaded,
+                            message: format!("in-flight window ({window} updates) is full"),
+                        })
+                    } else {
+                        inflight.fetch_add(n, Ordering::SeqCst);
+                        let tickets = updates
+                            .into_iter()
+                            .map(|u| shared.handle.submit(u))
+                            .collect();
+                        WorkItem::Batch { req_id, n, tickets }
+                    }
+                }
+            }
+            Request::PointQuery { req_id, vertex } => {
+                let snap = shared.query.snapshot();
+                let matched = snap.matched_edge_of(vertex);
+                let partners = matched
+                    .and_then(|_| snap.partners(vertex))
+                    .map(<[u32]>::to_vec)
+                    .unwrap_or_default();
+                WorkItem::Ready(Response::QueryResult {
+                    req_id,
+                    epoch: snap.epoch(),
+                    matched_edge: matched.map(|e| e.raw()),
+                    partners,
+                })
+            }
+            Request::Stats { req_id } => WorkItem::Ready(Response::Stats {
+                req_id,
+                stats: shared.wire_stats(),
+            }),
+            Request::SubscribeEpoch {
+                req_id: _,
+                from_epoch,
+            } => WorkItem::Subscribe { from_epoch },
+            Request::Shutdown { req_id } => {
+                shared.draining.store(true, Ordering::SeqCst);
+                let _ = shared.control.send(());
+                // The requester's goodbye: the final stats frame.
+                WorkItem::Ready(Response::Stats {
+                    req_id,
+                    stats: shared.wire_stats(),
+                })
+            }
+        };
+        if tx.send(item).is_err() {
+            return; // writer died (client stopped reading)
+        }
+    }
+}
+
+/// Serialize responses in request order; in subscription mode, ride the
+/// snapshot publication condvar and interleave `EpochEvent` frames.
+fn writer_loop(
+    stream: TcpStream,
+    rx: mpsc::Receiver<WorkItem>,
+    shared: &Arc<Shared>,
+    inflight: &AtomicUsize,
+) {
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(&stream);
+    // Last epoch delivered to the subscriber (None: not subscribed).
+    let mut subscribed: Option<u64> = None;
+    let mut dirty = false;
+    loop {
+        let item = match rx.try_recv() {
+            Ok(item) => item,
+            Err(mpsc::TryRecvError::Empty) => {
+                if dirty && w.flush().is_err() {
+                    break;
+                }
+                dirty = false;
+                if let Some(last) = subscribed {
+                    let snap = shared.query.wait_for_newer(last, SUBSCRIPTION_TICK);
+                    if snap.epoch() > last {
+                        subscribed = Some(snap.epoch());
+                        let ev = Response::EpochEvent {
+                            epoch: snap.epoch(),
+                        };
+                        if proto::write_frame(&mut w, &ev.encode()).is_err() || w.flush().is_err() {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                match rx.recv() {
+                    Ok(item) => item,
+                    Err(_) => break, // reader gone, everything written
+                }
+            }
+            Err(mpsc::TryRecvError::Disconnected) => break,
+        };
+        let response = match item {
+            WorkItem::Ready(r) => r,
+            WorkItem::Subscribe { from_epoch } => {
+                subscribed = Some(from_epoch);
+                continue;
+            }
+            WorkItem::Batch { req_id, n, tickets } => {
+                let mut results = Vec::with_capacity(tickets.len());
+                let mut epoch = 0u64;
+                for t in tickets {
+                    match t.wait() {
+                        Ok(c) => {
+                            epoch = epoch.max(c.epoch);
+                            results.push(match c.done {
+                                Done::Inserted(id) => UpdateResult::Inserted {
+                                    id: id.raw(),
+                                    seq: c.seq,
+                                    epoch: c.epoch,
+                                },
+                                Done::Deleted(id) => UpdateResult::Deleted {
+                                    id: id.raw(),
+                                    seq: c.seq,
+                                    epoch: c.epoch,
+                                },
+                                Done::AlreadyDeleted(id) => UpdateResult::AlreadyDeleted {
+                                    id: id.raw(),
+                                    seq: c.seq,
+                                    epoch: c.epoch,
+                                },
+                            });
+                        }
+                        Err(e) => results.push(UpdateResult::Rejected { code: code_of(&e) }),
+                    }
+                }
+                inflight.fetch_sub(n, Ordering::SeqCst);
+                Response::Completion {
+                    req_id,
+                    epoch,
+                    results,
+                }
+            }
+        };
+        if proto::write_frame(&mut w, &response.encode()).is_err() {
+            break;
+        }
+        dirty = true;
+    }
+    let _ = w.flush();
+    // By the time the channel closes the reader has already exited, so the
+    // drain below never steals a live frame from it.
+    linger_close(&stream);
+}

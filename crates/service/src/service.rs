@@ -410,6 +410,16 @@ impl<T: Snapshot> QueryHandle<T> {
     pub fn epoch(&self) -> u64 {
         self.reader.epoch()
     }
+
+    /// Block until a snapshot **newer than** `epoch` is published or
+    /// `timeout` elapses — whichever first — and return the latest snapshot
+    /// either way (distinguish progress from timeout by its epoch). This is
+    /// the epoch-subscription hook: no polling, one condvar wakeup per
+    /// published batch, so a subscriber (e.g. a network connection
+    /// streaming `EpochEvent`s) rides the publication pulse directly.
+    pub fn wait_for_newer(&self, epoch: u64, timeout: std::time::Duration) -> Arc<T> {
+        self.reader.wait_for_newer(epoch, timeout)
+    }
 }
 
 impl<S: BatchDynamic + Send + 'static> UpdateService<S> {
@@ -916,6 +926,28 @@ mod tests {
         assert_eq!(pbdmm_matching::snapshot::Snapshots::epoch(&m), 2);
         // The handle outlives the service; it serves the final state.
         assert_eq!(q.epoch(), 2);
+    }
+
+    #[test]
+    fn wait_for_newer_observes_batches_as_they_publish() {
+        let (svc, q) =
+            UpdateService::start_serving(DynamicMatching::with_seed(12), quick_config()).unwrap();
+        let h = svc.handle();
+        // Timeout path: nothing newer than epoch 0 exists yet.
+        let snap = q.wait_for_newer(0, Duration::from_millis(5));
+        assert_eq!(snap.epoch(), 0);
+        // Subscription path: a waiter blocked on epoch 0 wakes when the
+        // first batch publishes, and read-your-writes pins its view.
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || q.wait_for_newer(0, Duration::from_secs(60)))
+        };
+        let c = h.insert(vec![0, 1]).wait().unwrap();
+        let snap = waiter.join().unwrap();
+        assert!(snap.epoch() >= 1);
+        assert!(snap.epoch() <= c.epoch);
+        drop(h);
+        svc.shutdown();
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! pbdmm cover graph.hgr                                   # set cover view
 //! pbdmm serve --producers 4 --wal trace.wal               # ingest service
 //! pbdmm replay trace.wal                                  # rebuild from WAL
+//! pbdmm daemon --port 0 --wal trace.wal                   # network daemon
+//! pbdmm load --port 45231 --connections 4                 # wire load gen
 //! ```
 //!
 //! Graph files are plain hyperedge lists (see `pbdmm::graph::io`): one edge
@@ -26,6 +28,9 @@ use pbdmm::matching::driver::run_workload;
 use pbdmm::matching::snapshot::{Snapshot, Snapshots};
 use pbdmm::matching::verify::check_invariants;
 use pbdmm::matching::MatchingSnapshot;
+use pbdmm::net::daemon::{Daemon, DaemonConfig};
+use pbdmm::net::load::{run_load, LoadConfig};
+use pbdmm::net::Client;
 use pbdmm::primitives::cost::CostMeter;
 use pbdmm::primitives::rng::SplitMix64;
 use pbdmm::service::{
@@ -34,6 +39,7 @@ use pbdmm::service::{
 };
 use pbdmm::setcover::CoverSnapshot;
 use pbdmm::{BatchDynamic, DynamicMatching, DynamicSetCover};
+use pbdmm_bench::metrics;
 
 fn main() -> ExitCode {
     match run() {
@@ -58,6 +64,11 @@ usage:
               [--wal FILE|none] [--wal-sync BOOL]
               [--compare direct|none] [--seed S] [--threads T]
   pbdmm replay <wal-file> [--threads T]
+  pbdmm daemon [--port P] [--host H] [--max-connections C] [--max-inflight W]
+               [--max-batch B] [--max-delay-us D] [--wal FILE|none]
+               [--wal-sync BOOL] [--seed S] [--threads T]
+  pbdmm load (--port P | --addr HOST:PORT) [--connections M] [--updates N]
+             [--queries Q] [--shutdown BOOL] [--seed S] [--threads T]
 
   serve drives a synthetic P-producer load through the batch-coalescing
   update service (ingress -> coalesce -> WAL -> apply -> snapshot) and
@@ -72,6 +83,19 @@ usage:
   singleton applies under a mutex — the group-commit comparison. replay
   rebuilds a structure from a recorded WAL and verifies its invariants;
   its final: line (epoch included) is byte-comparable with serve's.
+
+  daemon binds a TCP listener (--port 0 picks an ephemeral port, printed
+  on the 'daemon: listening on' line for scripting) and serves the wire
+  protocol over the same coalescing service: every connection gets
+  read-your-writes, WAL durability (durable by default, exactly like
+  serve), and epoch-snapshot reads; admission control refuses work
+  beyond --max-connections / --max-inflight with Overloaded errors
+  instead of queueing without bound. It drains on a client Shutdown
+  frame and prints a final: line byte-comparable with replay's. load
+  drives a running daemon from M concurrent connections with serve's
+  synthetic workload and prints the same report format, so in-process
+  vs over-the-wire overhead is one diff away; --shutdown true sends a
+  Shutdown frame when done (the CI loopback pipeline relies on it).
 
   --threads T sizes the work-stealing scheduler (a positive integer; omit
   the flag to use all cores; also settable process-wide via the
@@ -138,6 +162,8 @@ fn run() -> Result<(), String> {
         "gen" => cmd_gen(&args),
         "serve" => cmd_serve(&args),
         "replay" => cmd_replay(&args),
+        "daemon" => cmd_daemon(&args),
+        "load" => cmd_load(&args),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -507,14 +533,6 @@ fn direct_singleton_load<S: BatchDynamic + Send>(
     Ok((total?, seconds, guard.s))
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
 /// What one `serve` run produced: (updates, seconds, latencies µs, service
 /// stats, read report, final structure).
 type ServeOutcome<S> = (u64, f64, Vec<f64>, ServiceStats, ReadReport, S);
@@ -645,6 +663,41 @@ where
     Ok((total, seconds, latencies, stats, read, s))
 }
 
+/// Resolve the `--wal` / `--wal-sync` convention shared by `serve` and
+/// `daemon`: durable by default (auto-named temp file), `--wal none`
+/// disables, `--wal FILE` picks the location. An existing WAL is never
+/// overwritten — the service refuses rather than destroying a recoverable
+/// log.
+fn wal_from_flags(
+    args: &Args,
+    meta: &WalMeta,
+    sync: bool,
+    tag: &str,
+) -> Result<Option<WalConfig>, String> {
+    Ok(match args.flags.get("wal").map(String::as_str) {
+        Some("none") => None,
+        Some(p) => Some(PathBuf::from(p)),
+        None => {
+            // Unique auto path: pid alone can recycle across container
+            // runs, and an existing WAL is never overwritten (the service
+            // refuses rather than destroying a recoverable log).
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0);
+            Some(
+                std::env::temp_dir()
+                    .join(format!("pbdmm_{tag}_{}_{nanos}.wal", std::process::id())),
+            )
+        }
+    }
+    .map(|path| {
+        let mut cfg = WalConfig::new(path, meta.clone());
+        cfg.sync = sync;
+        cfg
+    }))
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let producers: usize = args.flag("producers", 4)?;
     let per_producer: usize = args.flag("updates", 10_000)?;
@@ -675,28 +728,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         structure: structure.clone(),
         seed,
     };
-    let wal = match args.flags.get("wal").map(String::as_str) {
-        Some("none") => None,
-        Some(p) => Some(PathBuf::from(p)),
-        None => {
-            // Unique auto path: pid alone can recycle across container
-            // runs, and an existing WAL is never overwritten (the service
-            // refuses rather than destroying a recoverable log).
-            let nanos = std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.subsec_nanos())
-                .unwrap_or(0);
-            Some(
-                std::env::temp_dir()
-                    .join(format!("pbdmm_serve_{}_{nanos}.wal", std::process::id())),
-            )
-        }
-    }
-    .map(|path| {
-        let mut cfg = WalConfig::new(path, meta.clone());
-        cfg.sync = wal_sync;
-        cfg
-    });
+    let wal = wal_from_flags(args, &meta, wal_sync, "serve")?;
     let wal_path = wal.as_ref().map(|w| w.path.clone());
     println!(
         "serve: {producers} producers x {per_producer} updates, {readers} readers, \
@@ -758,9 +790,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
     let service_rate = total as f64 / seconds;
     println!(
-        "coalesced service: {total} updates in {:.1} ms -> {:.0} updates/s",
-        seconds * 1e3,
-        service_rate
+        "coalesced service: {}",
+        metrics::throughput_summary(total, seconds)
     );
     println!(
         "batches: {} applied, mean size {:.1}, max {} (flush full/idle/timer/close: {}/{}/{}/{})",
@@ -772,26 +803,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         stats.flush_timer,
         stats.flush_close
     );
-    println!(
-        "ticket latency: p50 {:.0} us, p99 {:.0} us, max {:.0} us",
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.99),
-        percentile(&latencies, 1.0)
-    );
+    println!("ticket latency: {}", metrics::latency_summary(&latencies));
     if readers > 0 {
         println!(
-            "reads: {} snapshot queries in {:.1} ms -> {:.0} reads/s \
-             ({readers} readers, failed queries: {})",
-            read.reads,
-            read.seconds * 1e3,
-            read.reads as f64 / read.seconds.max(1e-9),
-            read.failed
+            "reads: {}",
+            metrics::reads_summary(
+                read.reads,
+                read.seconds,
+                &format!("{readers} readers"),
+                read.failed
+            )
         );
         println!(
-            "snapshot staleness: p50 {:.0}, p99 {:.0}, max {:.0} updates behind acknowledged",
-            percentile(&read.staleness, 0.50),
-            percentile(&read.staleness, 0.99),
-            percentile(&read.staleness, 1.0)
+            "snapshot staleness: {}",
+            metrics::staleness_summary(&read.staleness)
         );
         if read.failed > 0 {
             return Err(format!(
@@ -915,6 +940,185 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         other => return Err(format!("WAL records unknown structure {other:?}")),
     }
     println!("invariants: ok");
+    Ok(())
+}
+
+fn cmd_daemon(args: &Args) -> Result<(), String> {
+    use std::io::Write as _;
+    let host = args.flag("host", "127.0.0.1".to_string())?;
+    let port: u16 = match args.flags.get("port") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--port {v:?}: expected a port number (0 = ephemeral)"))?,
+    };
+    let max_connections: usize = args.flag("max-connections", 64)?;
+    let max_inflight: usize = args.flag("max-inflight", 4096)?;
+    let max_batch: usize = args.flag("max-batch", 1024)?;
+    let max_delay_us: u64 = args.flag("max-delay-us", 0)?;
+    let seed: u64 = args.flag("seed", 42)?;
+    if max_connections == 0 || max_inflight == 0 {
+        return Err("--max-connections and --max-inflight must be positive".into());
+    }
+    let wal_sync: bool = args.flag("wal-sync", true)?;
+    let meta = WalMeta {
+        structure: "matching".into(),
+        seed,
+    };
+    let wal = wal_from_flags(args, &meta, wal_sync, "daemon")?;
+    let wal_path = wal.as_ref().map(|w| w.path.clone());
+    let cfg = DaemonConfig {
+        addr: format!("{host}:{port}"),
+        max_connections,
+        max_inflight,
+        policy: CoalescePolicy {
+            max_batch: max_batch.max(1),
+            max_delay: Duration::from_micros(max_delay_us),
+        },
+        wal,
+        ..Default::default()
+    };
+    let daemon = Daemon::start(DynamicMatching::with_seed(seed), cfg)?;
+    // The one line scripts parse: the bound address, ephemeral port
+    // resolved. Flushed explicitly — under a pipe stdout is block-buffered
+    // and a waiting parent would otherwise never see it.
+    println!("daemon: listening on {}", daemon.local_addr());
+    println!(
+        "daemon: max_connections={max_connections} max_inflight={max_inflight} \
+         max_batch={max_batch} max_delay={max_delay_us}us seed={seed} wal={} (fsync {})",
+        wal_path
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "off".into()),
+        if wal_path.is_some() && wal_sync {
+            "on"
+        } else {
+            "off"
+        }
+    );
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    // Serve until a client's Shutdown frame triggers the drain.
+    let report = daemon.run();
+    check_invariants(&report.structure).map_err(|e| format!("post-daemon invariants: {e}"))?;
+    println!(
+        "daemon: drained after {} connections ({} overloaded, {} protocol errors)",
+        report.wire.total_connections, report.wire.overloaded, report.wire.protocol_errors
+    );
+    println!(
+        "batches: {} applied, mean size {:.1}, max {} (flush full/idle/timer/close: {}/{}/{}/{})",
+        report.service.batches,
+        report.service.mean_batch_len(),
+        report.service.max_batch_len,
+        report.service.flush_full,
+        report.service.flush_idle,
+        report.service.flush_timer,
+        report.service.flush_close
+    );
+    if let Some(path) = &wal_path {
+        println!(
+            "wal: {} batches appended to {}",
+            report.service.wal_batches,
+            path.display()
+        );
+    }
+    let m = &report.structure;
+    println!(
+        "final: epoch={} edges={} matching={}",
+        m.epoch(),
+        m.num_edges(),
+        m.matching_size()
+    );
+    Ok(())
+}
+
+fn cmd_load(args: &Args) -> Result<(), String> {
+    let addr: std::net::SocketAddr = match (args.flags.get("addr"), args.flags.get("port")) {
+        (Some(a), None) => a
+            .parse()
+            .map_err(|_| format!("--addr {a:?}: expected HOST:PORT"))?,
+        (None, Some(p)) => {
+            let port: u16 = p.parse().map_err(|_| {
+                format!("--port {p:?}: expected the daemon's port number (1-65535)")
+            })?;
+            if port == 0 {
+                return Err("--port 0 is invalid: pass the port the daemon printed \
+                            on its 'daemon: listening on' line"
+                    .into());
+            }
+            std::net::SocketAddr::from(([127, 0, 0, 1], port))
+        }
+        (Some(_), Some(_)) => return Err("pass either --addr or --port, not both".into()),
+        (None, None) => {
+            return Err("load needs the daemon's address: --addr HOST:PORT \
+                                    or --port P (loopback)"
+                .into())
+        }
+    };
+    let connections: usize = args.flag("connections", 4)?;
+    let per_connection: usize = args.flag("updates", 2_500)?;
+    let queries_per_window: usize = args.flag("queries", 8)?;
+    let seed: u64 = args.flag("seed", 42)?;
+    let shutdown: bool = args.flag("shutdown", false)?;
+    if connections == 0 || per_connection == 0 {
+        return Err("--connections and --updates must be positive".into());
+    }
+    let cfg = LoadConfig {
+        connections,
+        per_connection,
+        queries_per_window,
+        seed,
+    };
+    println!(
+        "load: {connections} connections x {per_connection} updates against {addr} \
+         (queries/window {queries_per_window}, seed {seed})"
+    );
+    let report = run_load(addr, &cfg)?;
+    println!(
+        "over-the-wire service: {}",
+        metrics::throughput_summary(report.updates, report.seconds)
+    );
+    println!(
+        "ticket latency: {}",
+        metrics::latency_summary(&report.latencies_us)
+    );
+    println!(
+        "reads: {}",
+        metrics::reads_summary(
+            report.reads,
+            report.seconds,
+            &format!("{connections} connections"),
+            report.failed
+        )
+    );
+    println!(
+        "snapshot staleness: {}",
+        metrics::staleness_summary(&report.staleness)
+    );
+    println!(
+        "admission: {} overloaded (retried), {} protocol errors",
+        report.overloaded, report.protocol_errors
+    );
+    if shutdown {
+        let mut c = Client::connect(addr).map_err(|e| format!("shutdown connection: {e}"))?;
+        let stats = c.shutdown().map_err(|e| format!("shutdown request: {e}"))?;
+        println!(
+            "daemon stats at shutdown: epoch={} edges={} matching={} connections={}",
+            stats.epoch, stats.num_edges, stats.matching_size, stats.total_connections
+        );
+    }
+    if report.protocol_errors > 0 {
+        return Err(format!(
+            "{} connections failed with protocol/transport errors (expected 0)",
+            report.protocol_errors
+        ));
+    }
+    if report.failed > 0 {
+        return Err(format!(
+            "{} failed queries during load (expected 0)",
+            report.failed
+        ));
+    }
     Ok(())
 }
 

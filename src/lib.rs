@@ -21,6 +21,11 @@
 //!   many producers submit single updates, a coalescer forms valid mixed
 //!   batches under a size/latency policy, logs them to a WAL, applies them
 //!   on a pinned pool, and completes per-submitter tickets;
+//! * [`net`] ([`net::Daemon`]) — the deployable network tier: a std-only
+//!   TCP daemon speaking a versioned length-prefixed wire protocol
+//!   ([`net::proto`]), with per-connection backpressure and admission
+//!   control over the service layer, plus the blocking client and the
+//!   multi-connection load generator behind `pbdmm daemon` / `pbdmm load`;
 //! * [`primitives`] — the parallel toolbox (scan, semisort, dictionaries,
 //!   random permutations, work/depth metering).
 //!
@@ -51,6 +56,7 @@
 
 pub use pbdmm_graph as graph;
 pub use pbdmm_matching as matching;
+pub use pbdmm_net as net;
 pub use pbdmm_primitives as primitives;
 pub use pbdmm_service as service;
 pub use pbdmm_setcover as setcover;

@@ -305,3 +305,148 @@ fn replay_rejects_garbage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("missing WAL file"));
 }
+
+/// Spawn `pbdmm daemon --port 0`, parse the bound address off its
+/// `daemon: listening on` line, and hand back the child for later harvest.
+fn spawn_daemon(extra: &[&str]) -> (std::process::Child, String) {
+    use std::io::{BufRead, BufReader};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pbdmm"))
+        .args(["daemon", "--port", "0"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("failed to spawn pbdmm daemon");
+    let mut line = String::new();
+    BufReader::new(child.stdout.as_mut().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .strip_prefix("daemon: listening on ")
+        .unwrap_or_else(|| panic!("unexpected first daemon line: {line:?}"))
+        .trim()
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn daemon_serves_load_and_wal_replay_matches_byte_for_byte() {
+    let wal = tmpfile("daemon_cli.wal");
+    let _ = std::fs::remove_file(&wal);
+    let (child, addr) = spawn_daemon(&["--wal", wal.to_str().unwrap(), "--seed", "11"]);
+
+    let out = pbdmm(&[
+        "load",
+        "--addr",
+        &addr,
+        "--connections",
+        "4",
+        "--updates",
+        "300",
+        "--seed",
+        "11",
+        "--shutdown",
+        "true",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let load_out = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(load_out.contains("failed queries: 0"), "{load_out}");
+    assert!(load_out.contains("0 protocol errors"), "{load_out}");
+    assert!(load_out.contains("snapshot staleness:"), "{load_out}");
+
+    // The shutdown drains the daemon; its exit report must agree with a
+    // fresh replay of its own WAL, byte for byte on the final: line.
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let daemon_out = String::from_utf8_lossy(&out.stdout).to_string();
+    let daemon_final = daemon_out
+        .lines()
+        .find(|l| l.starts_with("final:"))
+        .unwrap_or_else(|| panic!("no final: line in {daemon_out}"));
+    assert!(daemon_out.contains("daemon: drained after"), "{daemon_out}");
+
+    let out = pbdmm(&["replay", wal.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let replay_out = String::from_utf8_lossy(&out.stdout).to_string();
+    let replay_final = replay_out
+        .lines()
+        .find(|l| l.starts_with("final:"))
+        .unwrap_or_else(|| panic!("no final: line in {replay_out}"));
+    assert_eq!(daemon_final, replay_final);
+    assert!(replay_out.contains("invariants: ok"), "{replay_out}");
+}
+
+#[test]
+fn daemon_flags_are_validated() {
+    let out = pbdmm(&["daemon", "--port", "notaport"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("expected a port number"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = pbdmm(&["daemon", "--max-connections", "0"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("must be positive"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn load_flags_are_validated() {
+    // The daemon's address is mandatory, one way or the other.
+    let out = pbdmm(&["load"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--addr HOST:PORT"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = pbdmm(&["load", "--addr", "127.0.0.1:1", "--port", "1"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not both"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = pbdmm(&["load", "--port", "0"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--port 0 is invalid"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = pbdmm(&["load", "--addr", "not-an-addr"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("expected HOST:PORT"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = pbdmm(&["load", "--port", "9", "--connections", "0"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("must be positive"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
