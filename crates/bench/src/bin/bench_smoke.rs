@@ -27,12 +27,13 @@ use pbdmm_graph::update::Batch;
 use pbdmm_graph::wal::{self, WalMeta};
 use pbdmm_graph::workload::{churn, insert_then_delete, DeletionOrder};
 use pbdmm_matching::driver::run_workload;
+use pbdmm_matching::snapshot::{Changes, MatchingSnapshot, SnapshotDelta, Snapshots};
 use pbdmm_matching::{DynamicMatching, DynamicMatchingBuilder};
 use pbdmm_net::load::{run_load, LoadConfig, LoadReport};
 use pbdmm_net::{Daemon, DaemonConfig};
 use pbdmm_primitives::par;
 use pbdmm_primitives::rng::SplitMix64;
-use pbdmm_service::{CoalescePolicy, Done, ServiceConfig, UpdateService, WalConfig};
+use pbdmm_service::{recover_matching_from_dir, CoalescePolicy, Done, ServiceConfig, WalConfig};
 
 /// Schema tag so the checker can refuse files from a different layout.
 const SCHEMA: &str = "pbdmm-bench-smoke-v1";
@@ -115,24 +116,19 @@ fn bench_wal_path(name: &str) -> std::path::PathBuf {
 /// WAL fully durable (fsync per batch — the group-commit configuration).
 fn coalesced_service_load(sync: bool, per_producer: usize) {
     let wal_path = bench_wal_path("coalesced");
-    let mut wal_cfg = WalConfig::new(&wal_path, WalMeta::default());
-    wal_cfg.sync = sync;
-    // Scratch log, rewritten on every sample of this run.
-    wal_cfg.truncate = true;
-    let svc = UpdateService::start(
-        DynamicMatching::with_seed(11),
-        ServiceConfig {
-            policy: CoalescePolicy {
-                max_batch: 512,
-                // Group commit: batches form from whatever queues up while
-                // the previous batch applies — no linger stalls.
-                max_delay: Duration::ZERO,
-            },
-            wal: Some(wal_cfg),
-            ..Default::default()
-        },
-    )
-    .expect("WAL in temp dir");
+    let svc = ServiceConfig::builder()
+        .policy(CoalescePolicy {
+            max_batch: 512,
+            // Group commit: batches form from whatever queues up while
+            // the previous batch applies — no linger stalls.
+            max_delay: Duration::ZERO,
+        })
+        .wal_file(&wal_path, WalMeta::default())
+        .wal_sync(sync)
+        // Scratch log, rewritten on every sample of this run.
+        .wal_truncate(true)
+        .start(DynamicMatching::with_seed(11))
+        .expect("WAL in temp dir");
     std::thread::scope(|scope| {
         for p in 0..SERVICE_PRODUCERS as u64 {
             let h = svc.handle();
@@ -262,6 +258,44 @@ fn daemon_loopback_load(per_connection: usize) -> LoadReport {
     report
 }
 
+/// Build a matching of `n` disjoint edges (so every edge is matched),
+/// capture its snapshot, apply one fixed-size churn batch (256 strided
+/// deletions + 256 fresh inserts), and return the base snapshot together
+/// with the real [`SnapshotDelta`] that batch published. Both the delta
+/// size *and* its key-locality pattern (a fixed 39-id victim stride) are
+/// identical at every `n`, so the two figures isolate what the O(Δ)
+/// publication claim is about: how patch cost depends on *state size*,
+/// with the per-edit chunk/group footprint held constant.
+fn snapshot_and_delta(n: u64) -> (std::sync::Arc<MatchingSnapshot>, SnapshotDelta) {
+    let mut m = DynamicMatching::with_seed(31);
+    let mut ids = Vec::with_capacity(n as usize);
+    let mut next = 0u64;
+    while next < n {
+        let chunk = (n - next).min(1 << 16);
+        let mut b = Batch::new();
+        for i in next..next + chunk {
+            b = b.insert(vec![(2 * i) as u32, (2 * i + 1) as u32]);
+        }
+        ids.extend(m.apply(b).expect("disjoint inserts").inserted);
+        next += chunk;
+    }
+    let reader = m.enable_snapshots();
+    let base = reader.latest();
+    let mut b = Batch::new();
+    for victim in ids.iter().step_by(39).take(256) {
+        b = b.delete(*victim);
+    }
+    for i in 0..256u64 {
+        let v = 2 * (n + i);
+        b = b.insert(vec![v as u32, (v + 1) as u32]);
+    }
+    m.apply(b).expect("churn batch");
+    match reader.changes_since(base.epoch()) {
+        Changes::Delta { delta, .. } => (base, delta),
+        other => panic!("one publish behind must be a delta, got {other:?}"),
+    }
+}
+
 /// The epoch-snapshot read path under write load: one writer thread churns
 /// updates through a serving `UpdateService` while two reader threads
 /// resolve `total_reads` point queries against the latest published
@@ -269,17 +303,13 @@ fn daemon_loopback_load(per_connection: usize) -> LoadReport {
 /// lookups), the serving deployment's hot path.
 fn snapshot_read_load(total_reads: u64) {
     use std::sync::atomic::{AtomicBool, Ordering};
-    let (svc, query) = UpdateService::start_serving(
-        DynamicMatching::with_seed(17),
-        ServiceConfig {
-            policy: CoalescePolicy {
-                max_batch: 512,
-                max_delay: Duration::ZERO,
-            },
-            ..Default::default()
-        },
-    )
-    .expect("no WAL to fail");
+    let (svc, query) = ServiceConfig::builder()
+        .policy(CoalescePolicy {
+            max_batch: 512,
+            max_delay: Duration::ZERO,
+        })
+        .start_serving(DynamicMatching::with_seed(17))
+        .expect("no WAL to fail");
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         let h = svc.handle();
@@ -432,6 +462,89 @@ fn run_battery(samples: usize) -> BTreeMap<String, f64> {
             snapshot_read_load(snapshot_reads)
         }),
     );
+    // Snapshot *publication* cost: patching the previous COW snapshot with
+    // one batch's delta, at two state sizes three orders of magnitude
+    // apart. The delta is the same fixed churn batch at both sizes, so if
+    // publication is really O(Δ) the two ns/edge figures land close
+    // together (the acceptance bar is within 2×); a rewrite that slips an
+    // O(state) scan into the publish path shows up as the 1m figure
+    // diverging. Reported in ns/edge — lower is better, the opposite of
+    // every gated throughput, hence `info_` (ungated) alongside being a
+    // single-thread latency number calibration can't normalize.
+    for (label, n) in [("10k", 10_000u64), ("1m", 1_000_000)] {
+        let (base, delta) = snapshot_and_delta(n);
+        let touched = (delta.inserted.len()
+            + delta.deleted.len()
+            + delta.matched.len()
+            + delta.unmatched.len()) as u64;
+        let iters = 512u64;
+        let edges_per_s = throughput(samples, iters * touched, || {
+            for _ in 0..iters {
+                std::hint::black_box(base.apply_delta(&delta));
+            }
+        });
+        metrics.insert(
+            format!("info_snapshot_publish_ns_per_edge_{label}"),
+            1e9 / edges_per_s,
+        );
+    }
+    // Segmented-WAL recovery: checkpoint load + tail replay over a fixed
+    // directory built once per battery by a singleton-batch service run
+    // (one update per batch, so batch count — and with it checkpoint
+    // placement, rotation, and compaction — is deterministic). Gated: the
+    // work is fixed and CPU-bound, and this is the restart-latency story
+    // the durability tier exists for.
+    {
+        let dir = std::env::temp_dir().join(format!(
+            "pbdmm_bench_recovery_{}.waldir",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let updates = 4096u64;
+        let mut wal = WalConfig::dir(
+            &dir,
+            WalMeta {
+                structure: "matching".into(),
+                seed: 29,
+                ids_recycling: false,
+            },
+        );
+        wal.checkpoint_every = Some(1024);
+        let svc = ServiceConfig::builder()
+            .policy(CoalescePolicy {
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+            })
+            .wal(wal)
+            .start(DynamicMatching::with_seed(29))
+            .expect("segmented WAL in temp dir");
+        let h = svc.handle();
+        let mut rng = SplitMix64::new(0x4EC0);
+        let mut live: Vec<pbdmm_graph::edge::EdgeId> = Vec::new();
+        for _ in 0..updates {
+            if !live.is_empty() && rng.bounded(10) < 4 {
+                let id = live.swap_remove(rng.bounded(live.len() as u64) as usize);
+                h.delete(id).wait().expect("bench delete");
+            } else {
+                let c = h
+                    .insert(service_edge(&mut rng))
+                    .wait()
+                    .expect("bench insert");
+                live.push(c.done.id());
+            }
+        }
+        drop(h);
+        let (_, stats) = svc.shutdown();
+        assert!(stats.checkpoints > 0, "recovery bench never checkpointed");
+        metrics.insert(
+            "recovery_replay_updates_per_s".into(),
+            throughput(samples, updates, || {
+                let rec = recover_matching_from_dir(&dir, false).expect("bench recovery");
+                std::hint::black_box(rec.next_seq);
+            }),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
     // Network tier on loopback: the daemon + load-generator pair, the
     // deployment's wire-path hot loop (framing, per-connection threads,
     // TCP backpressure on top of the coalescing service). Both rates come

@@ -46,6 +46,11 @@ pub struct WalMeta {
     pub structure: String,
     /// The structure's private RNG seed at recording time.
     pub seed: u64,
+    /// Whether the recording structure recycled deleted edge ids (the
+    /// `# ids: recycling` header line; absent means monotonic). Replay must
+    /// rebuild the structure in the same id mode, or recorded deletes land
+    /// on the wrong edges.
+    pub ids_recycling: bool,
 }
 
 impl Default for WalMeta {
@@ -53,6 +58,7 @@ impl Default for WalMeta {
         WalMeta {
             structure: "matching".to_string(),
             seed: 0,
+            ids_recycling: false,
         }
     }
 }
@@ -62,6 +68,10 @@ impl Default for WalMeta {
 pub struct Wal {
     /// Header metadata.
     pub meta: WalMeta,
+    /// Sequence number of this log's first batch (the `# base:` header
+    /// line). 0 for a standalone log; a rotated segment carries the running
+    /// batch count at rotation, so segment continuity is checkable.
+    pub base: u64,
     /// The committed batches, in append order.
     pub batches: Vec<Batch>,
     /// Whether a trailing uncommitted batch was dropped (torn final append).
@@ -75,11 +85,27 @@ impl Wal {
     }
 }
 
-/// Write the WAL header (magic + metadata comments).
+/// Write the WAL header (magic + metadata comments) for a standalone log
+/// (base 0).
 pub fn write_header<W: Write>(w: &mut W, meta: &WalMeta) -> std::io::Result<()> {
+    write_segment_header(w, meta, 0)
+}
+
+/// Write the header of a log whose first batch carries sequence number
+/// `base` — a rotated segment of a segmented WAL directory. Non-default
+/// header lines (`# ids:`, `# base:`) are emitted only when needed, so a
+/// standalone log's bytes are unchanged from the v1 format.
+pub fn write_segment_header<W: Write>(w: &mut W, meta: &WalMeta, base: u64) -> std::io::Result<()> {
     writeln!(w, "# {WAL_MAGIC}")?;
     writeln!(w, "# structure: {}", meta.structure)?;
-    writeln!(w, "# seed: {}", meta.seed)
+    writeln!(w, "# seed: {}", meta.seed)?;
+    if meta.ids_recycling {
+        writeln!(w, "# ids: recycling")?;
+    }
+    if base != 0 {
+        writeln!(w, "# base: {base}")?;
+    }
+    Ok(())
 }
 
 /// Append one framed batch with sequence number `seq`. The batch is durable
@@ -116,6 +142,7 @@ fn comment_body(line: &str) -> Option<&str> {
 /// so every committed batch before the crash still recovers.
 pub fn read_wal<R: BufRead>(reader: R) -> Result<Wal, String> {
     let mut meta = WalMeta::default();
+    let mut base: u64 = 0;
     let mut batches: Vec<Batch> = Vec::new();
     let mut open: Option<(u64, Batch)> = None;
     let mut saw_magic = false;
@@ -141,6 +168,7 @@ pub fn read_wal<R: BufRead>(reader: R) -> Result<Wal, String> {
             &mut open,
             &mut batches,
             &mut meta,
+            &mut base,
             &mut saw_magic,
         ) {
             if !saw_magic {
@@ -163,6 +191,7 @@ pub fn read_wal<R: BufRead>(reader: R) -> Result<Wal, String> {
     Ok(Wal {
         truncated: open.is_some() || torn,
         meta,
+        base,
         batches,
     })
 }
@@ -174,6 +203,7 @@ fn parse_line(
     open: &mut Option<(u64, Batch)>,
     batches: &mut Vec<Batch>,
     meta: &mut WalMeta,
+    base: &mut u64,
     saw_magic: &mut bool,
 ) -> Result<(), String> {
     let at = |msg: String| format!("line {}: {msg}", lineno + 1);
@@ -190,6 +220,20 @@ fn parse_line(
                 .trim()
                 .parse()
                 .map_err(|e| at(format!("bad seed: {e}")))?;
+        } else if let Some(rest) = body.strip_prefix("ids:") {
+            meta.ids_recycling = match rest.trim() {
+                "recycling" => true,
+                "monotonic" => false,
+                other => return Err(at(format!("unknown id mode {other:?}"))),
+            };
+        } else if let Some(rest) = body.strip_prefix("base:") {
+            if !batches.is_empty() || open.is_some() {
+                return Err(at("`# base:` after the first batch".into()));
+            }
+            *base = rest
+                .trim()
+                .parse()
+                .map_err(|e| at(format!("bad base: {e}")))?;
         }
         return Ok(());
     }
@@ -208,10 +252,10 @@ fn parse_line(
                 .ok_or_else(|| at("`b` needs a sequence number".into()))?
                 .parse()
                 .map_err(|e| at(format!("bad sequence number: {e}")))?;
-            if seq != batches.len() as u64 {
+            let expected = *base + batches.len() as u64;
+            if seq != expected {
                 return Err(at(format!(
-                    "out-of-order batch: expected seq {}, got {seq}",
-                    batches.len()
+                    "out-of-order batch: expected seq {expected}, got {seq}"
                 )));
             }
             *open = Some((seq, Batch::new()));
@@ -289,6 +333,7 @@ mod tests {
         let meta = WalMeta {
             structure: "setcover".into(),
             seed: 99,
+            ids_recycling: true,
         };
         let mut buf = Vec::new();
         write_header(&mut buf, &meta).unwrap();
@@ -325,6 +370,35 @@ mod tests {
         let wal = parse("#   pbdmm-wal v1\n#structure:   setcover\n#seed:7\n").unwrap();
         assert_eq!(wal.meta.structure, "setcover");
         assert_eq!(wal.meta.seed, 7);
+        assert!(!wal.meta.ids_recycling);
+        assert_eq!(wal.base, 0);
+    }
+
+    #[test]
+    fn segment_headers_round_trip_base_and_id_mode() {
+        let meta = WalMeta {
+            ids_recycling: true,
+            ..Default::default()
+        };
+        let mut buf = Vec::new();
+        write_segment_header(&mut buf, &meta, 42).unwrap();
+        write_batch(&mut buf, 42, &Batch::new().insert(vec![0, 1])).unwrap();
+        write_batch(&mut buf, 43, &Batch::new().insert(vec![2, 3])).unwrap();
+        let wal = parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(wal.base, 42);
+        assert!(wal.meta.ids_recycling);
+        assert_eq!(wal.batches.len(), 2);
+        // Batch seqs must continue from the base exactly.
+        assert!(parse("# pbdmm-wal v1\n# base: 5\nb 0\nc 0\nb 6\nc 6\n").is_err());
+        // A base line after content is corruption, not metadata.
+        assert!(parse("# pbdmm-wal v1\nb 0\nc 0\n# base: 5\nb 5\nc 5\n").is_err());
+        // The standalone header writer stays byte-compatible (no new lines).
+        let mut plain = Vec::new();
+        write_header(&mut plain, &WalMeta::default()).unwrap();
+        assert_eq!(
+            std::str::from_utf8(&plain).unwrap(),
+            "# pbdmm-wal v1\n# structure: matching\n# seed: 0\n"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use pbdmm_graph::edge::{EdgeId, EdgeVertices, VertexId};
 use pbdmm_primitives::cost::{CostMeter, CostSnapshot};
+use pbdmm_primitives::hash::{FxHashMap, FxHashSet};
 use pbdmm_primitives::pool::ParPool;
 use pbdmm_primitives::rng::SplitMix64;
 use pbdmm_primitives::slab::{EpochSet, Slab};
@@ -33,7 +34,7 @@ use pbdmm_primitives::slab::{EpochSet, Slab};
 use crate::api::{validate_batch, Batch, BatchOutcome, MeterMode, UpdateError};
 use crate::greedy::{parallel_greedy_match_in, GreedyScratch};
 use crate::level::{EdgeRec, EdgeType, LeveledStructure};
-use crate::snapshot::{MatchingSnapshot, SnapshotCell};
+use crate::snapshot::{MatchingSnapshot, SnapshotCell, SnapshotDelta};
 use crate::stats::{EpochEnd, MatchingStats};
 
 /// Per-batch report: the depth-relevant quantities (E5) for the most recent
@@ -85,7 +86,7 @@ impl StorageStats {
 /// deleted ids so the id space stays dense under unbounded churn. Both modes
 /// are deterministic in apply order, so WAL replay reproduces the exact ids.
 #[derive(Debug)]
-enum IdAlloc {
+pub(crate) enum IdAlloc {
     /// Monotonically increasing ids, never reused.
     Monotonic { next: u64 },
     /// Slab-backed: freed ids are reused LIFO.
@@ -112,7 +113,7 @@ impl IdAlloc {
     }
 
     /// Distinct id values ever handed out.
-    fn allocated(&self) -> u64 {
+    pub(crate) fn allocated(&self) -> u64 {
         match self {
             IdAlloc::Monotonic { next } => *next,
             IdAlloc::Recycling { slots } => slots.high_water() as u64,
@@ -123,6 +124,87 @@ impl IdAlloc {
         match self {
             IdAlloc::Monotonic { .. } => 0,
             IdAlloc::Recycling { slots } => slots.free_slots(),
+        }
+    }
+}
+
+/// Per-batch change recorder for the incremental snapshot path: the apply
+/// machinery notes every edge insert/delete and match add/remove as it
+/// happens, and `finish` condenses the event stream into the batch's
+/// [`SnapshotDelta`] (net membership changes plus matched-binding changes,
+/// with recycled ids — deleted and re-allocated within one batch —
+/// emitting both the unbind and the rebind).
+#[derive(Debug, Default)]
+struct DeltaTracker {
+    inserted: Vec<EdgeId>,
+    deleted: Vec<EdgeId>,
+    deleted_set: FxHashSet<u64>,
+    /// Ids deleted and re-allocated within this batch: the snapshot's old
+    /// binding (if any) must be dropped even if the new edge is matched
+    /// again, since the vertex list may differ.
+    recycled: FxHashSet<u64>,
+    /// Matched-state event fold per edge id: `(matched at batch start,
+    /// matched at batch end)`. The first event fixes the start (an add
+    /// means it started unmatched, a remove means it started matched); the
+    /// latest event always overwrites the end.
+    events: FxHashMap<u64, (bool, bool)>,
+}
+
+impl DeltaTracker {
+    fn edge_inserted(&mut self, e: EdgeId) {
+        if self.deleted_set.contains(&e.raw()) {
+            self.recycled.insert(e.raw());
+        }
+        self.inserted.push(e);
+    }
+
+    fn edge_deleted(&mut self, e: EdgeId) {
+        self.deleted_set.insert(e.raw());
+        self.deleted.push(e);
+    }
+
+    fn match_added(&mut self, e: EdgeId) {
+        self.events
+            .entry(e.raw())
+            .and_modify(|ev| ev.1 = true)
+            .or_insert((false, true));
+    }
+
+    fn match_removed(&mut self, e: EdgeId) {
+        self.events
+            .entry(e.raw())
+            .and_modify(|ev| ev.1 = false)
+            .or_insert((true, false));
+    }
+
+    /// Condense into the batch's delta. `s` supplies the vertex lists of
+    /// edges matched at batch end (they are live by construction).
+    fn finish(self, s: &LeveledStructure, from_epoch: u64, to_epoch: u64) -> SnapshotDelta {
+        let mut inserted = self.inserted;
+        inserted.sort_unstable();
+        let mut deleted = self.deleted;
+        deleted.sort_unstable();
+        let mut events: Vec<(u64, (bool, bool))> = self.events.into_iter().collect();
+        events.sort_unstable_by_key(|&(id, _)| id);
+        let mut matched: Vec<(EdgeId, EdgeVertices)> = Vec::new();
+        let mut unmatched: Vec<EdgeId> = Vec::new();
+        for (id, (init, fin)) in events {
+            let recycled = self.recycled.contains(&id);
+            let e = EdgeId(id);
+            if init && (!fin || recycled) {
+                unmatched.push(e);
+            }
+            if fin && (!init || recycled) {
+                matched.push((e, s.edges[e].vertices.clone()));
+            }
+        }
+        SnapshotDelta {
+            from_epoch,
+            to_epoch,
+            inserted,
+            deleted,
+            matched,
+            unmatched,
         }
     }
 }
@@ -142,11 +224,11 @@ pub struct LevelOccupancy {
 
 /// Parallel batch-dynamic maximal matching structure.
 pub struct DynamicMatching {
-    s: LeveledStructure,
-    rng: SplitMix64,
+    pub(crate) s: LeveledStructure,
+    pub(crate) rng: SplitMix64,
     meter: CostMeter,
-    stats: MatchingStats,
-    ids: IdAlloc,
+    pub(crate) stats: MatchingStats,
+    pub(crate) ids: IdAlloc,
     /// Reusable greedy-matcher scratch: the dense vertex-compaction map and
     /// round dedup stamps are shared by every settlement round, so the hot
     /// path never rebuilds a compaction table (or hashes a vertex id).
@@ -155,7 +237,7 @@ pub struct DynamicMatching {
     stolen_seen: EpochSet,
     /// Rank bound `r`: max cardinality seen (min 1). `isHeavy` thresholds use
     /// `4 r² 2^l`.
-    max_rank: usize,
+    pub(crate) max_rank: usize,
     /// Bloated sample mass carried to the next settle round's ledger entry
     /// (Lemma 5.6 pairs current-round stolen with previous-round bloated).
     pending_bloated_mass: u64,
@@ -167,9 +249,16 @@ pub struct DynamicMatching {
     pool: Option<Arc<ParPool>>,
     /// Publication point for the epoch-snapshot read path: when set (via
     /// [`crate::snapshot::Snapshots::enable_snapshots`]), every `apply`
-    /// ends by capturing a [`MatchingSnapshot`] and atomically swapping it
-    /// in, so concurrent readers always see a consistent batch boundary.
+    /// ends by patching the previous [`MatchingSnapshot`] with the batch's
+    /// [`SnapshotDelta`] and atomically swapping the result in, so
+    /// concurrent readers always see a consistent batch boundary.
     snapshots: Option<Arc<SnapshotCell<MatchingSnapshot>>>,
+    /// Change recorder for the in-flight batch; `Some` exactly while an
+    /// `apply` runs with snapshots enabled.
+    delta: Option<DeltaTracker>,
+    /// Cumulative wall time spent producing + publishing snapshots, in
+    /// nanoseconds (the bench's publish-cost telemetry).
+    snapshot_publish_nanos: u64,
 }
 
 impl DynamicMatching {
@@ -212,6 +301,8 @@ impl DynamicMatching {
             last_batch: BatchReport::default(),
             pool: None,
             snapshots: None,
+            delta: None,
+            snapshot_publish_nanos: 0,
         }
     }
 
@@ -335,13 +426,72 @@ impl DynamicMatching {
         Arc::clone(self.snapshots.as_ref().expect("just created"))
     }
 
-    /// Publish a fresh snapshot if the read path is enabled. Called at the
-    /// end of every successful `apply`, after all mutation and *before* the
-    /// caller observes the outcome — the ingest service relies on that
-    /// ordering for its read-your-writes guarantee.
+    /// Publish the post-batch snapshot if the read path is enabled. Called
+    /// at the end of every successful `apply`, after all mutation and
+    /// *before* the caller observes the outcome — the ingest service relies
+    /// on that ordering for its read-your-writes guarantee.
+    ///
+    /// The normal path is O(batch): patch the previously published snapshot
+    /// with the batch's [`SnapshotDelta`] and publish both (the delta feeds
+    /// [`crate::snapshot::SnapshotReader::changes_since`] subscribers). A
+    /// debug assertion cross-checks the patched snapshot against a full
+    /// recapture every batch.
     fn maybe_publish_snapshot(&mut self) {
-        if let Some(cell) = &self.snapshots {
+        let tracker = self.delta.take();
+        let Some(cell) = self.snapshots.clone() else {
+            return;
+        };
+        let start = std::time::Instant::now();
+        if let Some(tracker) = tracker {
+            let prev = cell.load();
+            let delta = tracker.finish(&self.s, prev.epoch(), self.epoch());
+            let next = prev.apply_delta(&delta);
+            debug_assert_eq!(
+                next,
+                MatchingSnapshot::capture(self),
+                "patched snapshot diverged from a full recapture"
+            );
+            cell.publish_with_delta(next, delta);
+        } else {
+            // Snapshots were enabled mid-apply (no tracker ran): fall back
+            // to a full capture, which also resyncs delta subscribers.
             cell.publish(MatchingSnapshot::capture(self));
+        }
+        self.snapshot_publish_nanos += start.elapsed().as_nanos() as u64;
+    }
+
+    /// Cumulative nanoseconds spent producing and publishing snapshots
+    /// across all applies (0 when snapshots were never enabled). The bench
+    /// divides this by edges touched to show publish cost is O(batch).
+    pub fn snapshot_publish_nanos(&self) -> u64 {
+        self.snapshot_publish_nanos
+    }
+
+    #[inline]
+    fn note_edge_inserted(&mut self, e: EdgeId) {
+        if let Some(t) = &mut self.delta {
+            t.edge_inserted(e);
+        }
+    }
+
+    #[inline]
+    fn note_edge_deleted(&mut self, e: EdgeId) {
+        if let Some(t) = &mut self.delta {
+            t.edge_deleted(e);
+        }
+    }
+
+    #[inline]
+    fn note_match_added(&mut self, e: EdgeId) {
+        if let Some(t) = &mut self.delta {
+            t.match_added(e);
+        }
+    }
+
+    #[inline]
+    fn note_match_removed(&mut self, e: EdgeId) {
+        if let Some(t) = &mut self.delta {
+            t.match_removed(e);
         }
     }
 
@@ -475,6 +625,9 @@ impl DynamicMatching {
     ) -> BatchOutcome<BatchReport> {
         let before = self.meter.snapshot();
         let mut settle_iterations = 0u64;
+        if self.snapshots.is_some() {
+            self.delta = Some(DeltaTracker::default());
+        }
         self.stats.batches += 1;
         self.stats.user_insertions += inserts.len() as u64;
         self.stats.user_deletions += deletes.len() as u64;
@@ -498,6 +651,7 @@ impl DynamicMatching {
                     self.s.remove_cross_edge(e);
                     self.s.edges.remove(e);
                     self.ids.free(e);
+                    self.note_edge_deleted(e);
                 }
                 EdgeType::Sampled => {
                     let owner = self.s.edges[e].owner;
@@ -505,6 +659,7 @@ impl DynamicMatching {
                     self.stats.total_payment += 1;
                     self.s.edges.remove(e);
                     self.ids.free(e);
+                    self.note_edge_deleted(e);
                 }
                 EdgeType::Matched => matched.push(e),
                 EdgeType::Unsettled => unreachable!("unsettled edge between batches"),
@@ -543,6 +698,7 @@ impl DynamicMatching {
             }
             self.s.edges.insert(id, EdgeRec::unsettled(id, vs));
             inserted.push(id);
+            self.note_edge_inserted(id);
         }
         e_prime.extend(inserted.iter().copied());
         self.internal_insert(e_prime);
@@ -581,6 +737,7 @@ impl DynamicMatching {
         for &(mi, _) in &result.matches {
             let m = free[mi];
             self.s.add_match(m, vec![m]);
+            self.note_match_added(m);
             self.stats.epoch_created(1);
         }
         for &e in &ids {
@@ -660,9 +817,11 @@ impl DynamicMatching {
         for &(m, end) in &light {
             self.end_epoch(m, end);
             light_cross.extend(self.s.remove_match(m));
+            self.note_match_removed(m);
             if end == EpochEnd::Natural {
                 self.s.edges.remove(m);
                 self.ids.free(m);
+                self.note_edge_deleted(m);
             }
         }
         self.meter
@@ -674,9 +833,11 @@ impl DynamicMatching {
         for &(m, end) in &heavy {
             self.end_epoch(m, end);
             out.extend(self.s.remove_match(m));
+            self.note_match_removed(m);
             if end == EpochEnd::Natural {
                 self.s.edges.remove(m);
                 self.ids.free(m);
+                self.note_edge_deleted(m);
             }
         }
         out
@@ -725,6 +886,7 @@ impl DynamicMatching {
             let s: Vec<EdgeId> = sample.iter().map(|&i| e_prime[i]).collect();
             self.stats.epoch_created(s.len());
             self.s.add_match(m, s);
+            self.note_match_added(m);
             new_ids.push(m);
         }
 

@@ -153,7 +153,11 @@ pub struct MatchRec {
 /// allocation for reuse.
 #[derive(Debug, Clone, Default)]
 pub struct LevelBags {
-    bags: Vec<(Level, Vec<EdgeId>)>,
+    /// `(level, bag)` pairs in first-touch order. Emptied bags stay in
+    /// place (allocation reuse), and checkpoints serialize the vector
+    /// verbatim — the iteration order feeds `adjust_cross_edges`, so a
+    /// restored structure must reproduce it exactly for replay determinism.
+    pub(crate) bags: Vec<(Level, Vec<EdgeId>)>,
 }
 
 impl LevelBags {
@@ -294,6 +298,17 @@ impl<T> IdTable<T> {
     #[inline]
     pub fn high_water(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Pre-grow the slot/position arrays to `n` entries without inserting
+    /// anything. Checkpoint restore uses this so a rebuilt table's
+    /// [`Self::high_water`] matches the original even when the top ids were
+    /// free at capture time.
+    pub(crate) fn reserve_slots(&mut self, n: usize) {
+        if n > self.slots.len() {
+            self.slots.resize_with(n, || None);
+            self.pos.resize(n, 0);
+        }
     }
 }
 

@@ -66,6 +66,7 @@
 
 pub mod api;
 pub mod baseline;
+pub mod checkpoint;
 pub mod driver;
 pub mod dynamic;
 pub mod greedy;
@@ -78,6 +79,7 @@ pub use api::{
     Batch, BatchDynamic, BatchOutcome, DynamicMatchingBuilder, MeterMode, Update, UpdateError,
     UpdateOutcome,
 };
+pub use checkpoint::Checkpoint;
 pub use dynamic::{BatchReport, DynamicMatching, LevelOccupancy, StorageStats};
 pub use greedy::{
     parallel_greedy_match, parallel_greedy_match_in, parallel_greedy_match_with_priorities,
@@ -86,6 +88,7 @@ pub use greedy::{
 };
 pub use level::{EdgeType, LeveledStructure, LevelingConfig};
 pub use snapshot::{
-    MatchingSnapshot, Snapshot, SnapshotCell, SnapshotReader, SnapshotStats, Snapshots,
+    Changes, MatchingSnapshot, Snapshot, SnapshotCell, SnapshotDelta, SnapshotReader,
+    SnapshotStats, Snapshots,
 };
 pub use stats::{EpochEnd, MatchingStats};

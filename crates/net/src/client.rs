@@ -18,7 +18,7 @@ use std::time::Duration;
 use pbdmm_graph::Update;
 
 use crate::proto::{
-    self, ErrorCode, FrameError, Request, Response, UpdateResult, WireStats, MAX_FRAME,
+    self, ErrorCode, FrameError, Request, Response, UpdateResult, WireDelta, WireStats, MAX_FRAME,
 };
 
 /// Why a client call failed: the transport/codec layer, or a structured
@@ -86,6 +86,8 @@ pub struct Client {
     /// Epoch events that arrived interleaved while a correlation helper was
     /// waiting for its response.
     events: Vec<u64>,
+    /// Delta events buffered the same way (`resync` flag + delta).
+    delta_events: Vec<(bool, WireDelta)>,
 }
 
 impl Client {
@@ -114,6 +116,7 @@ impl Client {
             next_req_id: 1,
             max_frame: MAX_FRAME,
             events: Vec::new(),
+            delta_events: Vec::new(),
         })
     }
 
@@ -171,6 +174,13 @@ impl Client {
         std::mem::take(&mut self.events)
     }
 
+    /// Delta events buffered while correlation helpers were waiting;
+    /// returns and clears the buffer. Each entry is `(resync, delta)` —
+    /// feed them to [`Mirror::apply`] in order.
+    pub fn take_delta_events(&mut self) -> Vec<(bool, WireDelta)> {
+        std::mem::take(&mut self.delta_events)
+    }
+
     /// Read until the response correlated with `req_id` arrives. Epoch
     /// events are buffered; an error frame for `req_id` (or a
     /// connection-level one, `req_id == 0`) becomes [`ClientError::Server`].
@@ -184,6 +194,7 @@ impl Client {
             })?;
             match resp {
                 Response::EpochEvent { epoch } => self.events.push(epoch),
+                Response::DeltaEvent { resync, delta } => self.delta_events.push((resync, delta)),
                 Response::Error {
                     req_id: rid,
                     code,
@@ -250,6 +261,16 @@ impl Client {
         self.send(&Request::SubscribeEpoch { req_id, from_epoch })
     }
 
+    /// Subscribe this connection to **state deltas** newer than
+    /// `from_epoch`; subsequent changes arrive as interleaved
+    /// [`Response::DeltaEvent`] frames. Pass `from_epoch = 0` to mirror
+    /// from genesis (the first event may be a resync). Maintain local
+    /// state by feeding each event to a [`Mirror`].
+    pub fn subscribe_deltas(&mut self, from_epoch: u64) -> Result<(), ClientError> {
+        let req_id = self.next_req_id();
+        self.send(&Request::SubscribeDeltas { req_id, from_epoch })
+    }
+
     /// Ask the daemon to drain and exit; returns its goodbye stats frame.
     pub fn shutdown(&mut self) -> Result<WireStats, ClientError> {
         let req_id = self.next_req_id();
@@ -268,6 +289,43 @@ fn response_req_id(r: &Response) -> Option<u64> {
         | Response::QueryResult { req_id, .. }
         | Response::Stats { req_id, .. }
         | Response::Error { req_id, .. } => Some(*req_id),
-        Response::EpochEvent { .. } => None,
+        Response::EpochEvent { .. } | Response::DeltaEvent { .. } => None,
+    }
+}
+
+/// A client-side mirror of the daemon's matching state, folded from a
+/// delta subscription's [`Response::DeltaEvent`] stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Mirror {
+    /// Epoch of the last applied delta.
+    pub epoch: u64,
+    /// Live edge ids.
+    pub live: std::collections::BTreeSet<u64>,
+    /// Matched edges (id → vertex set).
+    pub matched: std::collections::BTreeMap<u64, Vec<u32>>,
+}
+
+impl Mirror {
+    /// Fold one delta event into the mirror. A `resync` event clears the
+    /// mirror first (the delta then rebuilds the full state).
+    pub fn apply(&mut self, resync: bool, d: &WireDelta) {
+        if resync {
+            self.live.clear();
+            self.matched.clear();
+        }
+        for id in &d.deleted {
+            self.live.remove(id);
+            self.matched.remove(id);
+        }
+        for &id in &d.inserted {
+            self.live.insert(id);
+        }
+        for id in &d.unmatched {
+            self.matched.remove(id);
+        }
+        for (id, vs) in &d.matched {
+            self.matched.insert(*id, vs.clone());
+        }
+        self.epoch = d.to_epoch;
     }
 }

@@ -29,16 +29,16 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use pbdmm_matching::snapshot::MatchingSnapshot;
+use pbdmm_matching::snapshot::{Changes, MatchingSnapshot, SnapshotDelta};
 use pbdmm_matching::DynamicMatching;
 use pbdmm_primitives::pool::ParPool;
 use pbdmm_service::{
-    CoalescePolicy, Done, QueryHandle, ServiceConfig, ServiceError, ServiceHandle, ServiceStats,
-    Ticket, UpdateService, WalConfig,
+    CoalescePolicy, Done, QueryHandle, RecoveryInfo, ServiceBuilder, ServiceConfig, ServiceError,
+    ServiceHandle, ServiceStats, Ticket, UpdateService, WalConfig,
 };
 
 use crate::proto::{
-    self, ErrorCode, FrameError, Request, Response, UpdateResult, WireStats, MAX_FRAME,
+    self, ErrorCode, FrameError, Request, Response, UpdateResult, WireDelta, WireStats, MAX_FRAME,
 };
 
 /// How long a subscribed writer waits for a new epoch before re-checking
@@ -183,16 +183,48 @@ impl Daemon {
     pub fn start(structure: DynamicMatching, cfg: DaemonConfig) -> Result<Daemon, String> {
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let (svc, query) = builder_for(&cfg)
+            .start_serving(structure)
+            .map_err(|e| format!("start service: {e}"))?;
+        Self::assemble(listener, cfg, svc, query)
+    }
+
+    /// Bind the listener and **recover** the structure from the configured
+    /// segmented WAL directory (newest intact checkpoint + tail segments),
+    /// then resume serving and appending where the log left off. The
+    /// structure's seed and id mode come from the configured WAL metadata,
+    /// so a kill/restart loop needs nothing beyond the same
+    /// [`DaemonConfig`]. An empty or missing directory starts fresh.
+    pub fn recover_and_start(cfg: DaemonConfig) -> Result<(Daemon, RecoveryInfo), String> {
+        let Some(wal) = cfg.wal.clone() else {
+            return Err("recovery requires a segmented WAL directory (DaemonConfig::wal)".into());
+        };
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let seed = wal.meta.seed;
+        let recycling = wal.meta.ids_recycling;
+        let (svc, query, info) = builder_for(&cfg)
+            .recover_and_start_serving(move || {
+                let mut m = DynamicMatching::with_seed(seed);
+                if recycling {
+                    m.set_recycle_ids(true);
+                }
+                m
+            })
+            .map_err(|e| format!("recover service: {e}"))?;
+        Ok((Self::assemble(listener, cfg, svc, query)?, info))
+    }
+
+    /// Wire a started service + listener into a running daemon.
+    fn assemble(
+        listener: TcpListener,
+        cfg: DaemonConfig,
+        svc: UpdateService<DynamicMatching>,
+        query: QueryHandle<MatchingSnapshot>,
+    ) -> Result<Daemon, String> {
         let local_addr = listener
             .local_addr()
             .map_err(|e| format!("local_addr: {e}"))?;
-        let svc_config = ServiceConfig {
-            policy: cfg.policy,
-            wal: cfg.wal.clone(),
-            pool: cfg.pool.clone(),
-        };
-        let (svc, query) = UpdateService::start_serving(structure, svc_config)
-            .map_err(|e| format!("start service: {e}"))?;
         let (control, control_rx) = mpsc::channel();
         let shared = Arc::new(Shared {
             handle: svc.handle(),
@@ -274,6 +306,18 @@ impl Daemon {
             wire,
         }
     }
+}
+
+/// The service builder a [`DaemonConfig`] describes (policy, WAL, pool).
+fn builder_for(cfg: &DaemonConfig) -> ServiceBuilder {
+    let mut b = ServiceConfig::builder().policy(cfg.policy);
+    if let Some(wal) = cfg.wal.clone() {
+        b = b.wal(wal);
+    }
+    if let Some(pool) = cfg.pool.clone() {
+        b = b.pool(pool);
+    }
+    b
 }
 
 /// Accept until draining. Over-capacity connections are refused politely
@@ -376,8 +420,9 @@ enum WorkItem {
     },
     /// A response the reader already resolved (queries, stats, errors).
     Ready(Response),
-    /// Switch the writer into subscription mode.
-    Subscribe { from_epoch: u64 },
+    /// Switch the writer into subscription mode: bare epoch pings
+    /// (`deltas: false`) or full state deltas (`deltas: true`).
+    Subscribe { from_epoch: u64, deltas: bool },
 }
 
 /// One connection, run on its own thread: handshake, spawn the writer,
@@ -541,7 +586,17 @@ fn reader_loop(
             Request::SubscribeEpoch {
                 req_id: _,
                 from_epoch,
-            } => WorkItem::Subscribe { from_epoch },
+            } => WorkItem::Subscribe {
+                from_epoch,
+                deltas: false,
+            },
+            Request::SubscribeDeltas {
+                req_id: _,
+                from_epoch,
+            } => WorkItem::Subscribe {
+                from_epoch,
+                deltas: true,
+            },
             Request::Shutdown { req_id } => {
                 shared.draining.store(true, Ordering::SeqCst);
                 let _ = shared.control.send(());
@@ -568,8 +623,9 @@ fn writer_loop(
 ) {
     use std::io::Write;
     let mut w = std::io::BufWriter::new(&stream);
-    // Last epoch delivered to the subscriber (None: not subscribed).
-    let mut subscribed: Option<u64> = None;
+    // Last epoch delivered to the subscriber, and whether the subscription
+    // streams deltas or bare epoch pings (None: not subscribed).
+    let mut subscribed: Option<(u64, bool)> = None;
     let mut dirty = false;
     loop {
         let item = match rx.try_recv() {
@@ -579,12 +635,34 @@ fn writer_loop(
                     break;
                 }
                 dirty = false;
-                if let Some(last) = subscribed {
+                if let Some((last, deltas)) = subscribed {
                     let snap = shared.query.wait_for_newer(last, SUBSCRIPTION_TICK);
                     if snap.epoch() > last {
-                        subscribed = Some(snap.epoch());
-                        let ev = Response::EpochEvent {
-                            epoch: snap.epoch(),
+                        let ev = if deltas {
+                            match shared.query.changes_since(last) {
+                                // The publication raced past between the
+                                // wait and the read; pick it up next tick.
+                                Changes::UpToDate => continue,
+                                Changes::Delta { to_epoch, delta } => {
+                                    subscribed = Some((to_epoch, true));
+                                    Response::DeltaEvent {
+                                        resync: false,
+                                        delta: wire_delta(&delta),
+                                    }
+                                }
+                                Changes::Resync(full) => {
+                                    subscribed = Some((full.epoch(), true));
+                                    Response::DeltaEvent {
+                                        resync: true,
+                                        delta: resync_delta(&full),
+                                    }
+                                }
+                            }
+                        } else {
+                            subscribed = Some((snap.epoch(), false));
+                            Response::EpochEvent {
+                                epoch: snap.epoch(),
+                            }
                         };
                         if proto::write_frame(&mut w, &ev.encode()).is_err() || w.flush().is_err() {
                             break;
@@ -601,8 +679,8 @@ fn writer_loop(
         };
         let response = match item {
             WorkItem::Ready(r) => r,
-            WorkItem::Subscribe { from_epoch } => {
-                subscribed = Some(from_epoch);
+            WorkItem::Subscribe { from_epoch, deltas } => {
+                subscribed = Some((from_epoch, deltas));
                 continue;
             }
             WorkItem::Batch { req_id, n, tickets } => {
@@ -650,4 +728,36 @@ fn writer_loop(
     // By the time the channel closes the reader has already exited, so the
     // drain below never steals a live frame from it.
     linger_close(&stream);
+}
+
+/// Project a structure-side [`SnapshotDelta`] onto the wire.
+fn wire_delta(d: &SnapshotDelta) -> WireDelta {
+    WireDelta {
+        from_epoch: d.from_epoch,
+        to_epoch: d.to_epoch,
+        inserted: d.inserted.iter().map(|e| e.raw()).collect(),
+        deleted: d.deleted.iter().map(|e| e.raw()).collect(),
+        matched: d
+            .matched
+            .iter()
+            .map(|(e, vs)| (e.raw(), vs.clone()))
+            .collect(),
+        unmatched: d.unmatched.iter().map(|e| e.raw()).collect(),
+    }
+}
+
+/// Synthesize the full state of `snap` as one delta — the resync payload a
+/// subscriber that fell behind the delta ring rebuilds its mirror from.
+fn resync_delta(snap: &MatchingSnapshot) -> WireDelta {
+    WireDelta {
+        from_epoch: 0,
+        to_epoch: snap.epoch(),
+        inserted: snap.live_edges().map(|e| e.raw()).collect(),
+        deleted: Vec::new(),
+        matched: snap
+            .matched_edges()
+            .map(|(e, vs)| (e.raw(), vs.clone()))
+            .collect(),
+        unmatched: Vec::new(),
+    }
 }

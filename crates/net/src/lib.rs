@@ -60,7 +60,7 @@ pub mod daemon;
 pub mod load;
 pub mod proto;
 
-pub use client::Client;
+pub use client::{Client, Mirror};
 pub use daemon::{Daemon, DaemonConfig, DaemonReport, StopHandle, WireCounters};
 pub use load::{run_load, LoadConfig, LoadReport};
-pub use proto::{ErrorCode, FrameError, Request, Response, UpdateResult, WireStats};
+pub use proto::{ErrorCode, FrameError, Request, Response, UpdateResult, WireDelta, WireStats};

@@ -65,12 +65,14 @@ const OP_POINT_QUERY: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_SUBSCRIBE_EPOCH: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
+const OP_SUBSCRIBE_DELTAS: u8 = 0x06;
 
 // Response opcodes (daemon → client): high bit set.
 const OP_COMPLETION: u8 = 0x81;
 const OP_QUERY_RESULT: u8 = 0x82;
 const OP_STATS_RESULT: u8 = 0x83;
 const OP_EPOCH_EVENT: u8 = 0x84;
+const OP_DELTA_EVENT: u8 = 0x85;
 const OP_ERROR: u8 = 0x8F;
 
 // Per-update tags inside SubmitBatch.
@@ -224,12 +226,51 @@ pub enum Request {
         /// Events are delivered only for epochs strictly greater than this.
         from_epoch: u64,
     },
+    /// Subscribe to **state deltas**: instead of bare epoch numbers the
+    /// daemon streams one [`Response::DeltaEvent`] per observed
+    /// publication, carrying exactly what changed since the event the
+    /// client last saw — the wire projection of
+    /// `SnapshotReader::changes_since`. If the server-side delta log no
+    /// longer reaches back to the client's epoch, the daemon sends one
+    /// event with `resync` set whose delta rebuilds the full state from
+    /// scratch (the client clears its mirror first).
+    SubscribeDeltas {
+        /// Correlation id.
+        req_id: u64,
+        /// Deltas are delivered for epochs strictly greater than this.
+        /// Pass 0 to mirror from genesis (the first event is a resync).
+        from_epoch: u64,
+    },
     /// Ask the daemon to drain and exit (stop accepting, flush in-flight
     /// tickets, final stats). Answered with [`Response::Stats`].
     Shutdown {
         /// Correlation id.
         req_id: u64,
     },
+}
+
+/// The wire projection of one snapshot delta: everything that changed
+/// between two published epochs, carried by [`Response::DeltaEvent`].
+///
+/// Applying a `WireDelta` to a client-side mirror at `from_epoch` yields
+/// the state at `to_epoch`: remove `deleted`, add `inserted`, clear the
+/// match status of `unmatched`, then record `matched` (id → vertex set).
+/// A *resync* delta has `from_epoch == 0` semantics regardless of the
+/// mirror's epoch: clear everything first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireDelta {
+    /// Epoch the delta starts from (the client's last seen epoch).
+    pub from_epoch: u64,
+    /// Epoch the delta advances the mirror to.
+    pub to_epoch: u64,
+    /// Edge ids inserted in `(from, to]`, ascending.
+    pub inserted: Vec<u64>,
+    /// Edge ids deleted in `(from, to]`, ascending.
+    pub deleted: Vec<u64>,
+    /// Edges newly in the matching, with their full vertex sets.
+    pub matched: Vec<(u64, Vec<u32>)>,
+    /// Edge ids that left the matching (but may still be live).
+    pub unmatched: Vec<u64>,
 }
 
 /// The per-update slice of a [`Response::Completion`], mirroring
@@ -352,6 +393,15 @@ pub enum Response {
     EpochEvent {
         /// The newly visible epoch.
         epoch: u64,
+    },
+    /// One state delta, streamed to [`Request::SubscribeDeltas`] clients.
+    DeltaEvent {
+        /// When set, the delta log did not reach back to the client's
+        /// epoch: `delta` rebuilds the full state and the client must
+        /// clear its mirror before applying it.
+        resync: bool,
+        /// What changed (or, under `resync`, the whole state).
+        delta: WireDelta,
     },
     /// A request failed, or the connection violated the protocol
     /// (`req_id == 0` marks a connection-level error sent just before the
@@ -596,6 +646,11 @@ impl Request {
                 put_u64(&mut out, *req_id);
                 put_u64(&mut out, *from_epoch);
             }
+            Request::SubscribeDeltas { req_id, from_epoch } => {
+                out.push(OP_SUBSCRIBE_DELTAS);
+                put_u64(&mut out, *req_id);
+                put_u64(&mut out, *from_epoch);
+            }
             Request::Shutdown { req_id } => {
                 out.push(OP_SHUTDOWN);
                 put_u64(&mut out, *req_id);
@@ -642,6 +697,10 @@ impl Request {
                 req_id: c.u64("req_id")?,
             },
             OP_SUBSCRIBE_EPOCH => Request::SubscribeEpoch {
+                req_id: c.u64("req_id")?,
+                from_epoch: c.u64("from_epoch")?,
+            },
+            OP_SUBSCRIBE_DELTAS => Request::SubscribeDeltas {
                 req_id: c.u64("req_id")?,
                 from_epoch: c.u64("from_epoch")?,
             },
@@ -736,6 +795,32 @@ impl Response {
             Response::EpochEvent { epoch } => {
                 out.push(OP_EPOCH_EVENT);
                 put_u64(&mut out, *epoch);
+            }
+            Response::DeltaEvent { resync, delta } => {
+                out.push(OP_DELTA_EVENT);
+                out.push(u8::from(*resync));
+                put_u64(&mut out, delta.from_epoch);
+                put_u64(&mut out, delta.to_epoch);
+                put_u32(&mut out, delta.inserted.len() as u32);
+                for &id in &delta.inserted {
+                    put_u64(&mut out, id);
+                }
+                put_u32(&mut out, delta.deleted.len() as u32);
+                for &id in &delta.deleted {
+                    put_u64(&mut out, id);
+                }
+                put_u32(&mut out, delta.matched.len() as u32);
+                for (id, vs) in &delta.matched {
+                    put_u64(&mut out, *id);
+                    put_u32(&mut out, vs.len() as u32);
+                    for &v in vs {
+                        put_u32(&mut out, v);
+                    }
+                }
+                put_u32(&mut out, delta.unmatched.len() as u32);
+                for &id in &delta.unmatched {
+                    put_u64(&mut out, id);
+                }
             }
             Response::Error {
                 req_id,
@@ -834,6 +919,52 @@ impl Response {
             OP_EPOCH_EVENT => Response::EpochEvent {
                 epoch: c.u64("epoch")?,
             },
+            OP_DELTA_EVENT => {
+                let resync = match c.u8("resync flag")? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(FrameError::Malformed(format!("bad resync flag {t}"))),
+                };
+                let from_epoch = c.u64("from_epoch")?;
+                let to_epoch = c.u64("to_epoch")?;
+                let n = c.count(8, "inserted count")?;
+                let mut inserted = Vec::with_capacity(n);
+                for _ in 0..n {
+                    inserted.push(c.u64("inserted id")?);
+                }
+                let n = c.count(8, "deleted count")?;
+                let mut deleted = Vec::with_capacity(n);
+                for _ in 0..n {
+                    deleted.push(c.u64("deleted id")?);
+                }
+                let n = c.count(12, "matched count")?;
+                let mut matched = Vec::with_capacity(n);
+                for i in 0..n {
+                    let id = c.u64("matched id")?;
+                    let nv = c.count(4, &format!("matched {i} vertex count"))?;
+                    let mut vs = Vec::with_capacity(nv);
+                    for _ in 0..nv {
+                        vs.push(c.u32("matched vertex")?);
+                    }
+                    matched.push((id, vs));
+                }
+                let n = c.count(8, "unmatched count")?;
+                let mut unmatched = Vec::with_capacity(n);
+                for _ in 0..n {
+                    unmatched.push(c.u64("unmatched id")?);
+                }
+                Response::DeltaEvent {
+                    resync,
+                    delta: WireDelta {
+                        from_epoch,
+                        to_epoch,
+                        inserted,
+                        deleted,
+                        matched,
+                        unmatched,
+                    },
+                }
+            }
             OP_ERROR => {
                 let req_id = c.u64("req_id")?;
                 let raw = c.u16("error code")?;
@@ -945,6 +1076,48 @@ mod tests {
         body.push(0);
         assert!(matches!(
             Request::decode(&body),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn delta_subscription_frames_round_trip() {
+        let req = Request::SubscribeDeltas {
+            req_id: 11,
+            from_epoch: 42,
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+
+        let resp = Response::DeltaEvent {
+            resync: false,
+            delta: WireDelta {
+                from_epoch: 42,
+                to_epoch: 48,
+                inserted: vec![5, 9],
+                deleted: vec![2],
+                matched: vec![(5, vec![1, 2]), (9, vec![3, 4, 5])],
+                unmatched: vec![2],
+            },
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+
+        // A resync event with an empty delta (epoch-0 state).
+        let resync = Response::DeltaEvent {
+            resync: true,
+            delta: WireDelta::default(),
+        };
+        assert_eq!(Response::decode(&resync.encode()).unwrap(), resync);
+    }
+
+    #[test]
+    fn hostile_delta_counts_cannot_drive_allocations() {
+        // A DeltaEvent declaring u32::MAX inserted ids backed by 0 bytes.
+        let mut body = vec![OP_DELTA_EVENT, 0];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&2u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&body),
             Err(FrameError::Malformed(_))
         ));
     }

@@ -7,7 +7,7 @@
 
 use pbdmm_graph::{EdgeId, Update};
 use pbdmm_net::proto::{
-    self, ErrorCode, FrameError, Request, Response, UpdateResult, WireStats, MAX_FRAME,
+    self, ErrorCode, FrameError, Request, Response, UpdateResult, WireDelta, WireStats, MAX_FRAME,
 };
 use pbdmm_primitives::rng::SplitMix64;
 
@@ -31,7 +31,7 @@ fn arb_update(rng: &mut SplitMix64) -> Update {
 
 fn arb_request(rng: &mut SplitMix64) -> Request {
     let req_id = rng.next_u64();
-    match rng.bounded(5) {
+    match rng.bounded(6) {
         0 => Request::SubmitBatch {
             req_id,
             updates: (0..rng.bounded(20)).map(|_| arb_update(rng)).collect(),
@@ -45,7 +45,33 @@ fn arb_request(rng: &mut SplitMix64) -> Request {
             req_id,
             from_epoch: rng.next_u64(),
         },
+        4 => Request::SubscribeDeltas {
+            req_id,
+            from_epoch: rng.next_u64(),
+        },
         _ => Request::Shutdown { req_id },
+    }
+}
+
+fn arb_delta(rng: &mut SplitMix64) -> WireDelta {
+    let ids = |rng: &mut SplitMix64, n: u64| -> Vec<u64> {
+        (0..rng.bounded(n)).map(|_| rng.next_u64() >> 8).collect()
+    };
+    WireDelta {
+        from_epoch: rng.next_u64(),
+        to_epoch: rng.next_u64(),
+        inserted: ids(rng, 10),
+        deleted: ids(rng, 10),
+        matched: (0..rng.bounded(8))
+            .map(|_| {
+                let card = 1 + rng.bounded(4) as usize;
+                (
+                    rng.next_u64() >> 8,
+                    (0..card).map(|_| rng.next_u64() as u32).collect(),
+                )
+            })
+            .collect(),
+        unmatched: ids(rng, 10),
     }
 }
 
@@ -67,7 +93,7 @@ fn arb_result(rng: &mut SplitMix64) -> UpdateResult {
 
 fn arb_response(rng: &mut SplitMix64) -> Response {
     let req_id = rng.next_u64();
-    match rng.bounded(5) {
+    match rng.bounded(6) {
         0 => Response::Completion {
             req_id,
             epoch: rng.next_u64(),
@@ -94,6 +120,10 @@ fn arb_response(rng: &mut SplitMix64) -> Response {
         },
         3 => Response::EpochEvent {
             epoch: rng.next_u64(),
+        },
+        4 => Response::DeltaEvent {
+            resync: rng.bounded(2) == 0,
+            delta: arb_delta(rng),
         },
         _ => Response::Error {
             req_id,

@@ -7,12 +7,14 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+use pbdmm_graph::wal::WalMeta;
 use pbdmm_graph::Update;
 use pbdmm_matching::DynamicMatching;
-use pbdmm_net::client::{Client, ClientError};
+use pbdmm_net::client::{Client, ClientError, Mirror};
 use pbdmm_net::daemon::{Daemon, DaemonConfig};
 use pbdmm_net::load::{run_load, LoadConfig};
 use pbdmm_net::proto::{self, ErrorCode, Request, Response, UpdateResult};
+use pbdmm_service::WalConfig;
 
 fn start(
     cfg: DaemonConfig,
@@ -348,4 +350,151 @@ fn load_generator_runs_clean_against_the_daemon() {
     assert_eq!(daemon_report.service.updates, 1600);
     assert_eq!(daemon_report.wire.protocol_errors, 0);
     pbdmm_matching::verify::check_invariants(&daemon_report.structure).unwrap();
+}
+
+#[test]
+fn delta_subscription_mirrors_server_state() {
+    let (addr, stop, join) = start(DaemonConfig::default());
+
+    let mut sub = Client::connect(addr).unwrap();
+    sub.subscribe_deltas(0).unwrap();
+    sub.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Churn: inserts, then a delete, on a separate connection.
+    let mut writer = Client::connect(addr).unwrap();
+    let done = writer
+        .submit_updates(vec![
+            Update::Insert(vec![0, 1]),
+            Update::Insert(vec![2, 3]),
+            Update::Insert(vec![1, 2]),
+            Update::Insert(vec![4, 5]),
+        ])
+        .unwrap();
+    let inserted: Vec<u64> = done
+        .results
+        .iter()
+        .filter_map(|r| match r {
+            UpdateResult::Inserted { id, .. } => Some(*id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(inserted.len(), 4);
+    let done2 = writer
+        .submit_updates(vec![Update::Delete(pbdmm_graph::EdgeId(inserted[3]))])
+        .unwrap();
+    let final_epoch = done2.epoch;
+
+    // Fold the delta stream into a client-side mirror until it catches up.
+    let mut mirror = Mirror::default();
+    while mirror.epoch < final_epoch {
+        match sub.recv_response().unwrap() {
+            Some(Response::DeltaEvent { resync, delta }) => {
+                assert!(delta.to_epoch > mirror.epoch, "events advance the mirror");
+                mirror.apply(resync, &delta);
+            }
+            Some(r) => panic!("unexpected frame {r:?}"),
+            None => panic!("daemon closed the subscription early"),
+        }
+    }
+
+    stop.stop();
+    let report = join.join().unwrap();
+
+    // The mirror converged to the daemon's exact final state.
+    let live: std::collections::BTreeSet<u64> = report
+        .structure
+        .structure()
+        .edges
+        .ids()
+        .iter()
+        .map(|e| e.raw())
+        .collect();
+    assert_eq!(mirror.live, live, "mirror live set == served live set");
+    let mut matched: Vec<u64> = report
+        .structure
+        .matching()
+        .iter()
+        .map(|e| e.raw())
+        .collect();
+    matched.sort_unstable();
+    let mirrored: Vec<u64> = mirror.matched.keys().copied().collect();
+    assert_eq!(mirrored, matched, "mirror matching == served matching");
+    // Matched vertex sets are the real edge vertex sets.
+    for (id, vs) in &mirror.matched {
+        let rec = &report.structure.structure().edges[pbdmm_graph::EdgeId(*id)];
+        assert_eq!(&rec.vertices, vs);
+    }
+}
+
+#[test]
+fn daemon_recovers_from_segmented_wal_and_resumes() {
+    let dir = std::env::temp_dir().join("pbdmm_daemon_recover_e2e");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut wal = WalConfig::dir(
+        &dir,
+        WalMeta {
+            structure: "matching".into(),
+            seed: 7,
+            ids_recycling: false,
+        },
+    );
+    wal.checkpoint_every = Some(4);
+    let cfg = DaemonConfig {
+        wal: Some(wal),
+        ..DaemonConfig::default()
+    };
+
+    // Run 1: empty directory — recover_and_start begins fresh.
+    let (daemon, info) = Daemon::recover_and_start(cfg.clone()).unwrap();
+    assert_eq!(info.batches, 0);
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let join = std::thread::spawn(move || daemon.run());
+    let mut c = Client::connect(addr).unwrap();
+    let done = c
+        .submit_updates(
+            (0..10)
+                .map(|i| Update::Insert(vec![2 * i, 2 * i + 1]))
+                .collect(),
+        )
+        .unwrap();
+    let ids: Vec<u64> = done
+        .results
+        .iter()
+        .filter_map(|r| match r {
+            UpdateResult::Inserted { id, .. } => Some(*id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ids.len(), 10);
+    let before = c.stats().unwrap();
+    stop.stop();
+    drop(c);
+    let run1 = join.join().unwrap();
+    assert_eq!(run1.service.updates, 10);
+
+    // Run 2: same config, new process lifecycle — recovery resumes the
+    // log (checkpoint + tail segments) and serves the identical state.
+    let (daemon, info) = Daemon::recover_and_start(cfg.clone()).unwrap();
+    assert_eq!(info.batches, run1.service.wal_batches);
+    let addr = daemon.local_addr();
+    let stop = daemon.stop_handle();
+    let join = std::thread::spawn(move || daemon.run());
+    let mut c = Client::connect(addr).unwrap();
+    let after = c.stats().unwrap();
+    assert_eq!(after.epoch, 10, "recovered epochs resume at the log's end");
+    assert_eq!(after.num_edges, before.num_edges);
+    assert_eq!(after.matching_size, before.matching_size);
+
+    // Recovered ids are live: deleting one over the wire succeeds.
+    let done = c
+        .submit_updates(vec![Update::Delete(pbdmm_graph::EdgeId(ids[0]))])
+        .unwrap();
+    assert!(matches!(done.results[0], UpdateResult::Deleted { .. }));
+    stop.stop();
+    drop(c);
+    let run2 = join.join().unwrap();
+    assert_eq!(run2.structure.num_edges(), before.num_edges as usize - 1);
+    pbdmm_matching::verify::check_invariants(&run2.structure).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }

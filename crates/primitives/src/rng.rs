@@ -24,6 +24,14 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state. `SplitMix64::new(state)` reproduces the
+    /// generator exactly from here — the checkpoint/restore hook (the state
+    /// *is* the whole generator; outputs are a pure mix of it).
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -144,6 +144,14 @@ impl<T> Slab<T> {
         self.free.len()
     }
 
+    /// The free list in reuse order: the *last* entry is the next slot
+    /// [`Self::insert`] hands out (LIFO). Serialized verbatim by
+    /// checkpoints so a restored slab allocates identically.
+    #[inline]
+    pub fn free_list(&self) -> &[u32] {
+        &self.free
+    }
+
     /// Iterate over live `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> + '_ {
         self.slots
@@ -157,6 +165,27 @@ impl<T> Slab<T> {
         self.slots.clear();
         self.free.clear();
         self.live = 0;
+    }
+}
+
+impl Slab<()> {
+    /// Rebuild a unit slab from its high-water mark and free list (the
+    /// checkpoint-restore hook for id allocators): every index below
+    /// `high_water` that is not on the free list is live, and the free
+    /// list's LIFO order is preserved verbatim so the restored slab hands
+    /// out ids identically. Rejects out-of-range or duplicate free indices.
+    pub fn from_occupancy(high_water: usize, free: Vec<u32>) -> Result<Self, String> {
+        let mut slots: Vec<Option<()>> = vec![Some(()); high_water];
+        for &i in &free {
+            let slot = slots
+                .get_mut(i as usize)
+                .ok_or_else(|| format!("free index {i} beyond high water {high_water}"))?;
+            if slot.take().is_none() {
+                return Err(format!("free index {i} repeated"));
+            }
+        }
+        let live = high_water - free.len();
+        Ok(Slab { slots, free, live })
     }
 }
 

@@ -29,7 +29,7 @@
 //!    update's position in the global apply order.
 //!
 //! The **read path** rides on epoch snapshots: start the service with
-//! [`UpdateService::start_serving`] and any number of reader threads
+//! [`ServiceBuilder::start_serving`] and any number of reader threads
 //! resolve `is_matched` / `partner` / `stats` queries through a cloneable
 //! [`QueryHandle`] against the latest snapshot the structure published —
 //! never blocking the coalescer. Every [`Completion`] carries the epoch at
@@ -44,13 +44,11 @@
 //!
 //! ```
 //! use pbdmm_matching::DynamicMatching;
-//! use pbdmm_service::{CoalescePolicy, Done, ServiceConfig, UpdateService};
+//! use pbdmm_service::{Done, ServiceConfig};
 //!
-//! let svc = UpdateService::start(
-//!     DynamicMatching::with_seed(42),
-//!     ServiceConfig { policy: CoalescePolicy::default(), ..Default::default() },
-//! )
-//! .unwrap();
+//! let svc = ServiceConfig::builder()
+//!     .start(DynamicMatching::with_seed(42))
+//!     .unwrap();
 //!
 //! // Producers: clone the handle freely across threads.
 //! let h = svc.handle();
@@ -80,8 +78,11 @@ pub mod replay;
 pub mod service;
 
 pub use coalesce::{plan_batch, BatchPlan, CoalescePolicy, Slot};
-pub use replay::{replay_into, replay_matching, replay_setcover, ReplayReport};
+pub use replay::{
+    recover_dir_with, recover_matching_from_dir, replay_into, replay_matching, replay_setcover,
+    Recovery, RecoveryInfo, ReplayReport,
+};
 pub use service::{
-    Completion, Done, QueryHandle, ServiceConfig, ServiceError, ServiceHandle, ServiceStats,
-    Ticket, UpdateService, WalConfig,
+    Completion, Done, QueryHandle, ServiceBuilder, ServiceConfig, ServiceError, ServiceHandle,
+    ServiceStats, ServingRecovery, Ticket, UpdateService, WalConfig,
 };

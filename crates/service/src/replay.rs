@@ -12,9 +12,12 @@
 //! since the structure's coins are a function of its seed alone — reproduces
 //! the exact final state, matching included.
 
+use std::path::{Path, PathBuf};
+
 use pbdmm_graph::update::Update;
-use pbdmm_graph::wal::Wal;
+use pbdmm_graph::wal::{read_wal_file, Wal, WalMeta};
 use pbdmm_matching::api::BatchDynamic;
+use pbdmm_matching::checkpoint::Checkpoint;
 use pbdmm_matching::DynamicMatching;
 use pbdmm_setcover::DynamicSetCover;
 
@@ -145,6 +148,355 @@ pub fn replay_setcover(wal: &Wal) -> Result<(DynamicSetCover, ReplayReport), Str
     Ok((c, report))
 }
 
+// ---------------------------------------------------------------------------
+// Segment-directory recovery
+// ---------------------------------------------------------------------------
+
+/// Path of the segment whose first batch has global sequence `seq`.
+pub(crate) fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{seq:06}.seg"))
+}
+
+/// Path of the checkpoint capturing the state after `seq` batches.
+pub(crate) fn ckpt_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{seq:06}.ckpt"))
+}
+
+/// The recognized files of a WAL segment directory, each sorted ascending
+/// by sequence number. Unrecognized names (including in-flight
+/// `*.ckpt.tmp` files) are ignored.
+pub(crate) struct WalDirContents {
+    /// `(first batch seq, path)` per `NNNNNN.seg`.
+    pub segments: Vec<(u64, PathBuf)>,
+    /// `(batches covered, path)` per `NNNNNN.ckpt`.
+    pub checkpoints: Vec<(u64, PathBuf)>,
+}
+
+/// Scan a WAL directory for segments and checkpoints.
+pub(crate) fn list_wal_dir(dir: &Path) -> Result<WalDirContents, String> {
+    let mut segments = Vec::new();
+    let mut checkpoints = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("read WAL dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read WAL dir {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let parse = |stem: &str| stem.parse::<u64>().ok();
+        if let Some(stem) = name.strip_suffix(".seg") {
+            if let Some(seq) = parse(stem) {
+                segments.push((seq, entry.path()));
+            }
+        } else if let Some(stem) = name.strip_suffix(".ckpt") {
+            if let Some(seq) = parse(stem) {
+                checkpoints.push((seq, entry.path()));
+            }
+        }
+    }
+    segments.sort_unstable_by_key(|(seq, _)| *seq);
+    checkpoints.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(WalDirContents {
+        segments,
+        checkpoints,
+    })
+}
+
+/// Outcome of [`recover_dir_with`]: the reconstructed structure plus what
+/// recovery actually did (which checkpoint it loaded, how much log it
+/// replayed).
+pub struct Recovery<S> {
+    /// The reconstructed structure, ready to serve or resume appending.
+    pub structure: S,
+    /// Sequence of the checkpoint recovery started from (= batches already
+    /// baked into it), or `None` when it replayed from genesis.
+    pub checkpoint: Option<u64>,
+    /// Total committed batches reconstructed — the sequence the next
+    /// appended batch gets, and the resume point for a new segment.
+    pub next_seq: u64,
+    /// Segments whose batches were replayed (not counting segments
+    /// skipped because a checkpoint already covered them).
+    pub segments_replayed: u64,
+    /// Merged replay report over the replayed tail.
+    pub report: ReplayReport,
+    /// Metadata shared by every segment (validated for agreement).
+    pub meta: WalMeta,
+    /// Whether the final segment ended in a torn append (dropped, exactly
+    /// like single-file replay).
+    pub truncated: bool,
+}
+
+/// The structure-free summary of a [`Recovery`] — what the service builder
+/// hands back after recovery, once the structure itself has been moved
+/// into the running service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Checkpoint recovery started from, or `None` for genesis replay.
+    pub checkpoint: Option<u64>,
+    /// Total committed batches reconstructed.
+    pub batches: u64,
+    /// Segments replayed past the checkpoint.
+    pub segments_replayed: u64,
+    /// Merged replay report over the replayed tail.
+    pub report: ReplayReport,
+    /// Whether a torn final append was dropped.
+    pub truncated: bool,
+}
+
+impl<S> Recovery<S> {
+    /// The structure-free summary of this recovery.
+    pub fn info(&self) -> RecoveryInfo {
+        RecoveryInfo {
+            checkpoint: self.checkpoint,
+            batches: self.next_seq,
+            segments_replayed: self.segments_replayed,
+            report: self.report,
+            truncated: self.truncated,
+        }
+    }
+}
+
+/// Replay one already-decoded tail segment into a **non-fresh** structure.
+///
+/// Unlike [`replay_into`], the target carries prior state (a restored
+/// checkpoint plus earlier segments), so insert ids cannot be predicted
+/// here — and need not be: a live recorder only logs deletes of ids that
+/// were live when the batch applied, so a recorded segment never
+/// forward-references its own inserts. Any planner rejection is therefore
+/// log corruption, not a replayable quirk.
+fn replay_tail_into<S: BatchDynamic>(
+    s: &mut S,
+    wal: &Wal,
+    report: &mut ReplayReport,
+) -> Result<(), String> {
+    for (i, batch) in wal.batches.iter().enumerate() {
+        let seq = wal.base + i as u64;
+        let plan = plan_batch(
+            batch.as_slice().to_vec(),
+            |id| s.contains_edge(id),
+            |_| false,
+        );
+        for slot in &plan.slots {
+            match slot {
+                Slot::RejectUnknown(id) => {
+                    return Err(format!("batch {seq}: delete of unknown edge {id}"));
+                }
+                Slot::RejectEmpty => {
+                    return Err(format!("batch {seq}: insert with empty vertex set"));
+                }
+                _ => {}
+            }
+        }
+        debug_assert!(plan.deferred.is_empty(), "recorded logs never defer");
+        if !plan.batch.is_empty() {
+            report.updates += plan.batch.len() as u64;
+            report.applies += 1;
+            s.apply(plan.batch)
+                .map_err(|e| format!("batch {seq}: {e}"))?;
+        }
+        report.batches += 1;
+    }
+    Ok(())
+}
+
+/// Replay the contiguous run of segments starting at sequence `start` into
+/// `s`, validating filename/header agreement and segment contiguity.
+/// Returns `(next_seq, segments_replayed, truncated)`.
+fn replay_segments_from<S: BatchDynamic>(
+    s: &mut S,
+    segments: &[(u64, PathBuf)],
+    start: u64,
+    meta: &WalMeta,
+    report: &mut ReplayReport,
+) -> Result<(u64, u64, bool), String> {
+    let first = segments
+        .iter()
+        .position(|&(base, _)| base == start)
+        .ok_or_else(|| {
+            format!("no segment starts at batch {start} (history compacted away or missing)")
+        })?;
+    let tail = &segments[first..];
+    let mut expected = start;
+    let mut replayed = 0u64;
+    let mut truncated = false;
+    for (i, (base, path)) in tail.iter().enumerate() {
+        let is_last = i + 1 == tail.len();
+        if *base != expected {
+            return Err(format!(
+                "gap in WAL segments: {} starts at batch {base}, expected {expected}",
+                path.display()
+            ));
+        }
+        let wal = match read_wal_file(path) {
+            Ok(wal) => wal,
+            // An unreadable *final* segment is a torn rotation (crash while
+            // the new segment file was being created): nothing committed can
+            // live in it, so recovery keeps the prefix instead of erroring.
+            Err(_) if is_last => {
+                truncated = true;
+                break;
+            }
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        if wal.base != *base || wal.meta != *meta {
+            // Same torn-rotation tolerance: a final segment whose header
+            // was cut mid-write parses with default/partial metadata. It is
+            // only forgivable when it carries no committed batches — the
+            // writer appends strictly after a clean header.
+            if is_last && wal.batches.is_empty() {
+                truncated = true;
+                break;
+            }
+            if wal.base != *base {
+                return Err(format!(
+                    "{}: header says base {}, filename says {base}",
+                    path.display(),
+                    wal.base
+                ));
+            }
+            return Err(format!(
+                "{}: segment metadata disagrees with the rest of the log",
+                path.display()
+            ));
+        }
+        replay_tail_into(s, &wal, report)?;
+        expected += wal.batches.len() as u64;
+        replayed += 1;
+        if wal.truncated {
+            // A torn append is tolerable only at the very end of the log:
+            // the writer rotates strictly after a clean append+apply, so a
+            // mid-chain segment that reads as torn is corruption — unless
+            // the next segment picks up exactly where the readable prefix
+            // ends (then the "torn" bytes were a rolled-back batch).
+            match tail.get(i + 1) {
+                None => truncated = true,
+                Some((next_base, next_path)) if *next_base != expected => {
+                    return Err(format!(
+                        "{}: torn mid-log segment ({} committed batches, next \
+                         segment {} starts at {next_base})",
+                        path.display(),
+                        expected,
+                        next_path.display()
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok((expected, replayed, truncated))
+}
+
+/// Recover a structure from a WAL segment directory: load the newest
+/// readable checkpoint, then replay only the segments past it.
+///
+/// `make` builds a fresh structure (correct seed and id mode) each time a
+/// starting point is tried: checkpoints are attempted newest to oldest, a
+/// torn or unreadable one falls back to the next older, and when none is
+/// usable (or `from_genesis` is set, or the structure reports
+/// [`Checkpoint::checkpoint_supported`] false) the whole log replays from
+/// segment 0. Recovery therefore never errors on a torn checkpoint — only
+/// on genuine log corruption or compacted-away history it cannot bridge.
+pub fn recover_dir_with<S, F>(
+    dir: &Path,
+    mut make: F,
+    from_genesis: bool,
+) -> Result<Recovery<S>, String>
+where
+    S: BatchDynamic + Checkpoint,
+    F: FnMut() -> S,
+{
+    let contents = list_wal_dir(dir)?;
+    if contents.segments.is_empty() {
+        return Err(format!("WAL dir {} contains no segments", dir.display()));
+    }
+    // Metadata is identical across segments (validated during replay);
+    // read it once from the oldest.
+    let (_, oldest) = &contents.segments[0];
+    let meta = read_wal_file(oldest)
+        .map_err(|e| format!("{}: {e}", oldest.display()))?
+        .meta;
+    let use_ckpts = !from_genesis && make().checkpoint_supported();
+    if use_ckpts {
+        for (seq, path) in contents.checkpoints.iter().rev() {
+            let mut s = make();
+            let loaded = std::fs::File::open(path)
+                .map_err(|e| e.to_string())
+                .and_then(|f| s.read_checkpoint(&mut std::io::BufReader::new(f)));
+            if loaded.is_err() {
+                // Torn or unreadable checkpoint (e.g. crash mid-rename on a
+                // filesystem without atomic rename): fall back one.
+                continue;
+            }
+            let mut report = ReplayReport::default();
+            match replay_segments_from(&mut s, &contents.segments, *seq, &meta, &mut report) {
+                Ok((next_seq, segments_replayed, truncated)) => {
+                    return Ok(Recovery {
+                        structure: s,
+                        checkpoint: Some(*seq),
+                        next_seq,
+                        segments_replayed,
+                        report,
+                        meta,
+                        truncated,
+                    });
+                }
+                // The segment run starting at this checkpoint is unusable
+                // (e.g. its segment was lost); an older checkpoint starts
+                // further back and may bridge the gap.
+                Err(_) => continue,
+            }
+        }
+    }
+    // Genesis: the full history must still be on disk.
+    let mut s = make();
+    let mut report = ReplayReport::default();
+    let (next_seq, segments_replayed, truncated) =
+        replay_segments_from(&mut s, &contents.segments, 0, &meta, &mut report)?;
+    Ok(Recovery {
+        structure: s,
+        checkpoint: None,
+        next_seq,
+        segments_replayed,
+        report,
+        meta,
+        truncated,
+    })
+}
+
+/// Recover a [`DynamicMatching`] from a WAL segment directory, deriving
+/// seed and id mode from the segment metadata. See [`recover_dir_with`].
+pub fn recover_matching_from_dir(
+    dir: &Path,
+    from_genesis: bool,
+) -> Result<Recovery<DynamicMatching>, String> {
+    let contents = list_wal_dir(dir)?;
+    let (_, oldest) = contents
+        .segments
+        .first()
+        .ok_or_else(|| format!("WAL dir {} contains no segments", dir.display()))?;
+    let meta = read_wal_file(oldest)
+        .map_err(|e| format!("{}: {e}", oldest.display()))?
+        .meta;
+    if meta.structure != "matching" {
+        return Err(format!(
+            "WAL records structure {:?}, not a matching",
+            meta.structure
+        ));
+    }
+    let seed = meta.seed;
+    let recycling = meta.ids_recycling;
+    recover_dir_with(
+        dir,
+        move || {
+            let mut m = DynamicMatching::with_seed(seed);
+            if recycling {
+                m.set_recycle_ids(true);
+            }
+            m
+        },
+        from_genesis,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,7 +510,9 @@ mod tests {
             meta: WalMeta {
                 structure: "matching".into(),
                 seed: 11,
+                ids_recycling: false,
             },
+            base: 0,
             batches,
             truncated: false,
         }
@@ -263,7 +617,9 @@ mod tests {
             meta: WalMeta {
                 structure: "setcover".into(),
                 seed: 3,
+                ids_recycling: false,
             },
+            base: 0,
             batches,
             truncated: false,
         };

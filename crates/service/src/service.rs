@@ -13,7 +13,8 @@
 //! [`BatchOutcome::per_update`]: pbdmm_matching::api::BatchOutcome::per_update
 
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -23,10 +24,14 @@ use pbdmm_graph::edge::{EdgeId, EdgeVertices};
 use pbdmm_graph::update::{Batch, Update};
 use pbdmm_graph::wal::{self, WalMeta};
 use pbdmm_matching::api::{BatchDynamic, UpdateError};
+use pbdmm_matching::checkpoint::Checkpoint;
 use pbdmm_matching::snapshot::{Snapshot, SnapshotReader, Snapshots};
 use pbdmm_primitives::pool::ParPool;
 
 use crate::coalesce::{plan_batch, CoalescePolicy, Slot};
+use crate::replay::{
+    ckpt_path, list_wal_dir, recover_dir_with, segment_path, Recovery, RecoveryInfo,
+};
 
 /// Why a single submitted update failed. Per-update: one bad submission
 /// never poisons the batch it was coalesced into.
@@ -203,6 +208,13 @@ pub struct ServiceStats {
     pub max_batch_len: usize,
     /// Batches appended to the WAL (0 when no WAL is configured).
     pub wal_batches: u64,
+    /// Checkpoints made durable (segmented WAL with a checkpoint interval).
+    pub checkpoints: u64,
+    /// Checkpoint writes that failed (the service keeps running — a missed
+    /// checkpoint only means recovery replays a longer tail).
+    pub checkpoint_failures: u64,
+    /// Old WAL segments deleted by compaction.
+    pub wal_segments_removed: u64,
 }
 
 impl ServiceStats {
@@ -219,7 +231,8 @@ impl ServiceStats {
 /// Durable-log configuration for an [`UpdateService`].
 #[derive(Debug, Clone)]
 pub struct WalConfig {
-    /// File to append the log to.
+    /// Where the log lives: a single append-only file ([`Self::new`]), or a
+    /// segment directory ([`Self::dir`]).
     pub path: PathBuf,
     /// Header metadata — record the structure kind and seed so
     /// [`crate::replay`] can rebuild an identically-seeded instance.
@@ -227,28 +240,56 @@ pub struct WalConfig {
     /// `fsync` after every appended batch (durability against power loss,
     /// not just process crash). Default `false`: flush to the OS only.
     pub sync: bool,
-    /// Overwrite an existing non-empty file at `path`. Default `false`:
+    /// Overwrite existing log content at `path`. Default `false`:
     /// [`UpdateService::start`] refuses rather than silently destroying a
     /// previous run's log — the artifact crash recovery depends on. Set it
     /// only for scratch logs.
     pub truncate: bool,
+    /// Segmented directory mode: `path` is a directory of numbered
+    /// `NNNNNN.seg` files (each a self-contained WAL whose `# base:` header
+    /// carries its first batch seq) plus `NNNNNN.ckpt` checkpoints at
+    /// segment boundaries. Recovery loads the newest intact checkpoint and
+    /// replays only the tail segments after it.
+    pub segmented: bool,
+    /// Segmented mode: take a checkpoint (and rotate the segment) after at
+    /// least this many updates, provided the structure supports
+    /// checkpointing. `None` disables rotation — one segment, full-replay
+    /// recovery.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl WalConfig {
-    /// A flush-only (no fsync), overwrite-refusing WAL at `path` with the
-    /// given metadata.
+    /// A flush-only (no fsync), overwrite-refusing single-file WAL at
+    /// `path` with the given metadata.
     pub fn new(path: impl Into<PathBuf>, meta: WalMeta) -> Self {
         WalConfig {
             path: path.into(),
             meta,
             sync: false,
             truncate: false,
+            segmented: false,
+            checkpoint_every: None,
         }
     }
+
+    /// A segmented WAL directory at `path` with checkpoint/compaction
+    /// enabled at the default interval (see
+    /// [`WalConfig::DEFAULT_CHECKPOINT_EVERY`]).
+    pub fn dir(path: impl Into<PathBuf>, meta: WalMeta) -> Self {
+        WalConfig {
+            segmented: true,
+            checkpoint_every: Some(Self::DEFAULT_CHECKPOINT_EVERY),
+            ..Self::new(path, meta)
+        }
+    }
+
+    /// Default checkpoint interval for [`WalConfig::dir`], in updates.
+    pub const DEFAULT_CHECKPOINT_EVERY: u64 = 65_536;
 }
 
 /// Service configuration: batching policy, optional WAL, optional pinned
-/// scheduler.
+/// scheduler. Construct through [`ServiceConfig::builder`] — the struct
+/// remains public for inspection and for code that stores a config.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceConfig {
     /// Size/latency batching policy.
@@ -259,11 +300,320 @@ pub struct ServiceConfig {
     pub pool: Option<Arc<ParPool>>,
 }
 
+impl ServiceConfig {
+    /// The one construction surface for services: configure policy, WAL
+    /// (single file or segment directory), fsync, checkpoint interval, and
+    /// scheduler, then call a terminal ([`ServiceBuilder::start`],
+    /// [`ServiceBuilder::start_serving`],
+    /// [`ServiceBuilder::recover_and_start_serving`], …) to get a running
+    /// service — and, for the `serving` terminals, its [`QueryHandle`] — in
+    /// one call.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+}
+
+/// Builder for a running [`UpdateService`]; see [`ServiceConfig::builder`].
+///
+/// ```
+/// use pbdmm_matching::DynamicMatching;
+/// use pbdmm_service::ServiceConfig;
+///
+/// let (svc, query) = ServiceConfig::builder()
+///     .start_serving(DynamicMatching::with_seed(7))
+///     .unwrap();
+/// svc.handle().insert(vec![0, 1]).wait().unwrap();
+/// assert!(query.snapshot().is_matched(0));
+/// svc.shutdown();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServiceBuilder {
+    policy: CoalescePolicy,
+    pool: Option<Arc<ParPool>>,
+    wal: Option<WalConfig>,
+    sync: bool,
+    truncate: bool,
+    /// `Some(override)` once [`Self::checkpoint_every`] was called;
+    /// otherwise the WAL mode's default stands.
+    checkpoint_every: Option<Option<u64>>,
+}
+
+/// What [`ServiceBuilder::recover_and_start_serving`] yields: the resumed
+/// service, the snapshot read handle, and the recovery report.
+pub type ServingRecovery<S> = (
+    UpdateService<S>,
+    QueryHandle<<S as Snapshots>::Snap>,
+    RecoveryInfo,
+);
+
+impl ServiceBuilder {
+    /// Size/latency batching policy (default: [`CoalescePolicy::default`]).
+    pub fn policy(mut self, policy: CoalescePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Pin every `apply` to this scheduler (default: process-global pool).
+    pub fn pool(mut self, pool: Arc<ParPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Log batches to a single append-only WAL file (no rotation, no
+    /// checkpoints; recovery replays the whole file).
+    pub fn wal_file(mut self, path: impl Into<PathBuf>, meta: WalMeta) -> Self {
+        self.wal = Some(WalConfig::new(path, meta));
+        self
+    }
+
+    /// Log batches to a segmented WAL directory with checkpointing and
+    /// compaction (see [`WalConfig::dir`]). Recovery loads the newest
+    /// intact checkpoint and replays only the tail segments.
+    pub fn wal_dir(mut self, path: impl Into<PathBuf>, meta: WalMeta) -> Self {
+        self.wal = Some(WalConfig::dir(path, meta));
+        self
+    }
+
+    /// Adopt a fully-specified [`WalConfig`] (escape hatch; its `sync` /
+    /// `truncate` / `checkpoint_every` become the builder's).
+    pub fn wal(mut self, cfg: WalConfig) -> Self {
+        self.sync = cfg.sync;
+        self.truncate = cfg.truncate;
+        self.checkpoint_every = Some(cfg.checkpoint_every);
+        self.wal = Some(cfg);
+        self
+    }
+
+    /// `fsync` each appended batch (default off: flush to the OS only).
+    /// Order-independent with respect to `wal_file` / `wal_dir`.
+    pub fn wal_sync(mut self, sync: bool) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Overwrite existing log content instead of refusing (scratch logs
+    /// only — see [`WalConfig::truncate`]).
+    pub fn wal_truncate(mut self, truncate: bool) -> Self {
+        self.truncate = truncate;
+        self
+    }
+
+    /// Segmented mode: checkpoint + rotate after at least this many
+    /// updates; `0` disables checkpointing (one segment, full-replay
+    /// recovery). Default: [`WalConfig::DEFAULT_CHECKPOINT_EVERY`].
+    pub fn checkpoint_every(mut self, updates: u64) -> Self {
+        self.checkpoint_every = Some((updates > 0).then_some(updates));
+        self
+    }
+
+    /// The [`ServiceConfig`] this builder currently describes.
+    pub fn config(&self) -> ServiceConfig {
+        let mut wal = self.wal.clone();
+        if let Some(w) = wal.as_mut() {
+            w.sync = self.sync;
+            w.truncate = self.truncate;
+            if let Some(every) = self.checkpoint_every {
+                w.checkpoint_every = every;
+            }
+        }
+        ServiceConfig {
+            policy: self.policy,
+            wal,
+            pool: self.pool.clone(),
+        }
+    }
+
+    /// Terminal: start the service (write path only).
+    pub fn start<S>(self, structure: S) -> Result<UpdateService<S>, ServiceError>
+    where
+        S: BatchDynamic + Checkpoint + Send + 'static,
+    {
+        let config = self.config();
+        let ckpt_fn = ckpt_fn_for(&config, &structure);
+        UpdateService::start_inner(structure, config, 0, 0, ckpt_fn)
+    }
+
+    /// Terminal: start the service with the snapshot read path enabled,
+    /// returning the running service and its [`QueryHandle`] in one call.
+    /// Ordering guarantee as before: a batch's snapshot publishes before
+    /// its tickets complete (read-your-writes).
+    pub fn start_serving<S>(
+        self,
+        mut structure: S,
+    ) -> Result<(UpdateService<S>, QueryHandle<S::Snap>), ServiceError>
+    where
+        S: BatchDynamic + Checkpoint + Snapshots + Send + 'static,
+    {
+        let config = self.config();
+        let ckpt_fn = ckpt_fn_for(&config, &structure);
+        let epoch_base = structure.epoch();
+        let reader = structure.enable_snapshots();
+        let svc = UpdateService::start_inner(structure, config, epoch_base, 0, ckpt_fn)?;
+        Ok((svc, QueryHandle { reader }))
+    }
+
+    /// Terminal: recover from the configured WAL directory (newest intact
+    /// checkpoint + tail segments; see [`crate::replay::recover_dir_with`])
+    /// and resume appending where the log left off. An empty or
+    /// not-yet-created directory starts fresh from `make()` — so a
+    /// crash/restart loop needs no first-run special case.
+    pub fn recover_and_start<S, F>(
+        self,
+        make: F,
+    ) -> Result<(UpdateService<S>, RecoveryInfo), ServiceError>
+    where
+        S: BatchDynamic + Checkpoint + Send + 'static,
+        F: FnMut() -> S,
+    {
+        let (config, rec) = self.recover(make)?;
+        let info = rec.info();
+        let ckpt_fn = ckpt_fn_for(&config, &rec.structure);
+        let svc = UpdateService::start_inner(rec.structure, config, 0, rec.next_seq, ckpt_fn)?;
+        Ok((svc, info))
+    }
+
+    /// Terminal: [`Self::recover_and_start`] plus the snapshot read path —
+    /// the full serving-resume in one call.
+    pub fn recover_and_start_serving<S, F>(
+        self,
+        make: F,
+    ) -> Result<ServingRecovery<S>, ServiceError>
+    where
+        S: BatchDynamic + Checkpoint + Snapshots + Send + 'static,
+        F: FnMut() -> S,
+    {
+        let (config, mut rec) = self.recover(make)?;
+        let info = rec.info();
+        let ckpt_fn = ckpt_fn_for(&config, &rec.structure);
+        let epoch_base = rec.structure.epoch();
+        let reader = rec.structure.enable_snapshots();
+        let svc =
+            UpdateService::start_inner(rec.structure, config, epoch_base, rec.next_seq, ckpt_fn)?;
+        Ok((svc, QueryHandle { reader }, info))
+    }
+
+    fn recover<S, F>(&self, mut make: F) -> Result<(ServiceConfig, Recovery<S>), ServiceError>
+    where
+        S: BatchDynamic + Checkpoint,
+        F: FnMut() -> S,
+    {
+        let config = self.config();
+        let Some(wal) = &config.wal else {
+            return Err(ServiceError::Wal(
+                "recovery requires a WAL directory (ServiceBuilder::wal_dir)".into(),
+            ));
+        };
+        if !wal.segmented {
+            return Err(ServiceError::Wal(
+                "recovery requires a segmented WAL directory, not a single-file WAL".into(),
+            ));
+        }
+        if wal.truncate {
+            return Err(ServiceError::Wal(
+                "recover + truncate are contradictory: truncate destroys the log \
+                 recovery would read"
+                    .into(),
+            ));
+        }
+        // Missing or empty directory: nothing to recover, start fresh.
+        let has_history = match list_wal_dir(&wal.path) {
+            Err(_) => false,
+            Ok(c) => !c.segments.is_empty() || !c.checkpoints.is_empty(),
+        };
+        if !has_history {
+            let rec = Recovery {
+                structure: make(),
+                checkpoint: None,
+                next_seq: 0,
+                segments_replayed: 0,
+                report: crate::replay::ReplayReport::default(),
+                meta: wal.meta.clone(),
+                truncated: false,
+            };
+            return Ok((config, rec));
+        }
+        let rec = recover_dir_with(&wal.path, make, false).map_err(ServiceError::Wal)?;
+        if rec.meta != wal.meta {
+            return Err(ServiceError::Wal(format!(
+                "WAL dir metadata mismatch: the log records {:?}, the builder \
+                 configured {:?} — recovery would resume under the wrong identity",
+                rec.meta, wal.meta
+            )));
+        }
+        Ok((config, rec))
+    }
+}
+
+/// The checkpoint serializer for this configuration, or `None` when the
+/// WAL is absent/unsegmented, checkpointing is disabled, or the structure
+/// does not support it.
+fn ckpt_fn_for<S: Checkpoint>(config: &ServiceConfig, structure: &S) -> Option<CkptFn<S>> {
+    let wal = config.wal.as_ref()?;
+    if !wal.segmented || wal.checkpoint_every.is_none() || !structure.checkpoint_supported() {
+        return None;
+    }
+    Some(Box::new(|s: &S| {
+        let mut buf = Vec::new();
+        s.write_checkpoint(&mut buf)?;
+        Ok(buf)
+    }))
+}
+
+/// Serializes a structure's complete state into a checkpoint payload.
+/// Built where the `Checkpoint` bound is available (the builder terminals),
+/// so the coalescer itself needs no trait bound beyond [`BatchDynamic`].
+type CkptFn<S> = Box<dyn Fn(&S) -> std::io::Result<Vec<u8>> + Send>;
+
+/// Counters the off-thread checkpoint writer publishes; folded into
+/// [`ServiceStats`] at shutdown.
+#[derive(Debug, Default)]
+struct CkptStats {
+    checkpoints: AtomicU64,
+    failures: AtomicU64,
+    segments_removed: AtomicU64,
+}
+
+/// One checkpoint request: the serialized state after exactly `seq` batches.
+struct CkptJob {
+    seq: u64,
+    payload: Vec<u8>,
+}
+
+/// Segment-directory state of a [`WalSink`] (absent in single-file mode).
+struct SegmentedState {
+    dir: PathBuf,
+    meta: WalMeta,
+    checkpoint_every: Option<u64>,
+    /// Updates appended since the last checkpoint/rotation.
+    updates_since_ckpt: u64,
+    /// Hands serialized checkpoints to the writer thread; `None` when the
+    /// structure does not support checkpointing (one segment, no rotation).
+    ckpt_tx: Option<mpsc::Sender<CkptJob>>,
+    ckpt_join: Option<JoinHandle<()>>,
+}
+
+impl Drop for SegmentedState {
+    fn drop(&mut self) {
+        // Disconnect first so the writer drains its queue and exits, then
+        // wait for the in-flight checkpoint to reach disk — shutdown must
+        // not race compaction.
+        drop(self.ckpt_tx.take());
+        if let Some(j) = self.ckpt_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
 /// The write side of the WAL: buffered file + the append-before-apply rule.
+/// In segmented mode `w` is the current segment, rotated at checkpoint
+/// boundaries.
 struct WalSink {
     w: std::io::BufWriter<std::fs::File>,
     sync: bool,
+    /// Global batch sequence the next append gets (continues across
+    /// segments and, after recovery, across process restarts).
     seq: u64,
+    seg: Option<SegmentedState>,
 }
 
 impl WalSink {
@@ -289,7 +639,131 @@ impl WalSink {
             w,
             sync: cfg.sync,
             seq: 0,
+            seg: None,
         })
+    }
+
+    /// Open a segment directory for appending, continuing the global batch
+    /// sequence at `resume_seq` (0 for a fresh log; the recovered batch
+    /// count when the caller just recovered from this directory). A new
+    /// segment `resume_seq.seg` is always started: appending to a possibly
+    /// torn previous segment is never attempted, and by definition no
+    /// committed batch lives at or past `resume_seq`.
+    fn open_dir(
+        cfg: &WalConfig,
+        resume_seq: u64,
+        checkpointing: bool,
+        stats: Arc<CkptStats>,
+    ) -> Result<Self, ServiceError> {
+        let werr = |what: &str, e: std::io::Error| ServiceError::Wal(format!("{what}: {e}"));
+        std::fs::create_dir_all(&cfg.path)
+            .map_err(|e| werr(&format!("create WAL dir {:?}", cfg.path), e))?;
+        let contents = list_wal_dir(&cfg.path).map_err(ServiceError::Wal)?;
+        if cfg.truncate {
+            for (_, p) in contents.segments.iter().chain(contents.checkpoints.iter()) {
+                std::fs::remove_file(p).map_err(|e| werr(&format!("truncate {p:?}"), e))?;
+            }
+        } else if resume_seq == 0
+            && (!contents.segments.is_empty() || !contents.checkpoints.is_empty())
+        {
+            return Err(ServiceError::Wal(format!(
+                "refusing to overwrite existing WAL dir {:?} — recover from it \
+                 (ServiceBuilder::recover*), pick another path, or set \
+                 WalConfig::truncate",
+                cfg.path
+            )));
+        }
+        let seg_path = segment_path(&cfg.path, resume_seq);
+        let file = std::fs::File::create(&seg_path)
+            .map_err(|e| werr(&format!("create segment {seg_path:?}"), e))?;
+        let mut w = std::io::BufWriter::new(file);
+        wal::write_segment_header(&mut w, &cfg.meta, resume_seq)
+            .and_then(|()| w.flush())
+            .and_then(|()| fsync_dir(&cfg.path))
+            .map_err(|e| werr("write segment header", e))?;
+        let (ckpt_tx, ckpt_join) = if checkpointing && cfg.checkpoint_every.is_some() {
+            let (tx, rx) = mpsc::channel::<CkptJob>();
+            let dir = cfg.path.clone();
+            let join = std::thread::Builder::new()
+                .name("pbdmm-ckpt".into())
+                .spawn(move || checkpoint_writer_loop(dir, rx, stats))
+                .expect("spawn checkpoint thread");
+            (Some(tx), Some(join))
+        } else {
+            (None, None)
+        };
+        Ok(WalSink {
+            w,
+            sync: cfg.sync,
+            seq: resume_seq,
+            seg: Some(SegmentedState {
+                dir: cfg.path.clone(),
+                meta: cfg.meta.clone(),
+                checkpoint_every: cfg.checkpoint_every,
+                updates_since_ckpt: 0,
+                ckpt_tx,
+                ckpt_join,
+            }),
+        })
+    }
+
+    /// Post-apply hook: in segmented mode, count `updates` toward the
+    /// checkpoint interval and — when it is reached — serialize the
+    /// structure (in-memory, on the coalescer), rotate to a fresh segment,
+    /// and hand the payload to the checkpoint writer thread, which makes it
+    /// durable and compacts old segments without ever stalling this thread.
+    ///
+    /// Serialization failure only skips the checkpoint (recovery replays a
+    /// longer tail); rotation I/O failure is a real WAL error.
+    fn after_apply<S>(
+        &mut self,
+        s: &S,
+        updates: u64,
+        ckpt: Option<&CkptFn<S>>,
+        stats: &CkptStats,
+    ) -> Result<(), ServiceError> {
+        let Some(seg) = self.seg.as_mut() else {
+            return Ok(());
+        };
+        let (Some(every), Some(ckpt)) = (seg.checkpoint_every, ckpt) else {
+            return Ok(());
+        };
+        if seg.ckpt_tx.is_none() {
+            return Ok(());
+        }
+        seg.updates_since_ckpt += updates;
+        if seg.updates_since_ckpt < every {
+            return Ok(());
+        }
+        // The payload is the state after exactly `self.seq` batches — the
+        // boundary the new segment starts at.
+        let payload = match ckpt(s) {
+            Ok(p) => p,
+            Err(_) => {
+                stats.failures.fetch_add(1, Ordering::Relaxed);
+                seg.updates_since_ckpt = 0;
+                return Ok(());
+            }
+        };
+        let seg_path = segment_path(&seg.dir, self.seq);
+        let next = std::fs::File::create(&seg_path)
+            .map_err(|e| ServiceError::Wal(format!("rotate to {seg_path:?}: {e}")))?;
+        let mut next_w = std::io::BufWriter::new(next);
+        wal::write_segment_header(&mut next_w, &seg.meta, self.seq)
+            .and_then(|()| next_w.flush())
+            .and_then(|()| fsync_dir(&seg.dir))
+            .map_err(|e| ServiceError::Wal(format!("write segment header: {e}")))?;
+        // Retire the old segment: everything in it is already flushed per
+        // append (and fsynced if `sync`); nothing further is owed to it.
+        self.w = next_w;
+        seg.updates_since_ckpt = 0;
+        if let Some(tx) = &seg.ckpt_tx {
+            let _ = tx.send(CkptJob {
+                seq: self.seq,
+                payload,
+            });
+        }
+        Ok(())
     }
 
     /// Byte offset the next append will start at. The buffer is empty
@@ -335,15 +809,100 @@ impl WalSink {
     }
 }
 
+/// Fsync a directory so renames/creations inside it are durable.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_data()
+}
+
+/// The checkpoint writer thread: makes each serialized checkpoint durable
+/// (tmp → fsync → rename → fsync dir) and then compacts the directory —
+/// all off the coalescer, so the hot path never waits on checkpoint I/O.
+/// Exits when the coalescer drops its sender (and drains first, so the
+/// final checkpoint of a run still lands).
+fn checkpoint_writer_loop(dir: PathBuf, rx: mpsc::Receiver<CkptJob>, stats: Arc<CkptStats>) {
+    while let Ok(mut job) = rx.recv() {
+        // If the coalescer outran us, only the newest pending checkpoint
+        // matters — the ones in between are superseded before they ever
+        // reach disk.
+        while let Ok(newer) = rx.try_recv() {
+            job = newer;
+        }
+        match write_checkpoint_file(&dir, job.seq, &job.payload) {
+            Ok(()) => {
+                stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+                // Compaction failure is not fatal: the files retry after
+                // the next checkpoint, and recovery works regardless.
+                if let Ok(removed) = compact_dir(&dir) {
+                    stats.segments_removed.fetch_add(removed, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                stats.failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Durably install one checkpoint file: write to a `.tmp` sibling, fsync,
+/// rename into place, fsync the directory. A crash anywhere in this
+/// sequence leaves either no `NNNNNN.ckpt` or a complete one — recovery
+/// additionally verifies the `# end` trailer, so even a non-atomic rename
+/// cannot smuggle in a torn checkpoint.
+fn write_checkpoint_file(dir: &Path, seq: u64, payload: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{seq:06}.ckpt.tmp"));
+    let dst = ckpt_path(dir, seq);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(payload)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, &dst)?;
+    fsync_dir(dir)
+}
+
+/// Delete log history a retained checkpoint makes redundant. Keeps the two
+/// newest checkpoints (the newest plus one fallback in case the newest is
+/// later found torn), then deletes every segment fully covered by the
+/// *older* retained checkpoint — a segment is dead once its successor's
+/// base is ≤ that checkpoint's sequence, because recovery will never
+/// replay batches below it. The newest segment (the active tail) is never
+/// deleted. Returns the number of segments removed.
+fn compact_dir(dir: &Path) -> std::io::Result<u64> {
+    let contents =
+        list_wal_dir(dir).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let ckpts = &contents.checkpoints;
+    if ckpts.len() > 2 {
+        for (_, path) in &ckpts[..ckpts.len() - 2] {
+            std::fs::remove_file(path)?;
+        }
+    }
+    let Some(&(floor, _)) = ckpts.iter().rev().take(2).next_back() else {
+        return Ok(0);
+    };
+    let mut removed = 0u64;
+    for pair in contents.segments.windows(2) {
+        let (_, path) = &pair[0];
+        let (successor_base, _) = pair[1];
+        if successor_base <= floor {
+            std::fs::remove_file(path)?;
+            removed += 1;
+        }
+    }
+    if removed > 0 || ckpts.len() > 2 {
+        fsync_dir(dir)?;
+    }
+    Ok(removed)
+}
+
 /// A batch-coalescing update service over any [`BatchDynamic`] structure.
 ///
 /// See the [crate docs](crate) for the full lifecycle; in short:
 ///
 /// ```
 /// use pbdmm_matching::DynamicMatching;
-/// use pbdmm_service::{ServiceConfig, UpdateService};
+/// use pbdmm_service::ServiceConfig;
 ///
-/// let svc = UpdateService::start(DynamicMatching::with_seed(7), ServiceConfig::default()).unwrap();
+/// let svc = ServiceConfig::builder().start(DynamicMatching::with_seed(7)).unwrap();
 /// let h = svc.handle();
 /// let t1 = h.insert(vec![0, 1]);
 /// let t2 = h.insert(vec![1, 2]);
@@ -362,7 +921,7 @@ pub struct UpdateService<S: BatchDynamic + Send + 'static> {
 /// The read side of a serving deployment: a cloneable, `Send + Sync`
 /// handle through which any number of reader threads resolve queries
 /// against the **latest published snapshot** — without ever blocking the
-/// coalescer or each other. Obtained from [`UpdateService::start_serving`].
+/// coalescer or each other. Obtained from [`ServiceBuilder::start_serving`].
 ///
 /// Readers see epochs advance monotonically, one step per applied batch;
 /// a snapshot observed after a ticket's `wait()` returned is never older
@@ -370,11 +929,11 @@ pub struct UpdateService<S: BatchDynamic + Send + 'static> {
 ///
 /// ```
 /// use pbdmm_matching::DynamicMatching;
-/// use pbdmm_service::{ServiceConfig, UpdateService};
+/// use pbdmm_service::ServiceConfig;
 ///
-/// let (svc, query) =
-///     UpdateService::start_serving(DynamicMatching::with_seed(7), ServiceConfig::default())
-///         .unwrap();
+/// let (svc, query) = ServiceConfig::builder()
+///     .start_serving(DynamicMatching::with_seed(7))
+///     .unwrap();
 /// let c = svc.handle().insert(vec![0, 1]).wait().unwrap();
 /// // The batch is already visible: read your writes.
 /// assert!(query.epoch() >= c.epoch);
@@ -383,11 +942,11 @@ pub struct UpdateService<S: BatchDynamic + Send + 'static> {
 /// svc.shutdown();
 /// ```
 #[derive(Debug)]
-pub struct QueryHandle<T> {
+pub struct QueryHandle<T: Snapshot> {
     reader: SnapshotReader<T>,
 }
 
-impl<T> Clone for QueryHandle<T> {
+impl<T: Snapshot> Clone for QueryHandle<T> {
     fn clone(&self) -> Self {
         QueryHandle {
             reader: self.reader.clone(),
@@ -395,16 +954,14 @@ impl<T> Clone for QueryHandle<T> {
     }
 }
 
-impl<T> QueryHandle<T> {
+impl<T: Snapshot> QueryHandle<T> {
     /// The latest published snapshot (cheap: an `Arc` clone; the snapshot
     /// itself is immutable and stays valid for as long as the caller holds
     /// it, regardless of how many batches apply meanwhile).
     pub fn snapshot(&self) -> Arc<T> {
         self.reader.latest()
     }
-}
 
-impl<T: Snapshot> QueryHandle<T> {
     /// Epoch of the latest published snapshot: how many updates were
     /// applied when it was captured.
     pub fn epoch(&self) -> u64 {
@@ -420,29 +977,63 @@ impl<T: Snapshot> QueryHandle<T> {
     pub fn wait_for_newer(&self, epoch: u64, timeout: std::time::Duration) -> Arc<T> {
         self.reader.wait_for_newer(epoch, timeout)
     }
+
+    /// What changed since `epoch`: up-to-date, a merged
+    /// [`pbdmm_matching::snapshot::Snapshot::Delta`], or a full resync
+    /// snapshot if the subscriber fell behind the publication ring. See
+    /// [`SnapshotReader::changes_since`] — this is how network
+    /// subscriptions stream deltas instead of epoch pings.
+    pub fn changes_since(&self, epoch: u64) -> pbdmm_matching::snapshot::Changes<T> {
+        self.reader.changes_since(epoch)
+    }
+
+    /// The underlying [`SnapshotReader`] (the full read surface: `latest /
+    /// epoch / wait_for_newer / changes_since`), cloneable independently of
+    /// the handle.
+    pub fn reader(&self) -> &SnapshotReader<T> {
+        &self.reader
+    }
 }
 
 impl<S: BatchDynamic + Send + 'static> UpdateService<S> {
     /// Start the service: spawns the coalescer thread, which takes
     /// ownership of `structure` (get it back from [`Self::shutdown`]).
     /// Fails only if the WAL cannot be created.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ServiceConfig::builder().start(structure) — the builder is the \
+                one construction surface and enables checkpointing on segmented WALs"
+    )]
     pub fn start(structure: S, config: ServiceConfig) -> Result<Self, ServiceError> {
-        Self::start_inner(structure, config, 0)
+        Self::start_inner(structure, config, 0, 0, None)
     }
 
     fn start_inner(
         structure: S,
         config: ServiceConfig,
         epoch_base: u64,
+        resume_seq: u64,
+        ckpt_fn: Option<CkptFn<S>>,
     ) -> Result<Self, ServiceError> {
+        let ckpt_stats = Arc::new(CkptStats::default());
         let wal_sink = match &config.wal {
+            Some(cfg) if cfg.segmented => Some(WalSink::open_dir(
+                cfg,
+                resume_seq,
+                ckpt_fn.is_some(),
+                Arc::clone(&ckpt_stats),
+            )?),
             Some(cfg) => Some(WalSink::open(cfg)?),
             None => None,
         };
         let (tx, rx) = mpsc::channel();
         let join = std::thread::Builder::new()
             .name("pbdmm-coalescer".into())
-            .spawn(move || coalescer_loop(structure, config, wal_sink, rx, epoch_base))
+            .spawn(move || {
+                coalescer_loop(
+                    structure, config, wal_sink, rx, epoch_base, ckpt_fn, ckpt_stats,
+                )
+            })
             .expect("spawn coalescer thread");
         Ok(UpdateService {
             tx: Some(tx),
@@ -462,6 +1053,11 @@ impl<S: BatchDynamic + Send + 'static> UpdateService<S> {
     /// `query.epoch() >= c.epoch` always holds (read-your-writes), and
     /// every published epoch equals the prefix of the apply history (= the
     /// WAL) it reflects.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ServiceConfig::builder().start_serving(structure) — the builder is \
+                the one construction surface and enables checkpointing on segmented WALs"
+    )]
     pub fn start_serving(
         mut structure: S,
         config: ServiceConfig,
@@ -475,7 +1071,7 @@ impl<S: BatchDynamic + Send + 'static> UpdateService<S> {
         // structure starts fresh, and differ by this base otherwise.
         let epoch_base = structure.epoch();
         let reader = structure.enable_snapshots();
-        let svc = Self::start_inner(structure, config, epoch_base)?;
+        let svc = Self::start_inner(structure, config, epoch_base, 0, None)?;
         Ok((svc, QueryHandle { reader }))
     }
 
@@ -515,6 +1111,8 @@ fn coalescer_loop<S: BatchDynamic>(
     mut wal: Option<WalSink>,
     rx: mpsc::Receiver<Msg>,
     epoch_base: u64,
+    ckpt_fn: Option<CkptFn<S>>,
+    ckpt_stats: Arc<CkptStats>,
 ) -> (S, ServiceStats) {
     let policy = config.policy;
     let max_batch = policy.max_batch.max(1);
@@ -725,6 +1323,22 @@ fn coalescer_loop<S: BatchDynamic>(
             }
         };
 
+        // --- Checkpoint accounting (segmented WAL only) -------------------
+        // The batch is durable and applied; fold it into the checkpoint
+        // interval, rotating + scheduling a checkpoint at the boundary.
+        // A rotation failure wedges the WAL like any other log I/O failure
+        // — but only for *future* batches; this one is already committed.
+        if outcome.is_some() {
+            if let Some(sink) = wal.as_mut() {
+                if let Err(e) =
+                    sink.after_apply(&s, batch_len as u64, ckpt_fn.as_ref(), &ckpt_stats)
+                {
+                    wal = None;
+                    wal_wedged = Some(e);
+                }
+            }
+        }
+
         // --- Complete tickets with their BatchOutcome slices --------------
         // Slot `pos` maps into the outcome exactly as `per_update` would:
         // positions below `num_deletes` are the delete prefix, the rest
@@ -780,6 +1394,13 @@ fn coalescer_loop<S: BatchDynamic>(
             break;
         }
     }
+    // Dropping the sink disconnects the checkpoint writer, which drains its
+    // queue (so a final in-flight checkpoint still lands) and is joined —
+    // only then are the checkpoint counters final.
+    drop(wal);
+    stats.checkpoints = ckpt_stats.checkpoints.load(Ordering::Relaxed);
+    stats.checkpoint_failures = ckpt_stats.failures.load(Ordering::Relaxed);
+    stats.wal_segments_removed = ckpt_stats.segments_removed.load(Ordering::Relaxed);
     (s, stats)
 }
 
@@ -790,19 +1411,16 @@ mod tests {
     use pbdmm_matching::DynamicMatching;
     use std::time::Duration;
 
-    fn quick_config() -> ServiceConfig {
-        ServiceConfig {
-            policy: CoalescePolicy {
-                max_batch: 1024,
-                max_delay: Duration::from_millis(100),
-            },
-            ..Default::default()
-        }
+    fn quick() -> ServiceBuilder {
+        ServiceConfig::builder().policy(CoalescePolicy {
+            max_batch: 1024,
+            max_delay: Duration::from_millis(100),
+        })
     }
 
     #[test]
     fn insert_then_delete_through_tickets() {
-        let svc = UpdateService::start(DynamicMatching::with_seed(1), quick_config()).unwrap();
+        let svc = quick().start(DynamicMatching::with_seed(1)).unwrap();
         let h = svc.handle();
         let tickets: Vec<Ticket> = (0..8).map(|v| h.insert(vec![v, v + 1])).collect();
         let ids: Vec<EdgeId> = tickets
@@ -829,7 +1447,7 @@ mod tests {
 
     #[test]
     fn coalesced_duplicate_deletes_resolve_idempotently() {
-        let svc = UpdateService::start(DynamicMatching::with_seed(2), quick_config()).unwrap();
+        let svc = quick().start(DynamicMatching::with_seed(2)).unwrap();
         let h = svc.handle();
         let id = h.insert(vec![0, 1]).wait().unwrap().done.id();
         // Both deletes are queued before the 100ms window closes, so they
@@ -849,7 +1467,7 @@ mod tests {
 
     #[test]
     fn bad_updates_are_rejected_individually() {
-        let svc = UpdateService::start(DynamicMatching::with_seed(3), quick_config()).unwrap();
+        let svc = quick().start(DynamicMatching::with_seed(3)).unwrap();
         let h = svc.handle();
         let good = h.insert(vec![0, 1]);
         let empty = h.insert(vec![]);
@@ -866,7 +1484,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_backlog_and_closes_later_submits() {
-        let svc = UpdateService::start(DynamicMatching::with_seed(4), quick_config()).unwrap();
+        let svc = quick().start(DynamicMatching::with_seed(4)).unwrap();
         let h = svc.handle();
         let pre = h.insert(vec![0, 1]);
         // Shutdown with the handle still alive: everything queued before the
@@ -882,11 +1500,10 @@ mod tests {
 
     #[test]
     fn singleton_policy_applies_one_update_per_batch() {
-        let cfg = ServiceConfig {
-            policy: CoalescePolicy::singleton(),
-            ..Default::default()
-        };
-        let svc = UpdateService::start(DynamicMatching::with_seed(5), cfg).unwrap();
+        let svc = ServiceConfig::builder()
+            .policy(CoalescePolicy::singleton())
+            .start(DynamicMatching::with_seed(5))
+            .unwrap();
         let h = svc.handle();
         for v in 0..6u32 {
             h.insert(vec![v, v + 1]).wait().unwrap();
@@ -900,8 +1517,9 @@ mod tests {
 
     #[test]
     fn query_handle_reads_latest_epoch_and_state() {
-        let (svc, q) =
-            UpdateService::start_serving(DynamicMatching::with_seed(8), quick_config()).unwrap();
+        let (svc, q) = quick()
+            .start_serving(DynamicMatching::with_seed(8))
+            .unwrap();
         assert_eq!(q.epoch(), 0);
         assert_eq!(q.snapshot().num_edges(), 0);
         let h = svc.handle();
@@ -930,8 +1548,9 @@ mod tests {
 
     #[test]
     fn wait_for_newer_observes_batches_as_they_publish() {
-        let (svc, q) =
-            UpdateService::start_serving(DynamicMatching::with_seed(12), quick_config()).unwrap();
+        let (svc, q) = quick()
+            .start_serving(DynamicMatching::with_seed(12))
+            .unwrap();
         let h = svc.handle();
         // Timeout path: nothing newer than epoch 0 exists yet.
         let snap = q.wait_for_newer(0, Duration::from_millis(5));
@@ -954,11 +1573,10 @@ mod tests {
     fn completion_epochs_are_batch_visibility_points() {
         // Singleton batches: each update's epoch is its seq + 1 (visible
         // right after its own one-update batch).
-        let cfg = ServiceConfig {
-            policy: CoalescePolicy::singleton(),
-            ..Default::default()
-        };
-        let (svc, q) = UpdateService::start_serving(DynamicMatching::with_seed(9), cfg).unwrap();
+        let (svc, q) = ServiceConfig::builder()
+            .policy(CoalescePolicy::singleton())
+            .start_serving(DynamicMatching::with_seed(9))
+            .unwrap();
         let h = svc.handle();
         for v in 0..5u32 {
             let c = h.insert(vec![v, v + 1]).wait().unwrap();
@@ -976,7 +1594,7 @@ mod tests {
         // history, and read-your-writes holds throughout.
         let mut m = DynamicMatching::with_seed(10);
         let pre = m.insert_edges(&[vec![0, 1], vec![2, 3]]);
-        let (svc, q) = UpdateService::start_serving(m, quick_config()).unwrap();
+        let (svc, q) = quick().start_serving(m).unwrap();
         assert_eq!(q.epoch(), 2);
         assert!(q.snapshot().contains_edge(pre[0]));
         let c = svc.handle().insert(vec![4, 5]).wait().unwrap();
@@ -987,8 +1605,149 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        // The pre-builder surface stays functional (no checkpointing).
+        let svc =
+            UpdateService::start(DynamicMatching::with_seed(20), ServiceConfig::default()).unwrap();
+        svc.handle().insert(vec![0, 1]).wait().unwrap();
+        let (m, _) = svc.shutdown();
+        assert_eq!(m.num_edges(), 1);
+        let (svc, q) =
+            UpdateService::start_serving(DynamicMatching::with_seed(21), ServiceConfig::default())
+                .unwrap();
+        svc.handle().insert(vec![0, 1]).wait().unwrap();
+        assert!(q.snapshot().is_matched(0));
+        svc.shutdown();
+    }
+
+    fn temp_wal_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn meta(seed: u64) -> WalMeta {
+        WalMeta {
+            structure: "matching".into(),
+            seed,
+            ids_recycling: false,
+        }
+    }
+
+    #[test]
+    fn segmented_wal_checkpoints_and_recovers() {
+        let dir = temp_wal_dir("pbdmm_svc_seg_rotate");
+        let svc = ServiceConfig::builder()
+            .policy(CoalescePolicy::singleton())
+            .wal_dir(&dir, meta(33))
+            .checkpoint_every(8)
+            .start(DynamicMatching::with_seed(33))
+            .unwrap();
+        let h = svc.handle();
+        for v in 0..40u32 {
+            h.insert(vec![2 * v, 2 * v + 1]).wait().unwrap();
+        }
+        drop(h);
+        let (m, stats) = svc.shutdown();
+        assert_eq!(m.num_edges(), 40);
+        assert!(stats.checkpoints >= 1, "{stats:?}");
+        assert_eq!(stats.checkpoint_failures, 0);
+        // Recovery loads a checkpoint (not genesis) and lands on the exact
+        // final state.
+        let rec = crate::replay::recover_matching_from_dir(&dir, false).unwrap();
+        assert!(rec.checkpoint.is_some());
+        assert_eq!(rec.next_seq, 40);
+        assert!(!rec.truncated);
+        assert_eq!(
+            Snapshots::snapshot(&rec.structure),
+            Snapshots::snapshot(&m),
+            "recovered state must equal the served state exactly"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_and_resume_continues_the_log() {
+        let dir = temp_wal_dir("pbdmm_svc_seg_resume");
+        let build = || {
+            ServiceConfig::builder()
+                .policy(CoalescePolicy::singleton())
+                .wal_dir(&dir, meta(34))
+                .checkpoint_every(4)
+        };
+        // First run starts fresh: the directory does not exist yet.
+        let (svc, info) = build()
+            .recover_and_start(|| DynamicMatching::with_seed(34))
+            .unwrap();
+        assert_eq!(info.batches, 0);
+        assert_eq!(info.checkpoint, None);
+        let h = svc.handle();
+        let mut ids = Vec::new();
+        for v in 0..10u32 {
+            ids.push(h.insert(vec![v, v + 100]).wait().unwrap().done.id());
+        }
+        drop(h);
+        svc.shutdown();
+        // Second run resumes at batch 10 and keeps appending; recorded ids
+        // stay valid across the restart.
+        let (svc, info) = build()
+            .recover_and_start(|| DynamicMatching::with_seed(34))
+            .unwrap();
+        assert_eq!(info.batches, 10);
+        let h = svc.handle();
+        assert!(matches!(
+            h.delete(ids[0]).wait().unwrap().done,
+            Done::Deleted(d) if d == ids[0]
+        ));
+        for v in 0..5u32 {
+            h.insert(vec![200 + v, 300 + v]).wait().unwrap();
+        }
+        drop(h);
+        let (m2, _) = svc.shutdown();
+        assert_eq!(m2.num_edges(), 14);
+        // A third recovery reproduces the resumed run's exact final state.
+        let rec = crate::replay::recover_matching_from_dir(&dir, false).unwrap();
+        assert_eq!(rec.next_seq, 16);
+        assert_eq!(
+            Snapshots::snapshot(&rec.structure),
+            Snapshots::snapshot(&m2)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn builder_refuses_contradictory_recovery_configs() {
+        let no_wal = ServiceConfig::builder().recover_and_start(|| DynamicMatching::with_seed(1));
+        assert!(matches!(no_wal, Err(ServiceError::Wal(_))));
+        let dir = temp_wal_dir("pbdmm_svc_seg_contradict");
+        let truncating = ServiceConfig::builder()
+            .wal_dir(&dir, meta(1))
+            .wal_truncate(true)
+            .recover_and_start(|| DynamicMatching::with_seed(1));
+        assert!(matches!(truncating, Err(ServiceError::Wal(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_start_refuses_a_dir_with_history() {
+        let dir = temp_wal_dir("pbdmm_svc_seg_refuse");
+        let svc = ServiceConfig::builder()
+            .wal_dir(&dir, meta(35))
+            .start(DynamicMatching::with_seed(35))
+            .unwrap();
+        svc.handle().insert(vec![0, 1]).wait().unwrap();
+        svc.shutdown();
+        let refused = ServiceConfig::builder()
+            .wal_dir(&dir, meta(35))
+            .start(DynamicMatching::with_seed(35));
+        assert!(matches!(refused, Err(ServiceError::Wal(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn seq_numbers_are_dense_in_apply_order() {
-        let svc = UpdateService::start(DynamicMatching::with_seed(6), quick_config()).unwrap();
+        let svc = quick().start(DynamicMatching::with_seed(6)).unwrap();
         let h = svc.handle();
         let tickets: Vec<Ticket> = (0..16).map(|v| h.insert(vec![v, v + 1])).collect();
         let mut seqs: Vec<u64> = tickets.into_iter().map(|t| t.wait().unwrap().seq).collect();

@@ -24,7 +24,7 @@ use pbdmm_graph::wal::{read_wal_file, WalMeta};
 use pbdmm_matching::verify::check_invariants;
 use pbdmm_matching::DynamicMatching;
 use pbdmm_primitives::rng::SplitMix64;
-use pbdmm_service::{CoalescePolicy, Done, ServiceConfig, ServiceHandle, UpdateService, WalConfig};
+use pbdmm_service::{CoalescePolicy, Done, ServiceConfig, ServiceHandle};
 
 /// Live edges as id → vertex set (the state that must linearize).
 fn live_edges(m: &DynamicMatching) -> BTreeMap<u64, Vec<u32>> {
@@ -81,21 +81,21 @@ fn concurrent_interleavings_linearize_and_replay() {
         let wal_path = std::env::temp_dir().join(format!("pbdmm_service_prop_{seed}.wal"));
         std::fs::remove_file(&wal_path).ok(); // the service refuses to overwrite
         let structure_seed = 0xC0A1E5CE ^ seed;
-        let config = ServiceConfig {
-            policy: CoalescePolicy {
+        let svc = ServiceConfig::builder()
+            .policy(CoalescePolicy {
                 max_batch: 48,
                 max_delay: Duration::from_micros(300),
-            },
-            wal: Some(WalConfig::new(
+            })
+            .wal_file(
                 &wal_path,
                 WalMeta {
                     structure: "matching".into(),
                     seed: structure_seed,
+                    ids_recycling: false,
                 },
-            )),
-            ..Default::default()
-        };
-        let svc = UpdateService::start(DynamicMatching::with_seed(structure_seed), config).unwrap();
+            )
+            .start(DynamicMatching::with_seed(structure_seed))
+            .unwrap();
 
         // 4 concurrent submitters, deterministic per-producer scripts.
         let logs: Mutex<Vec<(Update, pbdmm_service::Completion)>> = Mutex::new(Vec::new());
@@ -173,21 +173,21 @@ fn wal_replay_is_deterministic_across_runs() {
     // Replaying the same file twice gives byte-identical state summaries.
     let wal_path = std::env::temp_dir().join("pbdmm_service_determinism.wal");
     std::fs::remove_file(&wal_path).ok(); // the service refuses to overwrite
-    let config = ServiceConfig {
-        policy: CoalescePolicy {
+    let svc = ServiceConfig::builder()
+        .policy(CoalescePolicy {
             max_batch: 32,
             max_delay: Duration::from_micros(200),
-        },
-        wal: Some(WalConfig::new(
+        })
+        .wal_file(
             &wal_path,
             WalMeta {
                 structure: "matching".into(),
                 seed: 77,
+                ids_recycling: false,
             },
-        )),
-        ..Default::default()
-    };
-    let svc = UpdateService::start(DynamicMatching::with_seed(77), config).unwrap();
+        )
+        .start(DynamicMatching::with_seed(77))
+        .unwrap();
     let h = svc.handle();
     let mut rng = SplitMix64::new(5);
     let _ = producer_load(&h, rng.fork(), 300);
@@ -209,14 +209,13 @@ fn service_is_generic_over_the_trait_family() {
     // The same layer drives the set-cover element adapter: concurrent
     // element insertions/deletions, cover maintained throughout.
     use pbdmm_setcover::DynamicSetCover;
-    let config = ServiceConfig {
-        policy: CoalescePolicy {
+    let svc = ServiceConfig::builder()
+        .policy(CoalescePolicy {
             max_batch: 64,
             max_delay: Duration::from_micros(300),
-        },
-        ..Default::default()
-    };
-    let svc = UpdateService::start(DynamicSetCover::with_seed(9), config).unwrap();
+        })
+        .start(DynamicSetCover::with_seed(9))
+        .unwrap();
     std::thread::scope(|scope| {
         for p in 0..3u64 {
             let h = svc.handle();

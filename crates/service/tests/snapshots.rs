@@ -25,7 +25,6 @@ use pbdmm_matching::DynamicMatching;
 use pbdmm_primitives::rng::SplitMix64;
 use pbdmm_service::{
     replay_matching, CoalescePolicy, Done, QueryHandle, ServiceConfig, ServiceHandle,
-    UpdateService, WalConfig,
 };
 
 /// One producer of the mixed load: inserts and deletes of its own ids,
@@ -80,6 +79,7 @@ fn replay_prefix(wal: &Wal, prefix_updates: u64) -> DynamicMatching {
     );
     let prefix = Wal {
         meta: wal.meta.clone(),
+        base: 0,
         batches,
         truncated: false,
     };
@@ -93,23 +93,21 @@ fn observed_snapshots_equal_wal_replay_prefixes() {
         let wal_path = std::env::temp_dir().join(format!("pbdmm_snap_prefix_{seed}.wal"));
         std::fs::remove_file(&wal_path).ok(); // the service refuses to overwrite
         let structure_seed = 0x5EED ^ seed;
-        let config = ServiceConfig {
-            policy: CoalescePolicy {
+        let (svc, q) = ServiceConfig::builder()
+            .policy(CoalescePolicy {
                 max_batch: 32,
                 max_delay: Duration::from_micros(200),
-            },
-            wal: Some(WalConfig::new(
+            })
+            .wal_file(
                 &wal_path,
                 WalMeta {
                     structure: "matching".into(),
                     seed: structure_seed,
+                    ids_recycling: false,
                 },
-            )),
-            ..Default::default()
-        };
-        let (svc, q) =
-            UpdateService::start_serving(DynamicMatching::with_seed(structure_seed), config)
-                .unwrap();
+            )
+            .start_serving(DynamicMatching::with_seed(structure_seed))
+            .unwrap();
 
         // Readers poll while writers run, keeping every distinct snapshot
         // they manage to observe (dedup'd by epoch).
@@ -180,17 +178,13 @@ fn reader_never_sees_an_epoch_older_than_its_completed_tickets() {
     // assertion lives inside `producer` (checked after every single
     // completed ticket, hundreds of times per run).
     for seed in [7u64, 8, 9] {
-        let (svc, q) = UpdateService::start_serving(
-            DynamicMatching::with_seed(seed),
-            ServiceConfig {
-                policy: CoalescePolicy {
-                    max_batch: 64,
-                    max_delay: Duration::ZERO, // group commit
-                },
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let (svc, q) = ServiceConfig::builder()
+            .policy(CoalescePolicy {
+                max_batch: 64,
+                max_delay: Duration::ZERO, // group commit
+            })
+            .start_serving(DynamicMatching::with_seed(seed))
+            .unwrap();
         std::thread::scope(|scope| {
             for p in 0..4u64 {
                 let h = svc.handle();
@@ -208,17 +202,13 @@ fn reader_never_sees_an_epoch_older_than_its_completed_tickets() {
 #[test]
 fn cover_queries_are_served_concurrently() {
     use pbdmm_setcover::DynamicSetCover;
-    let (svc, q) = UpdateService::start_serving(
-        DynamicSetCover::with_seed(5),
-        ServiceConfig {
-            policy: CoalescePolicy {
-                max_batch: 48,
-                max_delay: Duration::from_micros(200),
-            },
-            ..Default::default()
-        },
-    )
-    .unwrap();
+    let (svc, q) = ServiceConfig::builder()
+        .policy(CoalescePolicy {
+            max_batch: 48,
+            max_delay: Duration::from_micros(200),
+        })
+        .start_serving(DynamicSetCover::with_seed(5))
+        .unwrap();
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for _ in 0..2 {

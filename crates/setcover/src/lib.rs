@@ -357,10 +357,20 @@ impl CoverSnapshot {
 }
 
 impl Snapshot for CoverSnapshot {
+    /// Cover snapshots are rebuilt whole per publication (no incremental
+    /// maintenance): subscribers always resync.
+    type Delta = ();
+
     fn epoch(&self) -> u64 {
         self.epoch
     }
+
+    fn merge_delta(_older: (), _newer: &()) {}
 }
+
+/// Set cover does not checkpoint yet: the defaults report "unsupported", so
+/// a segmented WAL serving this structure recovers by full replay.
+impl pbdmm_matching::checkpoint::Checkpoint for DynamicSetCover {}
 
 impl Snapshots for DynamicSetCover {
     type Snap = CoverSnapshot;

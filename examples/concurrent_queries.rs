@@ -15,15 +15,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use pbdmm::matching::snapshot::Snapshots;
 use pbdmm::primitives::rng::SplitMix64;
-use pbdmm::service::{Done, ServiceConfig, UpdateService};
+use pbdmm::service::{Done, ServiceConfig};
 use pbdmm::{DynamicMatching, EdgeId};
 
 fn main() {
     // 1. Start the service with the read path enabled: `start_serving`
     //    returns the usual service plus a QueryHandle.
-    let (svc, query) =
-        UpdateService::start_serving(DynamicMatching::with_seed(42), ServiceConfig::default())
-            .expect("no WAL configured, cannot fail");
+    let (svc, query) = ServiceConfig::builder()
+        .start_serving(DynamicMatching::with_seed(42))
+        .expect("no WAL configured, cannot fail");
 
     let stop = AtomicBool::new(false);
     let reads = AtomicU64::new(0);

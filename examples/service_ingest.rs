@@ -10,8 +10,8 @@
 use pbdmm::graph::wal::{read_wal_file, WalMeta};
 use pbdmm::matching::verify::check_invariants;
 use pbdmm::primitives::rng::SplitMix64;
-use pbdmm::service::{replay_matching, Done, ServiceConfig, UpdateService, WalConfig};
-use pbdmm::{CoalescePolicy, DynamicMatching, EdgeId};
+use pbdmm::service::{replay_matching, Done, ServiceConfig};
+use pbdmm::{DynamicMatching, EdgeId};
 
 fn main() {
     let wal_path = std::env::temp_dir().join("pbdmm_service_ingest_example.wal");
@@ -20,27 +20,23 @@ fn main() {
     std::fs::remove_file(&wal_path).ok();
     let seed = 42;
 
-    // 1. Start the service: it takes ownership of the structure; producers
-    //    talk to it through cloneable handles. Every formed batch is
-    //    appended to the WAL before it is applied. `start_serving` (vs
-    //    plain `start`) also enables the snapshot read path and hands back
-    //    a QueryHandle — see examples/concurrent_queries.rs for the read
-    //    tier in full.
-    let (svc, query) = UpdateService::start_serving(
-        DynamicMatching::with_seed(seed),
-        ServiceConfig {
-            policy: CoalescePolicy::default(), // group commit, max_batch 1024
-            wal: Some(WalConfig::new(
-                &wal_path,
-                WalMeta {
-                    structure: "matching".into(),
-                    seed,
-                },
-            )),
-            ..Default::default()
-        },
-    )
-    .expect("start service");
+    // 1. Start the service through the builder: it takes ownership of the
+    //    structure; producers talk to it through cloneable handles. Every
+    //    formed batch is appended to the WAL before it is applied.
+    //    `start_serving` (vs plain `start`) also enables the snapshot read
+    //    path and hands back a QueryHandle — see
+    //    examples/concurrent_queries.rs for the read tier in full.
+    let (svc, query) = ServiceConfig::builder()
+        .wal_file(
+            &wal_path,
+            WalMeta {
+                structure: "matching".into(),
+                seed,
+                ids_recycling: false,
+            },
+        )
+        .start_serving(DynamicMatching::with_seed(seed))
+        .expect("start service");
 
     // 2. Concurrent producers: submit single updates, get a Ticket per
     //    update, and learn the assigned EdgeId when its batch commits.

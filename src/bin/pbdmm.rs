@@ -24,6 +24,7 @@ use pbdmm::graph::wal::{read_wal_file, WalMeta};
 use pbdmm::graph::workload::{insert_then_delete, DeletionOrder};
 use pbdmm::graph::{gen, io, Batch, EdgeId, Hypergraph};
 use pbdmm::matching::baseline::{NaiveDynamic, RecomputeMatching};
+use pbdmm::matching::checkpoint::Checkpoint;
 use pbdmm::matching::driver::run_workload;
 use pbdmm::matching::snapshot::{Snapshot, Snapshots};
 use pbdmm::matching::verify::check_invariants;
@@ -34,8 +35,8 @@ use pbdmm::net::Client;
 use pbdmm::primitives::cost::CostMeter;
 use pbdmm::primitives::rng::SplitMix64;
 use pbdmm::service::{
-    replay_matching, replay_setcover, CoalescePolicy, Done, ServiceConfig, ServiceHandle,
-    ServiceStats, UpdateService, WalConfig,
+    recover_dir_with, recover_matching_from_dir, replay_matching, replay_setcover, CoalescePolicy,
+    Done, RecoveryInfo, ServiceConfig, ServiceHandle, ServiceStats, WalConfig,
 };
 use pbdmm::setcover::CoverSnapshot;
 use pbdmm::{BatchDynamic, DynamicMatching, DynamicSetCover};
@@ -61,12 +62,12 @@ usage:
   pbdmm gen <er|hyper|powerlaw|star|bipartite> [--n N] [--m M] [--rank R] [--seed S] -o <file>
   pbdmm serve [--producers P] [--updates N] [--readers R] [--max-batch B]
               [--max-delay-us D] [--structure matching|setcover]
-              [--wal FILE|none] [--wal-sync BOOL]
+              [--wal PATH|none] [--wal-sync BOOL] [--checkpoint-every N]
               [--compare direct|none] [--seed S] [--threads T]
-  pbdmm replay <wal-file> [--threads T]
+  pbdmm replay <wal-file-or-dir> [--from-genesis BOOL] [--threads T]
   pbdmm daemon [--port P] [--host H] [--max-connections C] [--max-inflight W]
-               [--max-batch B] [--max-delay-us D] [--wal FILE|none]
-               [--wal-sync BOOL] [--seed S] [--threads T]
+               [--max-batch B] [--max-delay-us D] [--wal PATH|none]
+               [--wal-sync BOOL] [--checkpoint-every N] [--seed S] [--threads T]
   pbdmm load (--port P | --addr HOST:PORT) [--connections M] [--updates N]
              [--queries Q] [--shutdown BOOL] [--seed S] [--threads T]
 
@@ -99,7 +100,17 @@ usage:
 
   --threads T sizes the work-stealing scheduler (a positive integer; omit
   the flag to use all cores; also settable process-wide via the
-  PBDMM_THREADS environment variable).";
+  PBDMM_THREADS environment variable).
+
+  --checkpoint-every N (serve, daemon) switches the WAL to a segment
+  directory: the log rotates and a checkpoint of the live structure is
+  written after every >= N updates, and old segments compact away once a
+  checkpoint covers them. replay accepts either a single WAL file or such
+  a directory; for a directory it recovers the way a restarted daemon
+  would — newest intact checkpoint plus tail segments, printing which
+  checkpoint it started from — unless --from-genesis true forces a
+  full-history replay. daemon pointed at an existing segment directory
+  (--wal DIR) recovers from it and resumes appending.";
 
 /// Minimal flag parser: `--key value` pairs after positional arguments.
 struct Args {
@@ -550,24 +561,24 @@ fn serve_load<S>(
     seed: u64,
 ) -> Result<ServeOutcome<S>, String>
 where
-    S: BatchDynamic + Snapshots + Send + 'static,
+    S: BatchDynamic + Snapshots + Checkpoint + Send + 'static,
     S::Snap: ProbeSnapshot,
 {
-    let config = ServiceConfig {
-        policy,
-        wal,
-        ..Default::default()
-    };
+    let mut builder = ServiceConfig::builder().policy(policy);
+    if let Some(cfg) = wal {
+        builder = builder.wal(cfg);
+    }
     // --readers 0 really disables the read tier: plain `start`, so the
     // structure never captures snapshots and producers skip the epoch
     // checks — the write path (and the --compare direct speedup) is then
     // measured without any read-side overhead.
     let (svc, query) = if readers > 0 {
-        let (svc, q) =
-            UpdateService::start_serving(structure, config).map_err(|e| e.to_string())?;
+        let (svc, q) = builder
+            .start_serving(structure)
+            .map_err(|e| e.to_string())?;
         (svc, Some(q))
     } else {
-        let svc = UpdateService::start(structure, config).map_err(|e| e.to_string())?;
+        let svc = builder.start(structure).map_err(|e| e.to_string())?;
         (svc, None)
     };
     let start = std::time::Instant::now();
@@ -663,20 +674,39 @@ where
     Ok((total, seconds, latencies, stats, read, s))
 }
 
-/// Resolve the `--wal` / `--wal-sync` convention shared by `serve` and
-/// `daemon`: durable by default (auto-named temp file), `--wal none`
-/// disables, `--wal FILE` picks the location. An existing WAL is never
-/// overwritten — the service refuses rather than destroying a recoverable
-/// log.
+/// Resolve the `--wal` / `--wal-sync` / `--checkpoint-every` convention
+/// shared by `serve` and `daemon`: durable by default (auto-named temp
+/// path), `--wal none` disables, `--wal PATH` picks the location. An
+/// existing WAL is never overwritten — the service refuses rather than
+/// destroying a recoverable log.
+///
+/// `--checkpoint-every N` switches to the segmented directory mode: PATH
+/// becomes a directory of rotated `NNNNNN.seg` files with a `NNNNNN.ckpt`
+/// checkpoint (and compaction) after every >= N updates (`0` keeps the
+/// directory layout but disables rotation). A `--wal PATH` naming an
+/// **existing directory** also selects the segmented mode — that is how a
+/// restart points the daemon back at the log it is recovering from.
 fn wal_from_flags(
     args: &Args,
     meta: &WalMeta,
     sync: bool,
     tag: &str,
 ) -> Result<Option<WalConfig>, String> {
-    Ok(match args.flags.get("wal").map(String::as_str) {
-        Some("none") => None,
-        Some(p) => Some(PathBuf::from(p)),
+    let ckpt_every: Option<u64> = match args.flags.get("checkpoint-every") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| format!("--checkpoint-every {v:?}: {e}"))?,
+        ),
+    };
+    let path = match args.flags.get("wal").map(String::as_str) {
+        Some("none") => {
+            if ckpt_every.is_some() {
+                return Err("--checkpoint-every requires a WAL (got --wal none)".into());
+            }
+            return Ok(None);
+        }
+        Some(p) => PathBuf::from(p),
         None => {
             // Unique auto path: pid alone can recycle across container
             // runs, and an existing WAL is never overwritten (the service
@@ -685,17 +715,26 @@ fn wal_from_flags(
                 .duration_since(std::time::UNIX_EPOCH)
                 .map(|d| d.subsec_nanos())
                 .unwrap_or(0);
-            Some(
-                std::env::temp_dir()
-                    .join(format!("pbdmm_{tag}_{}_{nanos}.wal", std::process::id())),
-            )
+            let ext = if ckpt_every.is_some() {
+                "waldir"
+            } else {
+                "wal"
+            };
+            std::env::temp_dir().join(format!("pbdmm_{tag}_{}_{nanos}.{ext}", std::process::id()))
         }
-    }
-    .map(|path| {
-        let mut cfg = WalConfig::new(path, meta.clone());
-        cfg.sync = sync;
+    };
+    let mut cfg = if ckpt_every.is_some() || path.is_dir() {
+        let mut cfg = WalConfig::dir(path, meta.clone());
+        if let Some(n) = ckpt_every {
+            // 0 keeps the segment-directory layout but never rotates.
+            cfg.checkpoint_every = (n > 0).then_some(n);
+        }
         cfg
-    }))
+    } else {
+        WalConfig::new(path, meta.clone())
+    };
+    cfg.sync = sync;
+    Ok(Some(cfg))
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
@@ -727,6 +766,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let meta = WalMeta {
         structure: structure.clone(),
         seed,
+        ids_recycling: false,
     };
     let wal = wal_from_flags(args, &meta, wal_sync, "serve")?;
     let wal_path = wal.as_ref().map(|w| w.path.clone());
@@ -886,8 +926,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("missing WAL file argument")?;
-    let wal = read_wal_file(&PathBuf::from(path))?;
+    let path = PathBuf::from(
+        args.positional
+            .get(1)
+            .ok_or("missing WAL file or directory argument")?,
+    );
+    if path.is_dir() {
+        return replay_dir(&path, args);
+    }
+    let wal = read_wal_file(&path)?;
     println!(
         "wal: {} committed batches, {} updates, structure={} seed={}{}",
         wal.batches.len(),
@@ -943,6 +990,101 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Replay a segmented WAL directory: recover exactly as a restarted daemon
+/// would — load the newest intact checkpoint, replay only the tail
+/// segments — or force a full-history replay with `--from-genesis true`.
+/// Ends with the same byte-comparable `final:` line as single-file replay,
+/// so CI can diff checkpointed recovery against the full history.
+fn replay_dir(dir: &PathBuf, args: &Args) -> Result<(), String> {
+    let from_genesis: bool = args.flag("from-genesis", false)?;
+    let meta = oldest_segment_meta(dir)?;
+    println!(
+        "wal: segment directory {}, structure={} seed={}",
+        dir.display(),
+        meta.structure,
+        meta.seed
+    );
+    let start = std::time::Instant::now();
+    match meta.structure.as_str() {
+        "matching" => {
+            let rec = recover_matching_from_dir(dir, from_genesis)?;
+            print_recovery(&rec.info(), start.elapsed());
+            let m = rec.structure;
+            check_invariants(&m).map_err(|e| format!("recovered invariants: {e}"))?;
+            println!(
+                "final: epoch={} edges={} matching={}",
+                m.epoch(),
+                m.num_edges(),
+                m.matching_size()
+            );
+        }
+        "setcover" => {
+            let seed = meta.seed;
+            let rec =
+                recover_dir_with(dir, move || DynamicSetCover::with_seed(seed), from_genesis)?;
+            print_recovery(&rec.info(), start.elapsed());
+            let c = rec.structure;
+            check_invariants(c.matching()).map_err(|e| format!("recovered invariants: {e}"))?;
+            println!(
+                "final: epoch={} edges={} matching={} cover={}",
+                c.epoch(),
+                c.num_elements(),
+                c.matching_size(),
+                c.cover_size()
+            );
+        }
+        other => return Err(format!("WAL records unknown structure {other:?}")),
+    }
+    println!("invariants: ok");
+    Ok(())
+}
+
+/// Print what directory recovery actually did: which checkpoint it started
+/// from (genesis when none was usable or `--from-genesis` forced it) and
+/// how much log it replayed past that point.
+fn print_recovery(info: &RecoveryInfo, elapsed: Duration) {
+    match info.checkpoint {
+        Some(seq) => println!(
+            "recovery: from checkpoint at batch {seq} ({} of {} batches already baked in)",
+            seq, info.batches
+        ),
+        None => println!(
+            "recovery: from genesis ({} batches, no checkpoint used)",
+            info.batches
+        ),
+    }
+    println!(
+        "replayed {} updates in {} applies across {} tail segments in {:.1} ms{}",
+        info.report.updates,
+        info.report.applies,
+        info.segments_replayed,
+        elapsed.as_secs_f64() * 1e3,
+        if info.truncated {
+            " (torn final append dropped)"
+        } else {
+            ""
+        }
+    );
+}
+
+/// Header metadata of the oldest segment in a WAL directory — segments all
+/// agree on it (validated during replay), so one read suffices to learn
+/// which structure and seed the log records.
+fn oldest_segment_meta(dir: &PathBuf) -> Result<WalMeta, String> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "seg"))
+        .collect();
+    segs.sort();
+    let oldest = segs
+        .first()
+        .ok_or_else(|| format!("{} contains no .seg files", dir.display()))?;
+    Ok(read_wal_file(oldest)
+        .map_err(|e| format!("{}: {e}", oldest.display()))?
+        .meta)
+}
+
 fn cmd_daemon(args: &Args) -> Result<(), String> {
     use std::io::Write as _;
     let host = args.flag("host", "127.0.0.1".to_string())?;
@@ -964,6 +1106,7 @@ fn cmd_daemon(args: &Args) -> Result<(), String> {
     let meta = WalMeta {
         structure: "matching".into(),
         seed,
+        ids_recycling: false,
     };
     let wal = wal_from_flags(args, &meta, wal_sync, "daemon")?;
     let wal_path = wal.as_ref().map(|w| w.path.clone());
@@ -978,7 +1121,31 @@ fn cmd_daemon(args: &Args) -> Result<(), String> {
         wal,
         ..Default::default()
     };
-    let daemon = Daemon::start(DynamicMatching::with_seed(seed), cfg)?;
+    // A segmented WAL directory is a recoverable log: resume from it (an
+    // empty or absent directory is just a fresh start), deriving seed and
+    // id mode from the segment metadata so a restarted daemon continues
+    // the exact run it crashed out of. Single-file WALs keep the
+    // refuse-to-overwrite behavior.
+    let segmented = cfg.wal.as_ref().is_some_and(|w| w.segmented);
+    let (daemon, recovered) = if segmented {
+        let (daemon, info) = Daemon::recover_and_start(cfg)?;
+        (daemon, Some(info))
+    } else {
+        (Daemon::start(DynamicMatching::with_seed(seed), cfg)?, None)
+    };
+    // Recovery is reported before the listening line: parsers scan for
+    // `daemon: listening on`, and anything printed before it is preamble.
+    // An empty directory recovers zero batches — that is a fresh start,
+    // not worth a recovery line.
+    if let Some(info) = recovered.filter(|i| i.batches > 0) {
+        match info.checkpoint {
+            Some(seq) => println!(
+                "daemon: recovered {} batches (checkpoint at batch {seq}, {} tail segments)",
+                info.batches, info.segments_replayed
+            ),
+            None => println!("daemon: recovered {} batches from genesis", info.batches),
+        }
+    }
     // The one line scripts parse: the bound address, ephemeral port
     // resolved. Flushed explicitly — under a pipe stdout is block-buffered
     // and a waiting parent would otherwise never see it.

@@ -306,9 +306,10 @@ fn replay_rejects_garbage() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("missing WAL file"));
 }
 
-/// Spawn `pbdmm daemon --port 0`, parse the bound address off its
-/// `daemon: listening on` line, and hand back the child for later harvest.
-fn spawn_daemon(extra: &[&str]) -> (std::process::Child, String) {
+/// Spawn `pbdmm daemon --port 0`, scan for its `daemon: listening on`
+/// line, and hand back the child for later harvest plus any preamble lines
+/// printed before it (e.g. the recovery report).
+fn spawn_daemon(extra: &[&str]) -> (std::process::Child, String, String) {
     use std::io::{BufRead, BufReader};
     let mut child = Command::new(env!("CARGO_BIN_EXE_pbdmm"))
         .args(["daemon", "--port", "0"])
@@ -317,23 +318,35 @@ fn spawn_daemon(extra: &[&str]) -> (std::process::Child, String) {
         .stderr(std::process::Stdio::piped())
         .spawn()
         .expect("failed to spawn pbdmm daemon");
-    let mut line = String::new();
-    BufReader::new(child.stdout.as_mut().unwrap())
-        .read_line(&mut line)
-        .unwrap();
-    let addr = line
-        .strip_prefix("daemon: listening on ")
-        .unwrap_or_else(|| panic!("unexpected first daemon line: {line:?}"))
-        .trim()
-        .to_string();
-    (child, addr)
+    let (addr, preamble) = {
+        let mut reader = BufReader::new(child.stdout.as_mut().unwrap());
+        let mut preamble = String::new();
+        let mut addr = None;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("daemon: listening on ") {
+                addr = Some(rest.trim().to_string());
+                break;
+            }
+            preamble.push_str(&line);
+        }
+        (addr, preamble)
+    };
+    let Some(addr) = addr else {
+        let _ = child.wait();
+        panic!("daemon exited before listening (preamble: {preamble:?})");
+    };
+    (child, addr, preamble)
 }
 
 #[test]
 fn daemon_serves_load_and_wal_replay_matches_byte_for_byte() {
     let wal = tmpfile("daemon_cli.wal");
     let _ = std::fs::remove_file(&wal);
-    let (child, addr) = spawn_daemon(&["--wal", wal.to_str().unwrap(), "--seed", "11"]);
+    let (child, addr, _) = spawn_daemon(&["--wal", wal.to_str().unwrap(), "--seed", "11"]);
 
     let out = pbdmm(&[
         "load",
@@ -386,6 +399,196 @@ fn daemon_serves_load_and_wal_replay_matches_byte_for_byte() {
         .unwrap_or_else(|| panic!("no final: line in {replay_out}"));
     assert_eq!(daemon_final, replay_final);
     assert!(replay_out.contains("invariants: ok"), "{replay_out}");
+}
+
+#[test]
+fn serve_with_checkpoints_and_dir_replay_recover_identically() {
+    let dir = tmpfile("serve_ckpt.waldir");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = pbdmm(&[
+        "serve",
+        "--producers",
+        "2",
+        "--updates",
+        "600",
+        "--max-batch",
+        "128",
+        "--seed",
+        "9",
+        "--wal",
+        dir.to_str().unwrap(),
+        "--checkpoint-every",
+        "200",
+        "--compare",
+        "none",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let served_final = stdout
+        .lines()
+        .find(|l| l.starts_with("final:"))
+        .expect("serve prints a final state line")
+        .to_string();
+    assert!(served_final.contains("epoch=1200"), "{served_final}");
+    // The run was long enough to rotate: segments and checkpoints exist.
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        names.iter().any(|n| n.ends_with(".ckpt")),
+        "no checkpoint written in {names:?}"
+    );
+
+    // Directory replay recovers from the newest checkpoint — and says so.
+    let out = pbdmm(&["replay", dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let ckpt_out = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        ckpt_out.contains("recovery: from checkpoint at batch"),
+        "{ckpt_out}"
+    );
+    let ckpt_final = ckpt_out
+        .lines()
+        .find(|l| l.starts_with("final:"))
+        .expect("dir replay prints a final state line")
+        .to_string();
+    assert_eq!(served_final, ckpt_final, "{ckpt_out}");
+    assert!(ckpt_out.contains("invariants: ok"), "{ckpt_out}");
+
+    // --from-genesis forces a full-history replay; with compaction the
+    // history may be gone, so only check it when segment 000000 survived —
+    // when it runs, the final line must be byte-identical to the
+    // checkpointed recovery.
+    if names.iter().any(|n| n == "000000.seg") {
+        let out = pbdmm(&["replay", dir.to_str().unwrap(), "--from-genesis", "true"]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let genesis_out = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(
+            genesis_out.contains("recovery: from genesis"),
+            "{genesis_out}"
+        );
+        let genesis_final = genesis_out
+            .lines()
+            .find(|l| l.starts_with("final:"))
+            .expect("genesis replay prints a final state line")
+            .to_string();
+        assert_eq!(served_final, genesis_final, "{genesis_out}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn daemon_restart_recovers_from_segment_directory() {
+    let dir = tmpfile("daemon_ckpt.waldir");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Run 1: fresh segmented WAL, some load, graceful shutdown.
+    let (child, addr, preamble) = spawn_daemon(&[
+        "--wal",
+        dir.to_str().unwrap(),
+        "--checkpoint-every",
+        "50",
+        "--seed",
+        "11",
+    ]);
+    assert!(
+        !preamble.contains("daemon: recovered"),
+        "fresh dir must not recover: {preamble:?}"
+    );
+    let out = pbdmm(&[
+        "load",
+        "--addr",
+        &addr,
+        "--connections",
+        "2",
+        "--updates",
+        "150",
+        "--seed",
+        "11",
+        "--shutdown",
+        "true",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let run1 = String::from_utf8_lossy(&out.stdout).to_string();
+    let run1_final = run1
+        .lines()
+        .find(|l| l.starts_with("final:"))
+        .unwrap_or_else(|| panic!("no final: line in {run1}"));
+
+    // Run 2: pointing --wal at the existing directory recovers the run —
+    // an existing dir selects segmented mode without --checkpoint-every.
+    let (child, addr, preamble) = spawn_daemon(&["--wal", dir.to_str().unwrap(), "--seed", "11"]);
+    assert!(preamble.contains("daemon: recovered "), "{preamble:?}");
+    let out = pbdmm(&[
+        "load",
+        "--addr",
+        &addr,
+        "--connections",
+        "1",
+        "--updates",
+        "50",
+        "--seed",
+        "12",
+        "--shutdown",
+        "true",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let run2 = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // The restarted daemon resumed the same history: replaying the whole
+    // directory reproduces run 2's final state, and its epoch advanced
+    // past run 1's.
+    let run2_final = run2
+        .lines()
+        .find(|l| l.starts_with("final:"))
+        .unwrap_or_else(|| panic!("no final: line in {run2}"));
+    assert_ne!(run1_final, run2_final);
+    let out = pbdmm(&["replay", dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let replay_out = String::from_utf8_lossy(&out.stdout).to_string();
+    let replay_final = replay_out
+        .lines()
+        .find(|l| l.starts_with("final:"))
+        .unwrap_or_else(|| panic!("no final: line in {replay_out}"));
+    assert_eq!(run2_final, replay_final, "{replay_out}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

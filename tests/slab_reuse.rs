@@ -18,7 +18,7 @@ use pbdmm::matching::snapshot::Snapshots;
 use pbdmm::matching::verify::check_invariants;
 use pbdmm::primitives::rng::SplitMix64;
 use pbdmm::service::replay::replay_into;
-use pbdmm::service::{CoalescePolicy, ServiceConfig, UpdateService, WalConfig};
+use pbdmm::service::{CoalescePolicy, ServiceConfig};
 use pbdmm::{Batch, DynamicMatching, DynamicMatchingBuilder};
 
 fn recycling(seed: u64) -> DynamicMatching {
@@ -157,20 +157,22 @@ fn wal_replay_reproduces_recycled_ids_exactly() {
     let wal_path = dir.join("reuse.wal");
     let _ = std::fs::remove_file(&wal_path);
 
-    let mut wal_cfg = WalConfig::new(&wal_path, WalMeta::default());
-    wal_cfg.truncate = true;
-    let svc = UpdateService::start(
-        recycling(11),
-        ServiceConfig {
-            policy: CoalescePolicy {
-                max_batch: 16,
-                max_delay: std::time::Duration::ZERO,
+    let svc = ServiceConfig::builder()
+        .policy(CoalescePolicy {
+            max_batch: 16,
+            max_delay: std::time::Duration::ZERO,
+        })
+        .wal_file(
+            &wal_path,
+            WalMeta {
+                seed: 11,
+                ids_recycling: true,
+                ..WalMeta::default()
             },
-            wal: Some(wal_cfg),
-            ..Default::default()
-        },
-    )
-    .expect("WAL in temp dir");
+        )
+        .wal_truncate(true)
+        .start(recycling(11))
+        .expect("WAL in temp dir");
     let h = svc.handle();
     let mut rng = SplitMix64::new(0x11AA);
     let mut live: Vec<EdgeId> = Vec::new();
