@@ -29,12 +29,13 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use pbdmm_matching::checkpoint::Checkpoint;
 use pbdmm_matching::snapshot::{Changes, MatchingSnapshot, SnapshotDelta};
 use pbdmm_matching::DynamicMatching;
 use pbdmm_primitives::pool::ParPool;
 use pbdmm_service::{
-    CoalescePolicy, Done, QueryHandle, RecoveryInfo, ServiceBuilder, ServiceConfig, ServiceError,
-    ServiceHandle, ServiceStats, Ticket, UpdateService, WalConfig,
+    CoalescePolicy, Done, RecoveryInfo, ServiceBuilder, ServiceConfig, ServiceError, ServiceHandle,
+    ServiceStats, ShardedQuery, ShardedService, ShardedStats, Ticket, WalConfig,
 };
 
 use crate::proto::{
@@ -75,6 +76,11 @@ pub struct DaemonConfig {
     pub wal: Option<WalConfig>,
     /// Scheduler every `apply` runs on (None: the process-global pool).
     pub pool: Option<Arc<ParPool>>,
+    /// Matching shards behind the routing tier (0 and 1 both mean the
+    /// plain unsharded service; see [`pbdmm_service::shard`]). With a WAL,
+    /// `K > 1` requires a segmented directory and logs each shard under
+    /// `<dir>/shard-<i>/`.
+    pub shards: usize,
 }
 
 impl Default for DaemonConfig {
@@ -87,6 +93,7 @@ impl Default for DaemonConfig {
             policy: CoalescePolicy::default(),
             wal: None,
             pool: None,
+            shards: 1,
         }
     }
 }
@@ -106,11 +113,16 @@ pub struct WireCounters {
 /// Everything a drained daemon hands back.
 #[derive(Debug)]
 pub struct DaemonReport {
-    /// The structure, for final-state inspection (`final:` line, invariant
-    /// checks) exactly as an in-process `serve` run would yield it.
+    /// The structure (shard 0 when sharded — replicas are
+    /// state-identical), for final-state inspection (`final:` line,
+    /// invariant checks) exactly as an in-process `serve` run would yield
+    /// it.
     pub structure: DynamicMatching,
     /// Service-tier counters.
     pub service: ServiceStats,
+    /// Per-shard routing telemetry (`routed`/`stubs`/imbalance; one entry
+    /// even for K=1).
+    pub routing: ShardedStats,
     /// Wire-tier counters.
     pub wire: WireCounters,
 }
@@ -118,7 +130,7 @@ pub struct DaemonReport {
 /// State shared by the acceptor and every connection thread.
 struct Shared {
     handle: ServiceHandle,
-    query: QueryHandle<MatchingSnapshot>,
+    query: ShardedQuery,
     cfg: DaemonConfig,
     draining: AtomicBool,
     conn_count: AtomicUsize,
@@ -171,7 +183,7 @@ impl StopHandle {
 pub struct Daemon {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    svc: UpdateService<DynamicMatching>,
+    svc: ShardedService,
     acceptor: JoinHandle<()>,
     control_rx: mpsc::Receiver<()>,
 }
@@ -179,12 +191,34 @@ pub struct Daemon {
 impl Daemon {
     /// Bind the listener, start the coalescing service over `structure`,
     /// and spawn the accept loop. Fails if the address cannot be bound or
-    /// the WAL cannot be created.
+    /// the WAL cannot be created. With `cfg.shards > 1` the K−1 extra
+    /// replicas are cloned from `structure` through the checkpoint codec
+    /// (state-identical, RNG and all).
     pub fn start(structure: DynamicMatching, cfg: DaemonConfig) -> Result<Daemon, String> {
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let payload = if cfg.shards > 1 {
+            let mut buf = Vec::new();
+            structure
+                .write_checkpoint(&mut buf)
+                .map_err(|e| format!("serialize replica prototype: {e}"))?;
+            Some(buf)
+        } else {
+            None
+        };
+        let mut proto = Some(structure);
         let (svc, query) = builder_for(&cfg)
-            .start_serving(structure)
+            .start_sharded(move || match proto.take() {
+                Some(s) => s,
+                None => {
+                    let mut m = DynamicMatching::with_seed(0);
+                    m.read_checkpoint(&mut std::io::Cursor::new(
+                        payload.as_deref().expect("payload serialized for K > 1"),
+                    ))
+                    .expect("replica clone round-trip");
+                    m
+                }
+            })
             .map_err(|e| format!("start service: {e}"))?;
         Self::assemble(listener, cfg, svc, query)
     }
@@ -204,7 +238,7 @@ impl Daemon {
         let seed = wal.meta.seed;
         let recycling = wal.meta.ids_recycling;
         let (svc, query, info) = builder_for(&cfg)
-            .recover_and_start_serving(move || {
+            .recover_and_start_sharded(move || {
                 let mut m = DynamicMatching::with_seed(seed);
                 if recycling {
                     m.set_recycle_ids(true);
@@ -219,8 +253,8 @@ impl Daemon {
     fn assemble(
         listener: TcpListener,
         cfg: DaemonConfig,
-        svc: UpdateService<DynamicMatching>,
-        query: QueryHandle<MatchingSnapshot>,
+        svc: ShardedService,
+        query: ShardedQuery,
     ) -> Result<Daemon, String> {
         let local_addr = listener
             .local_addr()
@@ -294,7 +328,8 @@ impl Daemon {
                 None => break,
             }
         }
-        let (structure, service) = self.svc.shutdown();
+        let (mut shards, routing) = self.svc.shutdown();
+        let structure = shards.remove(0);
         let wire = WireCounters {
             total_connections: self.shared.total_conns.load(Ordering::Relaxed),
             overloaded: self.shared.overloaded.load(Ordering::Relaxed),
@@ -302,7 +337,8 @@ impl Daemon {
         };
         DaemonReport {
             structure,
-            service,
+            service: routing.service,
+            routing,
             wire,
         }
     }
@@ -310,7 +346,9 @@ impl Daemon {
 
 /// The service builder a [`DaemonConfig`] describes (policy, WAL, pool).
 fn builder_for(cfg: &DaemonConfig) -> ServiceBuilder {
-    let mut b = ServiceConfig::builder().policy(cfg.policy);
+    let mut b = ServiceConfig::builder()
+        .policy(cfg.policy)
+        .shards(cfg.shards.max(1));
     if let Some(wal) = cfg.wal.clone() {
         b = b.wal(wal);
     }
@@ -566,7 +604,9 @@ fn reader_loop(
                 }
             }
             Request::PointQuery { req_id, vertex } => {
-                let snap = shared.query.snapshot();
+                // Sharded: resolve on the vertex's home shard — the local
+                // lookup the vertex-cut model guarantees.
+                let snap = shared.query.snapshot_for_vertex(vertex);
                 let matched = snap.matched_edge_of(vertex);
                 let partners = matched
                     .and_then(|_| snap.partners(vertex))

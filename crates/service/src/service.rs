@@ -138,15 +138,15 @@ impl Ticket {
 }
 
 /// One queued request: the update plus its completion channel.
-struct Req {
-    op: Update,
-    done: mpsc::Sender<Result<Completion, ServiceError>>,
+pub(crate) struct Req {
+    pub(crate) op: Update,
+    pub(crate) done: mpsc::Sender<Result<Completion, ServiceError>>,
 }
 
 /// What flows through the ingress: updates, or the shutdown marker
 /// [`UpdateService::shutdown`] enqueues so it never deadlocks on a
 /// still-alive [`ServiceHandle`].
-enum Msg {
+pub(crate) enum Msg {
     Update(Req),
     Shutdown,
 }
@@ -155,7 +155,7 @@ enum Msg {
 /// updates from any thread; each returns a [`Ticket`].
 #[derive(Clone)]
 pub struct ServiceHandle {
-    tx: mpsc::Sender<Msg>,
+    pub(crate) tx: mpsc::Sender<Msg>,
 }
 
 impl ServiceHandle {
@@ -298,6 +298,9 @@ pub struct ServiceConfig {
     pub wal: Option<WalConfig>,
     /// Scheduler every `apply` runs on (None: the process-global pool).
     pub pool: Option<Arc<ParPool>>,
+    /// Shard count for the sharded terminals (see [`crate::shard`]); 0 and
+    /// 1 both mean the unsharded engine.
+    pub shards: usize,
 }
 
 impl ServiceConfig {
@@ -328,14 +331,17 @@ impl ServiceConfig {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ServiceBuilder {
-    policy: CoalescePolicy,
-    pool: Option<Arc<ParPool>>,
-    wal: Option<WalConfig>,
-    sync: bool,
-    truncate: bool,
+    pub(crate) policy: CoalescePolicy,
+    pub(crate) pool: Option<Arc<ParPool>>,
+    pub(crate) wal: Option<WalConfig>,
+    pub(crate) sync: bool,
+    pub(crate) truncate: bool,
     /// `Some(override)` once [`Self::checkpoint_every`] was called;
     /// otherwise the WAL mode's default stands.
-    checkpoint_every: Option<Option<u64>>,
+    pub(crate) checkpoint_every: Option<Option<u64>>,
+    /// Shard count for the sharded terminals (`crate::shard`); 0 and 1
+    /// both mean unsharded.
+    pub(crate) shards: usize,
 }
 
 /// What [`ServiceBuilder::recover_and_start_serving`] yields: the resumed
@@ -356,6 +362,16 @@ impl ServiceBuilder {
     /// Pin every `apply` to this scheduler (default: process-global pool).
     pub fn pool(mut self, pool: Arc<ParPool>) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Shard count for the sharded terminals
+    /// ([`crate::shard::ServiceBuilderShardExt::start_sharded`] and
+    /// friends). `K = 1` (the default) is byte-identical to the unsharded
+    /// engine: same WAL layout, same threads, same bytes on disk. `K > 1`
+    /// runs K deterministic shard replicas behind one routing tier.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -420,6 +436,7 @@ impl ServiceBuilder {
             policy: self.policy,
             wal,
             pool: self.pool.clone(),
+            shards: self.shards,
         }
     }
 
@@ -547,7 +564,10 @@ impl ServiceBuilder {
 /// The checkpoint serializer for this configuration, or `None` when the
 /// WAL is absent/unsegmented, checkpointing is disabled, or the structure
 /// does not support it.
-fn ckpt_fn_for<S: Checkpoint>(config: &ServiceConfig, structure: &S) -> Option<CkptFn<S>> {
+pub(crate) fn ckpt_fn_for<S: Checkpoint>(
+    config: &ServiceConfig,
+    structure: &S,
+) -> Option<CkptFn<S>> {
     let wal = config.wal.as_ref()?;
     if !wal.segmented || wal.checkpoint_every.is_none() || !structure.checkpoint_supported() {
         return None;
@@ -562,15 +582,15 @@ fn ckpt_fn_for<S: Checkpoint>(config: &ServiceConfig, structure: &S) -> Option<C
 /// Serializes a structure's complete state into a checkpoint payload.
 /// Built where the `Checkpoint` bound is available (the builder terminals),
 /// so the coalescer itself needs no trait bound beyond [`BatchDynamic`].
-type CkptFn<S> = Box<dyn Fn(&S) -> std::io::Result<Vec<u8>> + Send>;
+pub(crate) type CkptFn<S> = Box<dyn Fn(&S) -> std::io::Result<Vec<u8>> + Send>;
 
 /// Counters the off-thread checkpoint writer publishes; folded into
 /// [`ServiceStats`] at shutdown.
 #[derive(Debug, Default)]
-struct CkptStats {
-    checkpoints: AtomicU64,
-    failures: AtomicU64,
-    segments_removed: AtomicU64,
+pub(crate) struct CkptStats {
+    pub(crate) checkpoints: AtomicU64,
+    pub(crate) failures: AtomicU64,
+    pub(crate) segments_removed: AtomicU64,
 }
 
 /// One checkpoint request: the serialized state after exactly `seq` batches.
@@ -607,17 +627,17 @@ impl Drop for SegmentedState {
 /// The write side of the WAL: buffered file + the append-before-apply rule.
 /// In segmented mode `w` is the current segment, rotated at checkpoint
 /// boundaries.
-struct WalSink {
+pub(crate) struct WalSink {
     w: std::io::BufWriter<std::fs::File>,
     sync: bool,
     /// Global batch sequence the next append gets (continues across
     /// segments and, after recovery, across process restarts).
-    seq: u64,
+    pub(crate) seq: u64,
     seg: Option<SegmentedState>,
 }
 
 impl WalSink {
-    fn open(cfg: &WalConfig) -> Result<Self, ServiceError> {
+    pub(crate) fn open(cfg: &WalConfig) -> Result<Self, ServiceError> {
         if !cfg.truncate {
             if let Ok(md) = std::fs::metadata(&cfg.path) {
                 if md.len() > 0 {
@@ -649,7 +669,7 @@ impl WalSink {
     /// segment `resume_seq.seg` is always started: appending to a possibly
     /// torn previous segment is never attempted, and by definition no
     /// committed batch lives at or past `resume_seq`.
-    fn open_dir(
+    pub(crate) fn open_dir(
         cfg: &WalConfig,
         resume_seq: u64,
         checkpointing: bool,
@@ -715,7 +735,7 @@ impl WalSink {
     ///
     /// Serialization failure only skips the checkpoint (recovery replays a
     /// longer tail); rotation I/O failure is a real WAL error.
-    fn after_apply<S>(
+    pub(crate) fn after_apply<S>(
         &mut self,
         s: &S,
         updates: u64,
@@ -769,7 +789,7 @@ impl WalSink {
     /// Byte offset the next append will start at. The buffer is empty
     /// between appends (every append flushes), so the file length is the
     /// logical end of the log.
-    fn mark(&mut self) -> Result<u64, ServiceError> {
+    pub(crate) fn mark(&mut self) -> Result<u64, ServiceError> {
         self.w
             .get_ref()
             .metadata()
@@ -781,7 +801,7 @@ impl WalSink {
     /// rewind the sequence counter. Used when the batch that was just
     /// logged could not be applied — the log must match the applied state
     /// exactly, or replay would reconstruct a phantom batch.
-    fn rollback(&mut self, mark: u64) -> Result<(), ServiceError> {
+    pub(crate) fn rollback(&mut self, mark: u64) -> Result<(), ServiceError> {
         use std::io::Seek;
         self.w
             .get_ref()
@@ -794,17 +814,40 @@ impl WalSink {
 
     /// Append one batch and make it durable (flush, optionally fsync)
     /// *before* the caller applies it.
-    fn append(&mut self, batch: &Batch) -> Result<(), ServiceError> {
+    pub(crate) fn append(&mut self, batch: &Batch) -> Result<(), ServiceError> {
         wal::write_batch(&mut self.w, self.seq, batch)
             .and_then(|()| self.w.flush())
             .map_err(|e| ServiceError::Wal(format!("append batch {}: {e}", self.seq)))?;
+        self.sync_appended()?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Append one shard's routed sub-batch of a global batch (see
+    /// [`wal::write_routed_batch`]) with the same durability rules as
+    /// [`Self::append`]. Every shard of a sharded service appends its
+    /// sub-batch of every global batch — empty ones included — so the K
+    /// per-shard logs stay in sequence lockstep.
+    pub(crate) fn append_routed(
+        &mut self,
+        global: &Batch,
+        positions: &[u32],
+    ) -> Result<(), ServiceError> {
+        wal::write_routed_batch(&mut self.w, self.seq, global, positions)
+            .and_then(|()| self.w.flush())
+            .map_err(|e| ServiceError::Wal(format!("append batch {}: {e}", self.seq)))?;
+        self.sync_appended()?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    fn sync_appended(&mut self) -> Result<(), ServiceError> {
         if self.sync {
             self.w
                 .get_ref()
                 .sync_data()
                 .map_err(|e| ServiceError::Wal(format!("fsync batch {}: {e}", self.seq)))?;
         }
-        self.seq += 1;
         Ok(())
     }
 }

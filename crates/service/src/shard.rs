@@ -1,0 +1,1200 @@
+//! The **sharding tier**: K deterministic [`DynamicMatching`] replicas
+//! behind one routing coalescer, each with its own [`ParPool`] pinning,
+//! segmented WAL directory, and snapshot cell.
+//!
+//! # Model
+//!
+//! The partition function is `vertex % K`; an edge's **owner shard** is the
+//! home of its minimum vertex id ([`crate::coalesce::edge_shards`]). The
+//! router logs each update exactly once — in its owner shard's WAL
+//! directory, with a `# route:` annotation recording the update's position
+//! in the global batch — while shards a cross-shard edge merely *touches*
+//! record a stub in the routing telemetry (vertex-cut replication: point
+//! queries for any vertex resolve on that vertex's home shard without a
+//! network hop).
+//!
+//! Every shard *applies* the full global batch. The matching the paper's
+//! algorithm maintains is a deterministic function of the update sequence
+//! and the structure seed — settling each batch's conflict graph consumes
+//! one shared sequential RNG, so a genuinely partitioned apply would
+//! compute a *different* (if individually valid) matching per K, and the
+//! replay-verifiability every test suite in this repo leans on would be
+//! lost. Full replicas keep the K shard states byte-identical to the K=1
+//! state at every epoch (the property `tests/sharding.rs` checks), put
+//! each shard's apply on its own pool/thread, and make the sharded WAL
+//! layout exercise the same consistency-cut recovery a partitioned apply
+//! would need. The write path therefore does K× apply work — the tier buys
+//! read scale-out, per-shard WAL bandwidth, and the routing/recovery
+//! machinery, not yet write scale-out.
+//!
+//! # Epoch barrier
+//!
+//! Each batch is a BSP superstep: (1) every shard appends its routed
+//! sub-batch durably (all-or-nothing — any failure rolls the others back
+//! and fail-stops the service), (2) every shard applies the global batch
+//! and publishes its snapshot at the new epoch, (3) only after **all K**
+//! published does the router advance the shared global epoch and complete
+//! tickets. [`ShardedQuery::view`] resolves a frozen `Arc` per shard, all
+//! at one epoch ≥ the global epoch — a consistent cross-shard cut.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pbdmm_graph::edge::EdgeId;
+use pbdmm_graph::update::{Batch, Update};
+use pbdmm_matching::snapshot::{Changes, MatchingSnapshot, SnapshotReader, Snapshots};
+use pbdmm_matching::DynamicMatching;
+use pbdmm_primitives::pool::ParPool;
+
+use crate::coalesce::{edge_shards, plan_sharded, Slot, MAX_SHARDS};
+use crate::replay::{list_wal_dir, recover_sharded_matching, shard_dir, RecoveryInfo};
+use crate::service::{
+    ckpt_fn_for, CkptFn, CkptStats, Completion, Done, Msg, QueryHandle, ServiceBuilder,
+    ServiceConfig, ServiceError, ServiceHandle, ServiceStats, UpdateService, WalConfig, WalSink,
+};
+
+/// Run statistics of a sharded service: the usual [`ServiceStats`] (global
+/// counters — `updates`, `batches`, etc. count each update once, not once
+/// per shard; `checkpoints`/`wal_segments_removed` sum over all K shard
+/// directories) plus per-shard routing telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStats {
+    /// Global service counters, K-invariant where the plain service's are.
+    pub service: ServiceStats,
+    /// Updates routed to (owned by) each shard.
+    pub routed: Vec<u64>,
+    /// Vertex-cut stubs recorded on each shard (cross-shard edges touching
+    /// it without owning it).
+    pub stubs: Vec<u64>,
+}
+
+impl ShardedStats {
+    /// Number of shards this run used.
+    pub fn shards(&self) -> usize {
+        self.routed.len()
+    }
+
+    /// Routing imbalance: `(max − min) / mean × 100` over per-shard routed
+    /// counts. `0.0` for a perfectly balanced partition (and for K=1).
+    pub fn imbalance_pct(&self) -> f64 {
+        let n = self.routed.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let max = *self.routed.iter().max().expect("n > 0") as f64;
+        let min = *self.routed.iter().min().expect("n > 0") as f64;
+        let mean = self.routed.iter().sum::<u64>() as f64 / n as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            (max - min) / mean * 100.0
+        }
+    }
+}
+
+/// A running sharded service. `K = 1` is **exactly** the plain
+/// [`UpdateService`] — same threads, same flat WAL layout, byte-identical
+/// log — wrapped; `K > 1` runs the routing coalescer plus K−1 shard
+/// workers.
+pub struct ShardedService {
+    inner: SvcInner,
+}
+
+enum SvcInner {
+    Single(UpdateService<DynamicMatching>),
+    Multi {
+        shards: usize,
+        tx: Option<mpsc::Sender<Msg>>,
+        join: Option<JoinHandle<(Vec<DynamicMatching>, ShardedStats)>>,
+    },
+}
+
+impl ShardedService {
+    /// Number of shards (1 for the plain wrapped service).
+    pub fn shards(&self) -> usize {
+        match &self.inner {
+            SvcInner::Single(_) => 1,
+            SvcInner::Multi { shards, .. } => *shards,
+        }
+    }
+
+    /// A new producer handle — identical semantics to
+    /// [`UpdateService::handle`]: cheap to clone, `Send`, tickets resolve
+    /// after the batch's snapshots publish on **every** shard.
+    pub fn handle(&self) -> ServiceHandle {
+        match &self.inner {
+            SvcInner::Single(s) => s.handle(),
+            SvcInner::Multi { tx, .. } => ServiceHandle {
+                tx: tx.clone().expect("service not shut down"),
+            },
+        }
+    }
+
+    /// Stop the service, drain the backlog, and return every shard's final
+    /// structure (index = shard id) plus run statistics. For K=1 the
+    /// single structure comes back as a one-element vector.
+    pub fn shutdown(self) -> (Vec<DynamicMatching>, ShardedStats) {
+        match self.inner {
+            SvcInner::Single(s) => {
+                let (m, service) = s.shutdown();
+                let routed = vec![service.updates];
+                (
+                    vec![m],
+                    ShardedStats {
+                        service,
+                        routed,
+                        stubs: vec![0],
+                    },
+                )
+            }
+            SvcInner::Multi {
+                mut tx, mut join, ..
+            } => {
+                let tx = tx.take().expect("service not shut down");
+                let _ = tx.send(Msg::Shutdown);
+                drop(tx);
+                join.take()
+                    .expect("service not shut down")
+                    .join()
+                    .expect("shard router thread panicked")
+            }
+        }
+    }
+}
+
+/// The sharded read path: one snapshot reader per shard plus the shared
+/// global epoch. Cloneable across reader threads.
+pub struct ShardedQuery {
+    inner: QueryInner,
+}
+
+enum QueryInner {
+    Single(QueryHandle<MatchingSnapshot>),
+    Multi {
+        readers: Vec<SnapshotReader<MatchingSnapshot>>,
+        epoch: Arc<AtomicU64>,
+    },
+}
+
+impl Clone for ShardedQuery {
+    fn clone(&self) -> Self {
+        let inner = match &self.inner {
+            QueryInner::Single(q) => QueryInner::Single(q.clone()),
+            QueryInner::Multi { readers, epoch } => QueryInner::Multi {
+                readers: readers.clone(),
+                epoch: Arc::clone(epoch),
+            },
+        };
+        ShardedQuery { inner }
+    }
+}
+
+/// A consistent cross-shard read: one frozen snapshot `Arc` per shard, all
+/// carrying the same epoch. Shard replicas are state-identical, so any
+/// element answers global questions; per-vertex point queries index by
+/// [`ShardedQuery::shard_of_vertex`] to model locality.
+pub struct ShardedView {
+    /// The epoch every shard's snapshot in this view carries.
+    pub epoch: u64,
+    /// One snapshot per shard, index = shard id.
+    pub shards: Vec<Arc<MatchingSnapshot>>,
+}
+
+impl ShardedQuery {
+    /// Number of shards behind this handle.
+    pub fn shards(&self) -> usize {
+        match &self.inner {
+            QueryInner::Single(_) => 1,
+            QueryInner::Multi { readers, .. } => readers.len(),
+        }
+    }
+
+    /// The **global** epoch: every shard has published a snapshot at least
+    /// this new. Advances only after all K shards publish a batch.
+    pub fn epoch(&self) -> u64 {
+        match &self.inner {
+            QueryInner::Single(q) => q.epoch(),
+            QueryInner::Multi { epoch, .. } => epoch.load(Ordering::Acquire),
+        }
+    }
+
+    /// The home shard of a vertex (`v % K`).
+    pub fn shard_of_vertex(&self, v: u32) -> usize {
+        crate::coalesce::shard_of_vertex(v, self.shards())
+    }
+
+    /// The latest snapshot of shard 0 — the cheap single-`Arc` read for
+    /// global questions (`stats`, `num_edges`, `matching_size`): replicas
+    /// are state-identical, so shard 0 answers for all.
+    pub fn snapshot(&self) -> Arc<MatchingSnapshot> {
+        match &self.inner {
+            QueryInner::Single(q) => q.snapshot(),
+            QueryInner::Multi { readers, .. } => readers[0].latest(),
+        }
+    }
+
+    /// The latest snapshot of `v`'s home shard — the point-query path
+    /// (`is_matched(v)` / `partner(v)`). Read-your-writes holds per shard:
+    /// a completed ticket's epoch is visible here, because tickets resolve
+    /// only after every shard publishes.
+    pub fn snapshot_for_vertex(&self, v: u32) -> Arc<MatchingSnapshot> {
+        match &self.inner {
+            QueryInner::Single(q) => q.snapshot(),
+            QueryInner::Multi { readers, .. } => {
+                readers[crate::coalesce::shard_of_vertex(v, readers.len())].latest()
+            }
+        }
+    }
+
+    /// Block until a snapshot **newer than** `epoch` is published (on shard
+    /// 0 — publication epochs are identical across shards) or `timeout`
+    /// elapses; returns the latest snapshot either way.
+    pub fn wait_for_newer(&self, epoch: u64, timeout: Duration) -> Arc<MatchingSnapshot> {
+        match &self.inner {
+            QueryInner::Single(q) => q.wait_for_newer(epoch, timeout),
+            QueryInner::Multi { readers, .. } => readers[0].wait_for_newer(epoch, timeout),
+        }
+    }
+
+    /// Per-batch deltas since `epoch` from shard 0's publication ring (see
+    /// [`SnapshotReader::changes_since`]).
+    pub fn changes_since(&self, epoch: u64) -> Changes<MatchingSnapshot> {
+        match &self.inner {
+            QueryInner::Single(q) => q.changes_since(epoch),
+            QueryInner::Multi { readers, .. } => readers[0].changes_since(epoch),
+        }
+    }
+
+    /// Resolve a **consistent cross-shard view**: one snapshot per shard,
+    /// all at the same epoch, no older than the global epoch at call time.
+    /// Epochs advance in lockstep (every shard publishes every batch), so
+    /// this converges by waiting laggards up to the newest epoch any shard
+    /// has already published.
+    pub fn view(&self) -> ShardedView {
+        match &self.inner {
+            QueryInner::Single(q) => {
+                let snap = q.snapshot();
+                ShardedView {
+                    epoch: snap.epoch(),
+                    shards: vec![snap],
+                }
+            }
+            QueryInner::Multi { readers, epoch } => loop {
+                let floor = epoch.load(Ordering::Acquire);
+                let snaps: Vec<Arc<MatchingSnapshot>> =
+                    readers.iter().map(|r| r.latest()).collect();
+                let target = snaps
+                    .iter()
+                    .map(|s| s.epoch())
+                    .max()
+                    .expect("K >= 1")
+                    .max(floor);
+                if snaps.iter().all(|s| s.epoch() == target) {
+                    return ShardedView {
+                        epoch: target,
+                        shards: snaps,
+                    };
+                }
+                for (r, s) in readers.iter().zip(&snaps) {
+                    if s.epoch() < target {
+                        let _ = r.wait_for_newer(target - 1, Duration::from_millis(1));
+                    }
+                }
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder terminals
+// ---------------------------------------------------------------------------
+
+impl ServiceBuilder {
+    /// Terminal: start a sharded service with `K =` [`Self::shards`]
+    /// replicas built by `make` (which **must** construct identically each
+    /// call — same seed, same config — or the replicas diverge on the
+    /// first batch). `K = 1` is byte-identical to
+    /// [`Self::start_serving`]: plain service, flat WAL layout. `K > 1`
+    /// requires any configured WAL to be a segmented directory
+    /// ([`Self::wal_dir`]); each shard logs under `<dir>/shard-<i>/`.
+    pub fn start_sharded<F>(
+        self,
+        mut make: F,
+    ) -> Result<(ShardedService, ShardedQuery), ServiceError>
+    where
+        F: FnMut() -> DynamicMatching,
+    {
+        let k = self.shards.max(1);
+        if k == 1 {
+            let (svc, q) = self.start_serving(make())?;
+            return Ok((
+                ShardedService {
+                    inner: SvcInner::Single(svc),
+                },
+                ShardedQuery {
+                    inner: QueryInner::Single(q),
+                },
+            ));
+        }
+        let config = self.config();
+        validate_multi(k, &config)?;
+        let replicas: Vec<DynamicMatching> = (0..k).map(|_| make()).collect();
+        start_multi(replicas, config, 0)
+    }
+
+    /// Terminal: recover a sharded deployment from the configured WAL
+    /// directory and resume. `K = 1` delegates to
+    /// [`Self::recover_and_start_serving`]. `K > 1` walks the K
+    /// `shard-<i>/` subdirectories, lands on the **consistency cut** (the
+    /// minimum intact committed prefix across shards — no shard's extra
+    /// pre-crash tail stays visible), physically trims ahead shards to the
+    /// cut, and resumes appending there. Missing/empty directories start
+    /// fresh from `make` (same contract as the plain terminal); on an
+    /// existing log the replicas are rebuilt from the log's recorded
+    /// identity and `make` is not consulted.
+    pub fn recover_and_start_sharded<F>(
+        self,
+        mut make: F,
+    ) -> Result<(ShardedService, ShardedQuery, RecoveryInfo), ServiceError>
+    where
+        F: FnMut() -> DynamicMatching,
+    {
+        let k = self.shards.max(1);
+        if k == 1 {
+            let (svc, q, info) = self.recover_and_start_serving(make)?;
+            return Ok((
+                ShardedService {
+                    inner: SvcInner::Single(svc),
+                },
+                ShardedQuery {
+                    inner: QueryInner::Single(q),
+                },
+                info,
+            ));
+        }
+        let config = self.config();
+        validate_multi(k, &config)?;
+        let Some(wal) = &config.wal else {
+            return Err(ServiceError::Wal(
+                "recovery requires a WAL directory (ServiceBuilder::wal_dir)".into(),
+            ));
+        };
+        if wal.truncate {
+            return Err(ServiceError::Wal(
+                "recover + truncate are contradictory: truncate destroys the log \
+                 recovery would read"
+                    .into(),
+            ));
+        }
+        let has_history = (0..k).any(|s| {
+            matches!(
+                list_wal_dir(&shard_dir(&wal.path, s)),
+                Ok(c) if !c.segments.is_empty() || !c.checkpoints.is_empty()
+            )
+        });
+        if !has_history {
+            let replicas: Vec<DynamicMatching> = (0..k).map(|_| make()).collect();
+            let (svc, q) = start_multi(replicas, config, 0)?;
+            return Ok((svc, q, RecoveryInfo::default()));
+        }
+        let rec = recover_sharded_matching(&wal.path, k, false, true).map_err(ServiceError::Wal)?;
+        if rec.meta != wal.meta {
+            return Err(ServiceError::Wal(format!(
+                "WAL dir metadata mismatch: the log records {:?}, the builder \
+                 configured {:?} — recovery would resume under the wrong identity",
+                rec.meta, wal.meta
+            )));
+        }
+        let info = rec.info;
+        let (svc, q) = start_multi(rec.shards, config, rec.next_seq)?;
+        Ok((svc, q, info))
+    }
+}
+
+/// `K > 1` configuration checks shared by both terminals.
+fn validate_multi(k: usize, config: &ServiceConfig) -> Result<(), ServiceError> {
+    if k > MAX_SHARDS {
+        return Err(ServiceError::Wal(format!(
+            "shards = {k} exceeds the supported maximum {MAX_SHARDS}"
+        )));
+    }
+    if let Some(w) = &config.wal {
+        if !w.segmented {
+            return Err(ServiceError::Wal(
+                "a sharded service needs a segmented WAL directory \
+                 (ServiceBuilder::wal_dir), not a single-file WAL"
+                    .into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The per-shard WAL configuration: the base config pointed under
+/// `<dir>/shard-<i>/`.
+fn shard_wal_cfg(config: &ServiceConfig, s: usize) -> Option<WalConfig> {
+    config.wal.as_ref().map(|w| {
+        let mut c = w.clone();
+        c.path = shard_dir(&w.path, s);
+        c
+    })
+}
+
+/// Spin up the routing coalescer plus K−1 shard workers over `replicas`
+/// (index = shard id; all state-identical). `resume_seq` is the global
+/// batch sequence the next append gets in **every** shard directory.
+fn start_multi(
+    mut replicas: Vec<DynamicMatching>,
+    config: ServiceConfig,
+    resume_seq: u64,
+) -> Result<(ShardedService, ShardedQuery), ServiceError> {
+    let k = replicas.len();
+    debug_assert!(k >= 2);
+    // Pin each replica to its own pool: shard 0 takes the configured pool,
+    // the rest get fresh pools of the same width (matching thread counts
+    // keep per-shard apply scheduling uniform).
+    let width = config.pool.as_ref().map(|p| p.threads());
+    for (i, r) in replicas.iter_mut().enumerate() {
+        match (&config.pool, width) {
+            (Some(p), _) if i == 0 => r.set_pool(Arc::clone(p)),
+            (_, Some(t)) => r.set_pool(ParPool::with_threads(t)),
+            _ => {}
+        }
+    }
+    let epoch_base = replicas[0].epoch();
+    for (i, r) in replicas.iter().enumerate() {
+        assert_eq!(
+            r.epoch(),
+            epoch_base,
+            "shard {i} replica is not state-identical to shard 0 (epoch mismatch)"
+        );
+    }
+    let readers: Vec<SnapshotReader<MatchingSnapshot>> =
+        replicas.iter_mut().map(|r| r.enable_snapshots()).collect();
+    let global_epoch = Arc::new(AtomicU64::new(epoch_base));
+
+    // Open every shard's WAL sink on this thread, so configuration and I/O
+    // errors surface synchronously from the builder terminal.
+    let mut sinks: Vec<Option<WalSink>> = Vec::with_capacity(k);
+    let mut ckpt_fns: Vec<Option<CkptFn<DynamicMatching>>> = Vec::with_capacity(k);
+    let mut ckpt_stats: Vec<Arc<CkptStats>> = Vec::with_capacity(k);
+    for (s, r) in replicas.iter().enumerate() {
+        let stats = Arc::new(CkptStats::default());
+        let (sink, ckpt_fn) = match shard_wal_cfg(&config, s) {
+            Some(cfg) => {
+                let shard_config = ServiceConfig {
+                    policy: config.policy,
+                    wal: Some(cfg.clone()),
+                    pool: None,
+                    shards: k,
+                };
+                let ckpt_fn = ckpt_fn_for(&shard_config, r);
+                let sink =
+                    WalSink::open_dir(&cfg, resume_seq, ckpt_fn.is_some(), Arc::clone(&stats))?;
+                (Some(sink), ckpt_fn)
+            }
+            None => (None, None),
+        };
+        sinks.push(sink);
+        ckpt_fns.push(ckpt_fn);
+        ckpt_stats.push(stats);
+    }
+
+    // Shard 0 runs inline on the router thread; shards 1..K get workers.
+    let shard0 = replicas.remove(0);
+    let sink0 = sinks.remove(0);
+    let ckpt_fn0 = ckpt_fns.remove(0);
+    let ckpt_stats0 = Arc::clone(&ckpt_stats[0]);
+    let mut workers: Vec<WorkerLink> = Vec::with_capacity(k - 1);
+    for (i, ((replica, sink), ckpt_fn)) in replicas.into_iter().zip(sinks).zip(ckpt_fns).enumerate()
+    {
+        let shard = i + 1;
+        let (job_tx, job_rx) = mpsc::channel::<ShardJob>();
+        let (res_tx, res_rx) = mpsc::channel::<ShardReply>();
+        let stats = Arc::clone(&ckpt_stats[shard]);
+        let join = std::thread::Builder::new()
+            .name(format!("pbdmm-shard{shard}"))
+            .spawn(move || shard_worker(shard, replica, sink, ckpt_fn, stats, job_rx, res_tx))
+            .expect("spawn shard worker thread");
+        workers.push(WorkerLink {
+            job_tx,
+            res_rx,
+            join,
+            ckpt_stats: Arc::clone(&ckpt_stats[shard]),
+        });
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let epoch_for_loop = Arc::clone(&global_epoch);
+    let join = std::thread::Builder::new()
+        .name("pbdmm-shard0".into())
+        .spawn(move || {
+            multi_loop(
+                shard0,
+                workers,
+                sink0,
+                config,
+                rx,
+                epoch_base,
+                epoch_for_loop,
+                ckpt_fn0,
+                ckpt_stats0,
+            )
+        })
+        .expect("spawn shard router thread");
+
+    Ok((
+        ShardedService {
+            inner: SvcInner::Multi {
+                shards: k,
+                tx: Some(tx),
+                join: Some(join),
+            },
+        },
+        ShardedQuery {
+            inner: QueryInner::Multi {
+                readers,
+                epoch: global_epoch,
+            },
+        },
+    ))
+}
+
+/// One job the router hands a shard worker. The 2-phase append/apply split
+/// is the epoch barrier: no shard applies a batch any shard failed to log.
+enum ShardJob {
+    /// Phase 1: durably append this worker's routed sub-batch of `global`.
+    Append {
+        global: Arc<Batch>,
+        routes: Arc<Vec<Vec<u32>>>,
+    },
+    /// Undo the last `Append` (the batch was rejected or another shard's
+    /// append failed). No-op if this worker's own append never succeeded.
+    Rollback,
+    /// Phase 2: apply the full global batch (publishing this shard's
+    /// snapshot inside), then fold `batch_len` into checkpoint accounting.
+    Apply { global: Arc<Batch>, batch_len: u64 },
+}
+
+/// A worker's answer to one [`ShardJob`].
+enum ShardReply {
+    Ok,
+    /// Log I/O failed (append, rollback, or rotation): the router must
+    /// fail-stop the service.
+    Wal(ServiceError),
+    /// The structure rejected the batch. Replicas are deterministic, so
+    /// either every shard rejects (the router rolls all appends back) or
+    /// the replicas diverged (the router panics).
+    Rejected(pbdmm_matching::api::UpdateError),
+}
+
+struct WorkerLink {
+    job_tx: mpsc::Sender<ShardJob>,
+    res_rx: mpsc::Receiver<ShardReply>,
+    join: JoinHandle<DynamicMatching>,
+    ckpt_stats: Arc<CkptStats>,
+}
+
+/// A shard worker: owns one replica (pinned to its own pool) and one WAL
+/// sink, executes the router's jobs in order, replies after each.
+fn shard_worker(
+    shard: usize,
+    mut s: DynamicMatching,
+    mut sink: Option<WalSink>,
+    ckpt_fn: Option<CkptFn<DynamicMatching>>,
+    ckpt_stats: Arc<CkptStats>,
+    rx: mpsc::Receiver<ShardJob>,
+    tx: mpsc::Sender<ShardReply>,
+) -> DynamicMatching {
+    // Log end before the last successful append, for `Rollback`.
+    let mut mark: Option<u64> = None;
+    for job in rx {
+        let reply = match job {
+            ShardJob::Append { global, routes } => {
+                mark = None;
+                match sink.as_mut() {
+                    None => ShardReply::Ok,
+                    Some(k) => {
+                        let r = k
+                            .mark()
+                            .and_then(|m| k.append_routed(&global, &routes[shard]).map(|()| m));
+                        match r {
+                            Ok(m) => {
+                                mark = Some(m);
+                                ShardReply::Ok
+                            }
+                            Err(e) => {
+                                // A torn tail may remain; recovery's
+                                // consistency cut drops it.
+                                sink = None;
+                                ShardReply::Wal(e)
+                            }
+                        }
+                    }
+                }
+            }
+            ShardJob::Rollback => {
+                let mut reply = ShardReply::Ok;
+                if let (Some(k), Some(m)) = (sink.as_mut(), mark.take()) {
+                    if let Err(e) = k.rollback(m) {
+                        // The log is lying about the committed prefix —
+                        // only fail-stop is safe.
+                        sink = None;
+                        reply = ShardReply::Wal(e);
+                    }
+                }
+                reply
+            }
+            ShardJob::Apply { global, batch_len } => match s.apply((*global).clone()) {
+                Ok(_) => {
+                    let mut reply = ShardReply::Ok;
+                    if let Some(k) = sink.as_mut() {
+                        if let Err(e) = k.after_apply(&s, batch_len, ckpt_fn.as_ref(), &ckpt_stats)
+                        {
+                            sink = None;
+                            reply = ShardReply::Wal(e);
+                        }
+                    }
+                    reply
+                }
+                Err(e) => ShardReply::Rejected(e),
+            },
+        };
+        if tx.send(reply).is_err() {
+            break;
+        }
+    }
+    // Dropping the sink drains and joins this shard's checkpoint writer.
+    drop(sink);
+    s
+}
+
+/// The routing coalescer: the plain coalescer's drain → plan → WAL → apply
+/// → complete cycle, with planning extended to shard routing
+/// ([`plan_sharded`]) and the WAL/apply phases fanned out across all K
+/// shards under the 2-phase epoch barrier.
+#[allow(clippy::too_many_arguments)]
+fn multi_loop(
+    mut s0: DynamicMatching,
+    workers: Vec<WorkerLink>,
+    mut sink0: Option<WalSink>,
+    config: ServiceConfig,
+    rx: mpsc::Receiver<Msg>,
+    epoch_base: u64,
+    global_epoch: Arc<AtomicU64>,
+    ckpt_fn0: Option<CkptFn<DynamicMatching>>,
+    ckpt_stats0: Arc<CkptStats>,
+) -> (Vec<DynamicMatching>, ShardedStats) {
+    let k = workers.len() + 1;
+    let policy = config.policy;
+    let max_batch = policy.max_batch.max(1);
+    let linger = policy.max_delay;
+    let mut stats = ShardedStats {
+        service: ServiceStats::default(),
+        routed: vec![0; k],
+        stubs: vec![0; k],
+    };
+    let mut next_seq: u64 = 0;
+    let mut closing = false;
+    // First WAL failure on any shard fail-stops the whole service: the
+    // K logs can no longer advance in lockstep, so no further batch can be
+    // made durably consistent.
+    let mut wal_wedged: Option<ServiceError> = None;
+    let wait_all = |workers: &[WorkerLink]| -> Vec<ShardReply> {
+        workers
+            .iter()
+            .map(|w| w.res_rx.recv().expect("shard worker died"))
+            .collect()
+    };
+    loop {
+        // --- Drain one batch's worth of requests (identical to the plain
+        // coalescer: group commit + optional linger window).
+        let mut ops: Vec<Update> = Vec::new();
+        let mut done_txs: Vec<mpsc::Sender<Result<Completion, ServiceError>>> = Vec::new();
+        let push = |r: crate::service::Req, ops: &mut Vec<Update>, txs: &mut Vec<_>| {
+            ops.push(r.op);
+            txs.push(r.done);
+        };
+        let mut closed = false;
+        while ops.is_empty() && !closed {
+            let first = if closing {
+                rx.try_recv().map_err(|_| ())
+            } else {
+                rx.recv().map_err(|_| ())
+            };
+            match first {
+                Ok(Msg::Update(r)) => push(r, &mut ops, &mut done_txs),
+                Ok(Msg::Shutdown) => closing = true,
+                Err(()) => closed = true,
+            }
+        }
+        if ops.is_empty() {
+            break;
+        }
+        while ops.len() < max_batch {
+            match rx.try_recv() {
+                Ok(Msg::Update(r)) => push(r, &mut ops, &mut done_txs),
+                Ok(Msg::Shutdown) => closing = true,
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        let mut timer_expired = false;
+        if !closing && !closed && !linger.is_zero() {
+            let deadline = Instant::now() + linger;
+            while ops.len() < max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    timer_expired = true;
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(Msg::Update(r)) => push(r, &mut ops, &mut done_txs),
+                    Ok(Msg::Shutdown) => {
+                        closing = true;
+                        break;
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        timer_expired = true;
+                        break;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if closed || closing {
+            stats.service.flush_close += 1;
+        } else if ops.len() >= max_batch {
+            stats.service.flush_full += 1;
+        } else if timer_expired {
+            stats.service.flush_timer += 1;
+        } else {
+            stats.service.flush_idle += 1;
+        }
+
+        if let Some(e) = &wal_wedged {
+            for r in done_txs {
+                let _ = r.send(Err(e.clone()));
+            }
+            if closed {
+                break;
+            }
+            continue;
+        }
+
+        // --- Plan + route. Shard 0's structure answers liveness and edge
+        // vertex lookups (replicas are identical, and it lives on this
+        // thread).
+        let sp = plan_sharded(
+            ops,
+            k,
+            |id| s0.contains_edge(id),
+            |_| false,
+            |id| {
+                let rec = s0
+                    .structure()
+                    .edges
+                    .get(id)
+                    .expect("planner only routes live deletes");
+                edge_shards(&rec.vertices, k)
+            },
+        );
+        let plan = sp.plan;
+        let route = sp.route;
+        debug_assert!(plan.deferred.is_empty(), "live ingress cannot defer");
+        for s in 0..k {
+            stats.routed[s] += route.routed[s].len() as u64;
+            stats.stubs[s] += route.stubs[s].len() as u64;
+        }
+        let delete_ids: Vec<EdgeId> = plan
+            .batch
+            .iter()
+            .map_while(|u| match u {
+                Update::Delete(id) => Some(*id),
+                Update::Insert(_) => None,
+            })
+            .collect();
+        let num_deletes = delete_ids.len();
+
+        let mut waiting: Vec<(mpsc::Sender<Result<Completion, ServiceError>>, Slot)> =
+            Vec::with_capacity(done_txs.len());
+        for (tx, slot) in done_txs.into_iter().zip(plan.slots.iter().copied()) {
+            match slot {
+                Slot::RejectUnknown(id) => {
+                    stats.service.rejected += 1;
+                    let _ = tx.send(Err(ServiceError::UnknownEdge(id)));
+                }
+                Slot::RejectEmpty => {
+                    stats.service.rejected += 1;
+                    let _ = tx.send(Err(ServiceError::EmptyEdge));
+                }
+                Slot::Deferred => unreachable!("live ingress cannot defer"),
+                Slot::InBatch(_) | Slot::DuplicateDelete(_) => waiting.push((tx, slot)),
+            }
+        }
+
+        let batch_len = plan.batch.len();
+        let outcome = if batch_len == 0 {
+            None
+        } else {
+            let global = Arc::new(plan.batch);
+            let routes = Arc::new(route.routed);
+
+            // --- Phase 1: every shard appends its routed sub-batch.
+            // All-or-nothing: one failure rolls the successful appends
+            // back and fail-stops — the K logs stay aligned at the cut.
+            let mut appended0 = false;
+            let mut mark0: Option<u64> = None;
+            if sink0.is_some() {
+                for w in &workers {
+                    let job = ShardJob::Append {
+                        global: Arc::clone(&global),
+                        routes: Arc::clone(&routes),
+                    };
+                    w.job_tx.send(job).expect("shard worker died");
+                }
+                let r0 = {
+                    let sink = sink0.as_mut().expect("checked above");
+                    sink.mark()
+                        .and_then(|m| sink.append_routed(&global, &routes[0]).map(|()| m))
+                };
+                let replies = wait_all(&workers);
+                let mut first_err: Option<ServiceError> = None;
+                match r0 {
+                    Ok(m) => {
+                        appended0 = true;
+                        mark0 = Some(m);
+                    }
+                    Err(e) => {
+                        sink0 = None;
+                        first_err = Some(e);
+                    }
+                }
+                for r in replies {
+                    if let ShardReply::Wal(e) = r {
+                        first_err.get_or_insert(e);
+                    }
+                }
+                if let Some(e) = first_err {
+                    // Roll the aligned shards back to the pre-batch cut.
+                    for w in &workers {
+                        w.job_tx
+                            .send(ShardJob::Rollback)
+                            .expect("shard worker died");
+                    }
+                    let _ = wait_all(&workers);
+                    if appended0 {
+                        if let Some(sink) = sink0.as_mut() {
+                            if sink.rollback(mark0.expect("appended")).is_err() {
+                                sink0 = None;
+                            }
+                        }
+                    }
+                    for (tx, _) in waiting {
+                        let _ = tx.send(Err(e.clone()));
+                    }
+                    wal_wedged = Some(e);
+                    continue;
+                }
+                stats.service.wal_batches += 1;
+            }
+
+            // --- Phase 2: every shard applies the full global batch and
+            // publishes its snapshot at the new epoch.
+            for w in &workers {
+                let job = ShardJob::Apply {
+                    global: Arc::clone(&global),
+                    batch_len: batch_len as u64,
+                };
+                w.job_tx.send(job).expect("shard worker died");
+            }
+            let r0 = s0.apply((*global).clone());
+            let replies = wait_all(&workers);
+            match r0 {
+                Ok(out) => {
+                    for (i, r) in replies.into_iter().enumerate() {
+                        match r {
+                            ShardReply::Ok => {}
+                            ShardReply::Wal(e) => {
+                                // This batch is committed everywhere; the
+                                // failed shard's log merely can't accept
+                                // the *next* one — wedge future batches.
+                                wal_wedged.get_or_insert(e);
+                            }
+                            ShardReply::Rejected(e) => panic!(
+                                "shard replicas diverged: shard {} rejected a batch \
+                                 shard 0 applied ({e})",
+                                i + 1
+                            ),
+                        }
+                    }
+                    if let Some(sink) = sink0.as_mut() {
+                        if let Err(e) =
+                            sink.after_apply(&s0, batch_len as u64, ckpt_fn0.as_ref(), &ckpt_stats0)
+                        {
+                            sink0 = None;
+                            wal_wedged.get_or_insert(e);
+                        }
+                    }
+                    Some(out)
+                }
+                Err(e) => {
+                    // Deterministic replicas: every shard must have
+                    // rejected identically. Roll the appends back out of
+                    // all K logs so replay never reconstructs this batch.
+                    for (i, r) in replies.into_iter().enumerate() {
+                        match r {
+                            ShardReply::Rejected(_) => {}
+                            ShardReply::Wal(we) => {
+                                wal_wedged.get_or_insert(we);
+                            }
+                            ShardReply::Ok => panic!(
+                                "shard replicas diverged: shard {} applied a batch \
+                                 shard 0 rejected ({e})",
+                                i + 1
+                            ),
+                        }
+                    }
+                    if appended0 {
+                        for w in &workers {
+                            w.job_tx
+                                .send(ShardJob::Rollback)
+                                .expect("shard worker died");
+                        }
+                        let replies = wait_all(&workers);
+                        for r in replies {
+                            if let ShardReply::Wal(we) = r {
+                                wal_wedged.get_or_insert(we);
+                            }
+                        }
+                        if let Some(sink) = sink0.as_mut() {
+                            if sink.rollback(mark0.expect("appended")).is_err() {
+                                sink0 = None;
+                                wal_wedged.get_or_insert(ServiceError::Wal(
+                                    "rollback of a rejected batch failed".into(),
+                                ));
+                            } else {
+                                stats.service.wal_batches -= 1;
+                            }
+                        }
+                    }
+                    for (tx, _) in waiting {
+                        let _ = tx.send(Err(ServiceError::Rejected(e.clone())));
+                    }
+                    continue;
+                }
+            }
+        };
+
+        // --- Epoch barrier: all K snapshots for this batch are published;
+        // advance the global epoch, then complete tickets (read-your-writes
+        // against any shard).
+        let batch_base = next_seq;
+        stats.service.updates += batch_len as u64;
+        if batch_len > 0 {
+            stats.service.batches += 1;
+            stats.service.max_batch_len = stats.service.max_batch_len.max(batch_len);
+        }
+        next_seq += batch_len as u64;
+        let visible_epoch = epoch_base + next_seq;
+        global_epoch.store(visible_epoch, Ordering::Release);
+        for (tx, slot) in waiting {
+            let msg = match slot {
+                Slot::InBatch(pos) => {
+                    let done = if pos < num_deletes {
+                        Done::Deleted(delete_ids[pos])
+                    } else {
+                        let out = outcome.as_ref().expect("non-empty batch was applied");
+                        Done::Inserted(out.inserted[pos - num_deletes])
+                    };
+                    Ok(Completion {
+                        seq: batch_base + pos as u64,
+                        epoch: visible_epoch,
+                        done,
+                    })
+                }
+                Slot::DuplicateDelete(id) => {
+                    stats.service.dup_deletes += 1;
+                    let pos = delete_ids
+                        .iter()
+                        .position(|d| *d == id)
+                        .expect("duplicate of a planned delete");
+                    Ok(Completion {
+                        seq: batch_base + pos as u64,
+                        epoch: visible_epoch,
+                        done: Done::AlreadyDeleted(id),
+                    })
+                }
+                Slot::RejectUnknown(_) | Slot::RejectEmpty | Slot::Deferred => {
+                    unreachable!("resolved before the batch stage")
+                }
+            };
+            let _ = tx.send(msg);
+        }
+        if closed {
+            break;
+        }
+    }
+    // Shut the workers down: closing their job channels drains them (each
+    // drops its sink, joining its checkpoint writer), then fold every
+    // shard's checkpoint counters into the global stats.
+    drop(sink0);
+    let mut shards: Vec<DynamicMatching> = vec![s0];
+    let mut all_ckpt: Vec<Arc<CkptStats>> = vec![ckpt_stats0];
+    for w in workers {
+        drop(w.job_tx);
+        drop(w.res_rx);
+        shards.push(w.join.join().expect("shard worker panicked"));
+        all_ckpt.push(w.ckpt_stats);
+    }
+    for c in &all_ckpt {
+        stats.service.checkpoints += c.checkpoints.load(Ordering::Relaxed);
+        stats.service.checkpoint_failures += c.failures.load(Ordering::Relaxed);
+        stats.service.wal_segments_removed += c.segments_removed.load(Ordering::Relaxed);
+    }
+    (shards, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::CoalescePolicy;
+
+    fn singleton() -> ServiceBuilder {
+        ServiceConfig::builder().policy(CoalescePolicy {
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        })
+    }
+
+    /// Fixed op sequence, singleton batches: every K must end on the same
+    /// structure (replica determinism) and the same global counters.
+    #[test]
+    fn k_is_invisible_in_memory() {
+        let mut finals: Vec<(usize, Vec<EdgeId>, u64, ShardedStats)> = Vec::new();
+        for k in [1usize, 3] {
+            let (svc, q) = singleton()
+                .shards(k)
+                .start_sharded(|| DynamicMatching::with_seed(42))
+                .unwrap();
+            assert_eq!(svc.shards(), k);
+            assert_eq!(q.shards(), k);
+            let h = svc.handle();
+            let mut ids = Vec::new();
+            for a in 0..40u32 {
+                let t = h.insert(vec![a % 7, a % 7 + 1 + a % 3]);
+                match t.wait().unwrap().done {
+                    Done::Inserted(id) => ids.push(id),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            for id in ids.iter().step_by(3) {
+                h.delete(*id).wait().unwrap();
+            }
+            // Read-your-writes on the sharded read path.
+            let c = h.insert(vec![100, 101]).wait().unwrap();
+            assert!(q.epoch() >= c.epoch);
+            let v = q.view();
+            assert!(v.epoch >= c.epoch);
+            assert_eq!(v.shards.len(), k);
+            for s in &v.shards {
+                assert_eq!(s.epoch(), v.epoch);
+                assert!(s.contains_edge(match c.done {
+                    Done::Inserted(id) => id,
+                    _ => unreachable!(),
+                }));
+            }
+            drop(h);
+            let (shards, stats) = svc.shutdown();
+            assert_eq!(shards.len(), k);
+            let mut m = shards[0].matching();
+            m.sort_unstable();
+            // Every replica ends byte-identical to shard 0.
+            for s in &shards[1..] {
+                assert_eq!(s.num_edges(), shards[0].num_edges());
+                let mut sm = s.matching();
+                sm.sort_unstable();
+                assert_eq!(sm, m);
+                assert_eq!(s.epoch(), shards[0].epoch());
+            }
+            finals.push((k, m, shards[0].epoch(), stats));
+        }
+        let (_, m1, e1, st1) = &finals[0];
+        let (_, m3, e3, st3) = &finals[1];
+        assert_eq!(m1, m3);
+        assert_eq!(e1, e3);
+        assert_eq!(st1.service.updates, st3.service.updates);
+        assert_eq!(st1.service.batches, st3.service.batches);
+        assert_eq!(st1.service.dup_deletes, st3.service.dup_deletes);
+        assert_eq!(st1.service.rejected, st3.service.rejected);
+        // Routed counts partition the planned updates.
+        assert_eq!(
+            st3.routed.iter().sum::<u64>(),
+            st3.service.updates,
+            "routing must partition the batch"
+        );
+        assert_eq!(st1.routed, vec![st1.service.updates]);
+    }
+
+    /// Rejections (unknown ids) resolve identically under sharding and
+    /// never route anywhere.
+    #[test]
+    fn sharded_rejects_match_plain() {
+        let (svc, _q) = singleton()
+            .shards(2)
+            .start_sharded(|| DynamicMatching::with_seed(7))
+            .unwrap();
+        let h = svc.handle();
+        let err = h.delete(EdgeId(999)).wait().unwrap_err();
+        assert_eq!(err, ServiceError::UnknownEdge(EdgeId(999)));
+        let err = h.insert(vec![]).wait().unwrap_err();
+        assert_eq!(err, ServiceError::EmptyEdge);
+        drop(h);
+        let (_, stats) = svc.shutdown();
+        assert_eq!(stats.service.rejected, 2);
+        assert_eq!(stats.routed.iter().sum::<u64>(), 0);
+        assert_eq!(stats.imbalance_pct(), 0.0);
+    }
+
+    /// Duplicate deletes coalesced into one slot complete on every shard
+    /// path with `AlreadyDeleted`, sharing the planned delete's seq.
+    #[test]
+    fn duplicate_deletes_complete_identically_across_k() {
+        for k in [1usize, 2] {
+            let (svc, _q) = ServiceConfig::builder()
+                .policy(CoalescePolicy {
+                    max_batch: 64,
+                    max_delay: Duration::from_millis(40),
+                })
+                .shards(k)
+                .start_sharded(|| DynamicMatching::with_seed(9))
+                .unwrap();
+            let h = svc.handle();
+            let id = match h.insert(vec![1, 2]).wait().unwrap().done {
+                Done::Inserted(id) => id,
+                _ => unreachable!(),
+            };
+            // Two deletes of the same id race into one linger window.
+            let t1 = h.delete(id);
+            let t2 = h.delete(id);
+            let (c1, c2) = (t1.wait().unwrap(), t2.wait().unwrap());
+            let mut kinds = [c1.done, c2.done];
+            kinds.sort_by_key(|d| matches!(d, Done::AlreadyDeleted(_)));
+            assert_eq!(kinds[0], Done::Deleted(id));
+            assert_eq!(kinds[1], Done::AlreadyDeleted(id));
+            assert_eq!(c1.seq, c2.seq);
+            drop(h);
+            let (shards, stats) = svc.shutdown();
+            assert_eq!(stats.service.dup_deletes, 1);
+            assert_eq!(shards[0].num_edges(), 0);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Shard-invariance property suite: the K-shard routing tier must be
+//! **observationally invisible**. For fixed seeds and a deterministic
+//! update script:
+//!
+//! * the final live-edge set, matching, `final:` summary line, and the
+//!   deterministic service counters are byte-identical across K ∈ {1,2,4}
+//!   (the CI matrix reruns this file under `PBDMM_THREADS={1,4}`, so the
+//!   equality also holds across scheduler widths);
+//! * every concurrently-observed cross-shard view is **consistent** (all K
+//!   snapshots carry exactly the view's global epoch — no shard ahead, none
+//!   behind) and equals the sequential singleton replay of the script
+//!   prefix at that epoch — the sharded extension of the linearization
+//!   property in `properties.rs`;
+//! * the K per-shard WALs merge back into the one global history, and
+//!   replaying that merge reproduces the exact unsharded final state.
+//!
+//! Determinism across K needs deterministic *batching* (batch boundaries
+//! steer the shared settle RNG), so the script runs one writer under the
+//! singleton policy: every update is its own batch on every path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pbdmm_graph::edge::EdgeId;
+use pbdmm_graph::update::{Batch, Update};
+use pbdmm_graph::wal::WalMeta;
+use pbdmm_matching::verify::check_invariants;
+use pbdmm_matching::{DynamicMatching, MatchingSnapshot};
+use pbdmm_primitives::rng::SplitMix64;
+use pbdmm_service::{
+    merged_wal, replay_matching, CoalescePolicy, Done, ServiceConfig, ServiceStats, ShardedStats,
+    ShardedView, WalConfig,
+};
+
+/// Steps per scripted run: 192 by default; the nightly CI job deepens the
+/// sweep via `PBDMM_PROP_CASES` (steps = 4 × cases) at the same seeds.
+fn steps() -> usize {
+    let cases: usize = std::env::var("PBDMM_PROP_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
+    (cases * 4).max(192)
+}
+
+/// Every update its own batch: batch boundaries — and with them the settle
+/// RNG consumption — are a pure function of the script, not of timing.
+fn singleton() -> CoalescePolicy {
+    CoalescePolicy {
+        max_batch: 1,
+        max_delay: Duration::ZERO,
+    }
+}
+
+/// Live edges as id → vertex set (the state that must be invariant).
+fn live_edges(m: &DynamicMatching) -> BTreeMap<u64, Vec<u32>> {
+    m.structure()
+        .edges
+        .iter()
+        .map(|(id, rec)| (id.raw(), rec.vertices.clone()))
+        .collect()
+}
+
+/// The snapshot keeps vertex lists only for matched edges; the live set is
+/// an id set — so the prefix comparison checks live **ids** plus the
+/// matched edges with their full vertex lists.
+fn snapshot_live_ids(s: &MatchingSnapshot) -> Vec<u64> {
+    s.live_edges().map(|id| id.raw()).collect()
+}
+
+fn snapshot_matched_with_vertices(s: &MatchingSnapshot) -> BTreeMap<u64, Vec<u32>> {
+    s.matched_edges()
+        .map(|(id, vs)| (id.raw(), vs.as_slice().to_vec()))
+        .collect()
+}
+
+fn sorted_matching(m: &DynamicMatching) -> Vec<EdgeId> {
+    let mut ids = m.matching();
+    ids.sort_unstable();
+    ids
+}
+
+fn snapshot_sorted_matching(s: &MatchingSnapshot) -> Vec<EdgeId> {
+    let mut ids: Vec<EdgeId> = s.matched_edges().map(|(id, _)| id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// The deterministic writer script: a fixed interleaving of inserts (mostly
+/// rank-2, a quarter rank-3, vertex pairs that frequently straddle shard
+/// boundaries for every K under test) and deletes of its own committed
+/// ids. Each ticket is awaited, so the submission order *is* the
+/// completion order and the op log below is the exact global history.
+fn run_script(h: &pbdmm_service::ServiceHandle, seed: u64, n: usize) -> Vec<Update> {
+    let mut rng = SplitMix64::new(seed);
+    let mut owned: Vec<EdgeId> = Vec::new();
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        if !owned.is_empty() && rng.bounded(10) < 4 {
+            let id = owned.swap_remove(rng.bounded(owned.len() as u64) as usize);
+            let c = h.delete(id).wait().expect("delete of own committed id");
+            assert!(matches!(c.done, Done::Deleted(d) if d == id));
+            ops.push(Update::Delete(id));
+        } else {
+            let a = rng.bounded(512) as u32;
+            let b = a + 1 + rng.bounded(9) as u32;
+            let vs = if rng.bounded(4) == 0 {
+                vec![a, b, b + 1 + rng.bounded(5) as u32]
+            } else {
+                vec![a, b]
+            };
+            match h.insert(vs.clone()).wait().expect("insert").done {
+                Done::Inserted(id) => owned.push(id),
+                other => panic!("expected insert completion, got {other:?}"),
+            }
+            ops.push(Update::Insert(vs));
+        }
+    }
+    ops
+}
+
+/// What one scripted run produced, reduced to the byte-comparable facts.
+struct RunOutcome {
+    ops: Vec<Update>,
+    live: BTreeMap<u64, Vec<u32>>,
+    matching: Vec<EdgeId>,
+    final_line: String,
+    stats: ServiceStats,
+    routing: ShardedStats,
+    views: Vec<ShardedView>,
+}
+
+/// Run the seed's script against a K-shard service. `observers` concurrent
+/// reader threads poll [`pbdmm_service::ShardedQuery::view`] the whole
+/// time; `wal_dir` switches on per-shard durable logging (flush, no fsync
+/// — these tests measure semantics, not disks).
+fn scripted_run(
+    k: usize,
+    seed: u64,
+    observers: usize,
+    wal_dir: Option<&std::path::Path>,
+) -> RunOutcome {
+    let structure_seed = 0x5AA2D ^ seed;
+    let mut builder = ServiceConfig::builder().policy(singleton()).shards(k);
+    if let Some(dir) = wal_dir {
+        let mut cfg = WalConfig::dir(
+            dir,
+            WalMeta {
+                structure: "matching".into(),
+                seed: structure_seed,
+                ids_recycling: false,
+            },
+        );
+        cfg.sync = false;
+        builder = builder.wal(cfg);
+    }
+    let (svc, query) = builder
+        .start_sharded(move || DynamicMatching::with_seed(structure_seed))
+        .expect("sharded service starts");
+
+    let stop = AtomicBool::new(false);
+    let views: Mutex<Vec<ShardedView>> = Mutex::new(Vec::new());
+    let ops = std::thread::scope(|scope| {
+        for _ in 0..observers {
+            let q = query.clone();
+            let (stop, views) = (&stop, &views);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    views.lock().unwrap().push(q.view());
+                    std::thread::yield_now();
+                }
+            });
+        }
+        let h = svc.handle();
+        let ops = run_script(&h, seed, steps());
+        stop.store(true, Ordering::Relaxed);
+        ops
+    });
+
+    let (mut replicas, routing) = svc.shutdown();
+    let m = replicas.remove(0);
+    check_invariants(&m).expect("final invariants");
+    // Whatever K, the replicas the tier shuts down with must agree among
+    // themselves before we compare them across runs.
+    for (s, r) in replicas.iter().enumerate() {
+        assert_eq!(
+            live_edges(r),
+            live_edges(&m),
+            "shard {} live set diverged from shard 0",
+            s + 1
+        );
+        assert_eq!(
+            sorted_matching(r),
+            sorted_matching(&m),
+            "shard {} matching diverged from shard 0",
+            s + 1
+        );
+    }
+    RunOutcome {
+        ops,
+        live: live_edges(&m),
+        matching: sorted_matching(&m),
+        final_line: format!(
+            "final: epoch={} edges={} matching={}",
+            m.epoch(),
+            m.num_edges(),
+            m.matching_size()
+        ),
+        stats: routing.service,
+        routing,
+        views: views.into_inner().unwrap(),
+    }
+}
+
+/// The deterministic slice of the counters: flush attribution is
+/// timing-dependent even under the singleton policy (idle vs close on the
+/// final drain), so it stays out of the cross-K comparison.
+fn stat_key(s: &ServiceStats) -> (u64, u64, u64, u64, usize, u64) {
+    (
+        s.updates,
+        s.batches,
+        s.dup_deletes,
+        s.rejected,
+        s.max_batch_len,
+        s.wal_batches,
+    )
+}
+
+#[test]
+fn final_state_is_byte_identical_across_k() {
+    for seed in [11u64, 12, 13] {
+        let base = scripted_run(1, seed, 0, None);
+        assert_eq!(base.routing.routed, vec![base.stats.updates]);
+        for k in [2usize, 4] {
+            let run = scripted_run(k, seed, 0, None);
+            assert_eq!(
+                run.live, base.live,
+                "seed {seed}: K={k} live edge set differs from K=1"
+            );
+            assert_eq!(
+                run.matching, base.matching,
+                "seed {seed}: K={k} matching differs from K=1"
+            );
+            assert_eq!(
+                run.final_line, base.final_line,
+                "seed {seed}: K={k} final line differs from K=1"
+            );
+            assert_eq!(
+                stat_key(&run.stats),
+                stat_key(&base.stats),
+                "seed {seed}: K={k} service counters differ from K=1"
+            );
+            // Routing bookkeeping: every update has exactly one owner shard.
+            assert_eq!(run.routing.routed.len(), k);
+            assert_eq!(
+                run.routing.routed.iter().sum::<u64>(),
+                run.stats.updates,
+                "seed {seed}: K={k} routed counts must partition the updates"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_views_linearize_to_the_sequential_prefix() {
+    for k in [1usize, 2, 4] {
+        let seed = 21;
+        let structure_seed = 0x5AA2D ^ seed;
+        let run = scripted_run(k, seed, 2, None);
+        assert!(
+            !run.views.is_empty(),
+            "observers must capture at least one view"
+        );
+
+        // Walk the observed epochs in order, advancing one sequential
+        // replica of the script prefix alongside; singleton batches make
+        // the global epoch exactly the number of applied updates.
+        let mut views = run.views;
+        views.sort_by_key(|v| v.epoch);
+        views.dedup_by_key(|v| v.epoch);
+        let mut seq = DynamicMatching::with_seed(structure_seed);
+        let mut applied = 0usize;
+        for view in &views {
+            assert_eq!(view.shards.len(), k.max(1));
+            assert!(
+                view.epoch as usize <= run.ops.len(),
+                "observed epoch beyond the script"
+            );
+            while (applied as u64) < view.epoch {
+                seq.apply(Batch::from(vec![run.ops[applied].clone()]))
+                    .expect("script prefix is sequentially valid");
+                applied += 1;
+            }
+            let want_live: Vec<u64> = live_edges(&seq).into_keys().collect();
+            let want_matching = sorted_matching(&seq);
+            let want_matched_vertices: BTreeMap<u64, Vec<u32>> = seq
+                .structure()
+                .edges
+                .iter()
+                .filter(|(id, _)| want_matching.binary_search(id).is_ok())
+                .map(|(id, rec)| (id.raw(), rec.vertices.clone()))
+                .collect();
+            for (s, snap) in view.shards.iter().enumerate() {
+                // Consistency: each shard snapshot is frozen at exactly the
+                // view's global epoch — no shard ahead, none behind.
+                assert_eq!(
+                    snap.epoch(),
+                    view.epoch,
+                    "K={k}: shard {s} snapshot epoch off the global epoch"
+                );
+                snap.check_consistency().expect("snapshot self-consistency");
+                assert_eq!(
+                    snapshot_live_ids(snap),
+                    want_live,
+                    "K={k}: shard {s} view at epoch {} is not the replay prefix",
+                    view.epoch
+                );
+                assert_eq!(
+                    snapshot_sorted_matching(snap),
+                    want_matching,
+                    "K={k}: shard {s} matching at epoch {} is not the replay prefix",
+                    view.epoch
+                );
+                assert_eq!(
+                    snapshot_matched_with_vertices(snap),
+                    want_matched_vertices,
+                    "K={k}: shard {s} matched vertex lists at epoch {} differ",
+                    view.epoch
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_shard_wals_merge_to_the_unsharded_history() {
+    let seed = 31;
+    let base = scripted_run(1, seed, 0, None);
+    for k in [2usize, 4] {
+        let dir =
+            std::env::temp_dir().join(format!("pbdmm_sharding_merge_k{k}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let run = scripted_run(k, seed, 0, Some(&dir));
+        assert_eq!(run.final_line, base.final_line);
+        assert_eq!(run.stats.wal_batches, run.stats.batches);
+
+        // The K per-shard logs merge (via the recorded routes) back into
+        // one global history whose replay is the unsharded final state.
+        let wal = merged_wal(&dir, k).expect("per-shard logs merge");
+        assert!(!wal.truncated, "clean shutdown leaves no torn tail");
+        assert_eq!(wal.total_updates() as u64, run.stats.updates);
+        let (replayed, report) = replay_matching(&wal).expect("merged replay");
+        assert_eq!(report.updates, run.stats.updates);
+        assert_eq!(live_edges(&replayed), base.live);
+        assert_eq!(sorted_matching(&replayed), base.matching);
+        check_invariants(&replayed).expect("replayed invariants");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -80,6 +80,7 @@ fn replay_prefix(wal: &Wal, prefix_updates: u64) -> DynamicMatching {
     let prefix = Wal {
         meta: wal.meta.clone(),
         base: 0,
+        routes: vec![None; batches.len()],
         batches,
         truncated: false,
     };
