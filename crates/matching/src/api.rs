@@ -45,6 +45,7 @@ use std::sync::Arc;
 
 use pbdmm_graph::edge::{normalize_vertices, EdgeId, EdgeVertices};
 use pbdmm_primitives::hash::FxHashSet;
+use pbdmm_primitives::obs::Recorder;
 use pbdmm_primitives::pool::ParPool;
 
 pub use pbdmm_graph::update::{Batch, Update};
@@ -270,6 +271,12 @@ pub trait BatchDynamic {
     /// Total model work charged so far.
     fn work(&self) -> u64;
 
+    /// Attach a phase [`Recorder`]: structures that support per-phase
+    /// observability record settlement/publication spans and counters
+    /// through it. The default does nothing, so plain adapters (the
+    /// baselines, test doubles) need no change.
+    fn set_obs(&mut self, _obs: Recorder) {}
+
     /// Legacy wrapper: insert a batch of edges, returning their ids in input
     /// order.
     ///
@@ -328,6 +335,7 @@ pub struct DynamicMatchingBuilder {
     metering: MeterMode,
     pool: Option<Arc<ParPool>>,
     recycle_ids: bool,
+    obs: Option<Recorder>,
 }
 
 impl DynamicMatchingBuilder {
@@ -376,6 +384,15 @@ impl DynamicMatchingBuilder {
         self
     }
 
+    /// Attach a phase [`Recorder`] (default: disabled — zero overhead).
+    /// Settlement and snapshot-publication spans plus settle-round /
+    /// level-occupancy / scratch-high-water counters record through it;
+    /// see [`pbdmm_primitives::obs`].
+    pub fn obs(mut self, obs: Recorder) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Build the structure.
     pub fn build(self) -> DynamicMatching {
         let mut dm = DynamicMatching::with_options(
@@ -388,6 +405,9 @@ impl DynamicMatchingBuilder {
         }
         if let Some(pool) = self.pool {
             dm.set_pool(pool);
+        }
+        if let Some(obs) = self.obs {
+            dm.set_obs(obs);
         }
         dm
     }

@@ -27,6 +27,7 @@ use std::sync::Arc;
 use pbdmm_graph::edge::{EdgeId, EdgeVertices, VertexId};
 use pbdmm_primitives::cost::{CostMeter, CostSnapshot};
 use pbdmm_primitives::hash::{FxHashMap, FxHashSet};
+use pbdmm_primitives::obs::{Counter, Phase, Recorder};
 use pbdmm_primitives::pool::ParPool;
 use pbdmm_primitives::rng::SplitMix64;
 use pbdmm_primitives::slab::{EpochSet, Slab};
@@ -259,6 +260,10 @@ pub struct DynamicMatching {
     /// Cumulative wall time spent producing + publishing snapshots, in
     /// nanoseconds (the bench's publish-cost telemetry).
     snapshot_publish_nanos: u64,
+    /// Phase recorder for wall-clock observability (settlement +
+    /// publication spans, settle-round/level/scratch counters). Disabled
+    /// by default — every record is then a no-op branch.
+    obs: Recorder,
 }
 
 impl DynamicMatching {
@@ -303,6 +308,7 @@ impl DynamicMatching {
             snapshots: None,
             delta: None,
             snapshot_publish_nanos: 0,
+            obs: Recorder::disabled(),
         }
     }
 
@@ -351,6 +357,16 @@ impl DynamicMatching {
     /// The explicitly pinned scheduler, if any.
     pub fn pool(&self) -> Option<&Arc<ParPool>> {
         self.pool.as_ref()
+    }
+
+    /// Attach a phase [`Recorder`] (see
+    /// [`crate::api::DynamicMatchingBuilder::obs`]). Every subsequent
+    /// `apply` records a [`Phase::Settle`] span (the whole mutation:
+    /// deletions, settle rounds, insertions), a [`Phase::SnapshotPublish`]
+    /// span, and the settle-round / level-occupancy / scratch-high-water
+    /// counters through it.
+    pub fn set_obs(&mut self, obs: Recorder) {
+        self.obs = obs;
     }
 
     /// Run `f` with this structure's pool installed as the current
@@ -457,7 +473,9 @@ impl DynamicMatching {
             // to a full capture, which also resyncs delta subscribers.
             cell.publish(MatchingSnapshot::capture(self));
         }
-        self.snapshot_publish_nanos += start.elapsed().as_nanos() as u64;
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.snapshot_publish_nanos += elapsed;
+        self.obs.record_ns(Phase::SnapshotPublish, elapsed);
     }
 
     /// Cumulative nanoseconds spent producing and publishing snapshots
@@ -640,6 +658,12 @@ impl DynamicMatching {
         self.meter
             .charge_primitive((inserts.len() + deletes.len()).max(1) * self.max_rank);
 
+        // Settle span: the whole mutation (deletions, settle rounds, the
+        // fused insertion round) — everything up to snapshot publication,
+        // which `maybe_publish_snapshot` attributes separately.
+        let obs = self.obs.clone();
+        let settle_span = obs.span(Phase::Settle);
+
         // --- Deletions (Figure 3 deleteEdges) --------------------------------
         // Unmatched deletions first (cheap): cross edges detach with payment
         // 0 (late), sampled edges leave their owner's sample with payment 1
@@ -702,6 +726,7 @@ impl DynamicMatching {
         }
         e_prime.extend(inserted.iter().copied());
         self.internal_insert(e_prime);
+        drop(settle_span);
 
         self.stats.settle_rounds += settle_iterations;
         self.last_batch = BatchReport {
@@ -709,6 +734,15 @@ impl DynamicMatching {
             cost: self.meter.snapshot().since(&before),
         };
         self.maybe_publish_snapshot();
+        if self.obs.is_enabled() {
+            self.obs.add(Counter::SettleRounds, settle_iterations);
+            // Occupied levels is an O(matching) scan, so it is gated on the
+            // recorder actually being on (profiling cost, not steady-state).
+            self.obs
+                .add(Counter::LevelsTouched, self.level_histogram().len() as u64);
+            self.obs
+                .record_max(Counter::ScratchHighWater, self.greedy.high_water() as u64);
+        }
         BatchOutcome {
             inserted,
             deleted: deletes,
@@ -954,6 +988,10 @@ impl crate::api::BatchDynamic for DynamicMatching {
 
     fn work(&self) -> u64 {
         self.meter().work()
+    }
+
+    fn set_obs(&mut self, obs: Recorder) {
+        DynamicMatching::set_obs(self, obs)
     }
 
     fn insert_edges(&mut self, batch: &[EdgeVertices]) -> Vec<EdgeId> {

@@ -38,6 +38,15 @@ pub struct GreedyScratch {
     seen: EpochSet,
 }
 
+impl GreedyScratch {
+    /// Memory high-water mark: slots ever allocated in the compaction map
+    /// (one per distinct vertex id seen across all calls). The profiler's
+    /// `scratch_high_water` counter reports this.
+    pub fn high_water(&self) -> usize {
+        self.remap.high_water()
+    }
+}
+
 /// Output of a greedy matching: matched edges with their sample spaces
 /// (indices into the input edge slice), plus the number of parallel rounds
 /// (the quantity the `O(log m)` whp depth bound of Fischer–Noever governs).

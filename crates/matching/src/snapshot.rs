@@ -361,6 +361,33 @@ fn canonicalize_edits<V>(edits: &mut Vec<(u64, Option<V>)>) {
 /// * removals are idempotent: a delta may delete or unmatch ids the
 ///   consumer never saw (this falls out of merging), and appliers treat
 ///   those as no-ops.
+///
+/// # Example
+///
+/// A delta patches the snapshot it spans *from* into the snapshot it
+/// spans *to*, and the patched result content-equals a from-scratch
+/// capture of the same state:
+///
+/// ```
+/// use pbdmm_matching::api::Batch;
+/// use pbdmm_matching::snapshot::{Changes, MatchingSnapshot, Snapshots};
+/// use pbdmm_matching::DynamicMatching;
+///
+/// let mut m = DynamicMatching::with_seed(3);
+/// let reader = m.enable_snapshots();
+/// let base = reader.latest(); // epoch 0, empty
+///
+/// m.apply(Batch::new().inserts([vec![0, 1], vec![2, 3]])).unwrap();
+/// let delta = match reader.changes_since(base.epoch()) {
+///     Changes::Delta { delta, .. } => delta,
+///     _ => unreachable!("one publish behind, the ring holds it"),
+/// };
+/// assert_eq!((delta.from_epoch, delta.to_epoch), (0, 2));
+/// assert_eq!(delta.inserted.len(), 2);
+///
+/// let patched = base.apply_delta(&delta);
+/// assert_eq!(patched, MatchingSnapshot::capture(&m));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SnapshotDelta {
     /// Epoch this delta patches *from* (exclusive floor of the span).

@@ -16,6 +16,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use pbdmm_graph::Update;
+use pbdmm_primitives::obs::ProfileReport;
 
 use crate::proto::{
     self, ErrorCode, FrameError, Request, Response, UpdateResult, WireDelta, WireStats, MAX_FRAME,
@@ -252,6 +253,18 @@ impl Client {
         }
     }
 
+    /// Scrape the daemon's cumulative per-phase profile. The report is all
+    /// zeros when the daemon was not started with profiling enabled —
+    /// check [`ProfileReport::is_empty`].
+    pub fn profile(&mut self) -> Result<ProfileReport, ClientError> {
+        let req_id = self.next_req_id();
+        self.send(&Request::Profile { req_id })?;
+        match self.recv_for(req_id)? {
+            Response::ProfileResult { report, .. } => Ok(report),
+            r => Err(ClientError::Unexpected(format!("{r:?} to Profile"))),
+        }
+    }
+
     /// Subscribe this connection to epoch publications newer than
     /// `from_epoch`; subsequent events arrive as interleaved
     /// [`Response::EpochEvent`] frames (see [`Client::recv_response`] /
@@ -288,6 +301,7 @@ fn response_req_id(r: &Response) -> Option<u64> {
         Response::Completion { req_id, .. }
         | Response::QueryResult { req_id, .. }
         | Response::Stats { req_id, .. }
+        | Response::ProfileResult { req_id, .. }
         | Response::Error { req_id, .. } => Some(*req_id),
         Response::EpochEvent { .. } | Response::DeltaEvent { .. } => None,
     }

@@ -2,7 +2,8 @@
 //!
 //! One accept loop, one **reader/writer thread pair per connection** — no
 //! async runtime. Every connection funnels into the same
-//! [`ServiceHandle`]/[`QueryHandle`] pair, so coalescing, WAL durability,
+//! [`ServiceHandle`]/[`pbdmm_service::QueryHandle`] pair, so coalescing,
+//! WAL durability,
 //! epoch snapshots, and read-your-writes all come for free from the
 //! in-process service; the network tier adds exactly two things:
 //!
@@ -32,6 +33,7 @@ use std::time::Duration;
 use pbdmm_matching::checkpoint::Checkpoint;
 use pbdmm_matching::snapshot::{Changes, MatchingSnapshot, SnapshotDelta};
 use pbdmm_matching::DynamicMatching;
+use pbdmm_primitives::obs::{Counter, Phase, Recorder};
 use pbdmm_primitives::pool::ParPool;
 use pbdmm_service::{
     CoalescePolicy, Done, RecoveryInfo, ServiceBuilder, ServiceConfig, ServiceError, ServiceHandle,
@@ -81,6 +83,11 @@ pub struct DaemonConfig {
     /// `K > 1` requires a segmented directory and logs each shard under
     /// `<dir>/shard-<i>/`.
     pub shards: usize,
+    /// Phase/counter recorder shared with the service and matching tiers.
+    /// Enable it ([`Recorder::enabled`]) to serve [`Request::Profile`]
+    /// scrapes and per-phase breakdowns; the default disabled recorder
+    /// makes every instrumentation point a no-op.
+    pub obs: Recorder,
 }
 
 impl Default for DaemonConfig {
@@ -94,6 +101,7 @@ impl Default for DaemonConfig {
             wal: None,
             pool: None,
             shards: 1,
+            obs: Recorder::disabled(),
         }
     }
 }
@@ -348,7 +356,8 @@ impl Daemon {
 fn builder_for(cfg: &DaemonConfig) -> ServiceBuilder {
     let mut b = ServiceConfig::builder()
         .policy(cfg.policy)
-        .shards(cfg.shards.max(1));
+        .shards(cfg.shards.max(1))
+        .obs(cfg.obs.clone());
     if let Some(wal) = cfg.wal.clone() {
         b = b.wal(wal);
     }
@@ -552,20 +561,30 @@ fn reader_loop(
     shared: &Arc<Shared>,
     inflight: &AtomicUsize,
 ) {
+    let obs = shared.cfg.obs.clone();
     let mut body = Vec::new();
     loop {
+        // The blocking socket read stays outside the decode span — idle
+        // wait is not decode time.
         let frame = proto::read_frame(read_half, shared.cfg.max_frame, &mut body);
         let request = match frame {
             Ok(None) => return, // clean EOF: client is done
-            Ok(Some(())) => Request::decode(&body),
+            Ok(Some(())) => {
+                let _decode = obs.span(Phase::NetDecode);
+                Request::decode(&body)
+            }
             Err(FrameError::Io(_)) => return, // reset/timeout: nothing to say
             Err(e) => Err(e),
         };
         let request = match request {
-            Ok(r) => r,
+            Ok(r) => {
+                obs.add(Counter::FramesDecoded, 1);
+                r
+            }
             Err(e) => {
                 // Protocol violation: structured error, then close only
                 // this connection.
+                obs.add(Counter::DecodeErrors, 1);
                 shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = tx.send(WorkItem::Ready(Response::Error {
                     req_id: 0,
@@ -575,6 +594,7 @@ fn reader_loop(
                 return;
             }
         };
+        let _dispatch = obs.span(Phase::NetDispatch);
         let item = match request {
             Request::SubmitBatch { req_id, updates } => {
                 if shared.draining.load(Ordering::SeqCst) {
@@ -622,6 +642,10 @@ fn reader_loop(
             Request::Stats { req_id } => WorkItem::Ready(Response::Stats {
                 req_id,
                 stats: shared.wire_stats(),
+            }),
+            Request::Profile { req_id } => WorkItem::Ready(Response::ProfileResult {
+                req_id,
+                report: obs.snapshot(),
             }),
             Request::SubscribeEpoch {
                 req_id: _,

@@ -46,6 +46,7 @@ use std::io::{Read, Write};
 
 use pbdmm_graph::edge::EdgeId;
 use pbdmm_graph::update::Update;
+use pbdmm_primitives::obs::{ProfileReport, NUM_COUNTERS, NUM_PHASES};
 
 /// Handshake magic: the first four bytes either endpoint sends.
 pub const MAGIC: [u8; 4] = *b"PBDM";
@@ -66,6 +67,7 @@ const OP_STATS: u8 = 0x03;
 const OP_SUBSCRIBE_EPOCH: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
 const OP_SUBSCRIBE_DELTAS: u8 = 0x06;
+const OP_PROFILE: u8 = 0x07;
 
 // Response opcodes (daemon → client): high bit set.
 const OP_COMPLETION: u8 = 0x81;
@@ -73,6 +75,7 @@ const OP_QUERY_RESULT: u8 = 0x82;
 const OP_STATS_RESULT: u8 = 0x83;
 const OP_EPOCH_EVENT: u8 = 0x84;
 const OP_DELTA_EVENT: u8 = 0x85;
+const OP_PROFILE_RESULT: u8 = 0x87;
 const OP_ERROR: u8 = 0x8F;
 
 // Per-update tags inside SubmitBatch.
@@ -241,6 +244,14 @@ pub enum Request {
         /// Pass 0 to mirror from genesis (the first event is a resync).
         from_epoch: u64,
     },
+    /// Ask for the daemon's cumulative per-phase profile — the wire
+    /// projection of `pbdmm serve --profile`. Answered with
+    /// [`Response::ProfileResult`]; the report is all zeros when the
+    /// daemon was not started with profiling enabled.
+    Profile {
+        /// Correlation id.
+        req_id: u64,
+    },
     /// Ask the daemon to drain and exit (stop accepting, flush in-flight
     /// tickets, final stats). Answered with [`Response::Stats`].
     Shutdown {
@@ -388,6 +399,14 @@ pub enum Response {
         req_id: u64,
         /// The counters.
         stats: WireStats,
+    },
+    /// Answer to [`Request::Profile`]: the daemon's cumulative
+    /// [`ProfileReport`] (per-phase totals, log₂ histograms, counters).
+    ProfileResult {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// The profile snapshot. All zeros when profiling is disabled.
+        report: ProfileReport,
     },
     /// One epoch publication, streamed to subscribers.
     EpochEvent {
@@ -607,6 +626,77 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Encode a [`ProfileReport`] payload. Histogram buckets are sparse on the
+/// wire — `(index: u8, count: u64)` pairs for non-zero buckets only — so an
+/// idle report costs a few dozen bytes, not 11 × 64 × 8.
+fn put_profile(out: &mut Vec<u8>, report: &ProfileReport) {
+    put_u64(out, report.wall_ns);
+    put_u32(out, report.phases.len() as u32);
+    for p in &report.phases {
+        put_u64(out, p.total_ns);
+        put_u64(out, p.count);
+        put_u64(out, p.max_ns);
+        let nonzero = p.buckets.iter().filter(|&&b| b != 0).count();
+        put_u32(out, nonzero as u32);
+        for (i, &b) in p.buckets.iter().enumerate() {
+            if b != 0 {
+                out.push(i as u8);
+                put_u64(out, b);
+            }
+        }
+    }
+    put_u32(out, report.counters.len() as u32);
+    for &v in &report.counters {
+        put_u64(out, v);
+    }
+}
+
+/// Decode a [`ProfileReport`] payload (see [`put_profile`]). Phases or
+/// counters beyond the ones this build knows ([`NUM_PHASES`] /
+/// [`NUM_COUNTERS`]) are decoded and discarded, so a peer with a newer
+/// phase list still interoperates.
+fn get_profile(c: &mut Cursor<'_>) -> Result<ProfileReport, FrameError> {
+    let mut report = ProfileReport::empty();
+    report.wall_ns = c.u64("wall_ns")?;
+    let bucket_cap = report.phases[0].buckets.len();
+    // Each phase needs at least total/count/max + its bucket count.
+    let n_phases = c.count(28, "phase count")?;
+    for i in 0..n_phases {
+        let total_ns = c.u64("phase total_ns")?;
+        let count = c.u64("phase count field")?;
+        let max_ns = c.u64("phase max_ns")?;
+        let n_buckets = c.count(9, &format!("phase {i} bucket count"))?;
+        let mut buckets = vec![0u64; bucket_cap];
+        for _ in 0..n_buckets {
+            let idx = c.u8("bucket index")? as usize;
+            let v = c.u64("bucket value")?;
+            if idx >= buckets.len() {
+                return Err(FrameError::Malformed(format!(
+                    "phase {i}: bucket index {idx} out of range"
+                )));
+            }
+            buckets[idx] = v;
+        }
+        if let Some(p) = report.phases.get_mut(i) {
+            p.total_ns = total_ns;
+            p.count = count;
+            p.max_ns = max_ns;
+            p.buckets = buckets;
+        }
+    }
+    let n_counters = c.count(8, "counter count")?;
+    for i in 0..n_counters {
+        let v = c.u64("counter value")?;
+        if let Some(slot) = report.counters.get_mut(i) {
+            *slot = v;
+        }
+    }
+    // Keep the compiler honest that the constants stay in sync with empty().
+    debug_assert_eq!(report.phases.len(), NUM_PHASES);
+    debug_assert_eq!(report.counters.len(), NUM_COUNTERS);
+    Ok(report)
+}
+
 impl Request {
     /// Encode into a frame body (opcode + payload) for [`write_frame`].
     pub fn encode(&self) -> Vec<u8> {
@@ -650,6 +740,10 @@ impl Request {
                 out.push(OP_SUBSCRIBE_DELTAS);
                 put_u64(&mut out, *req_id);
                 put_u64(&mut out, *from_epoch);
+            }
+            Request::Profile { req_id } => {
+                out.push(OP_PROFILE);
+                put_u64(&mut out, *req_id);
             }
             Request::Shutdown { req_id } => {
                 out.push(OP_SHUTDOWN);
@@ -703,6 +797,9 @@ impl Request {
             OP_SUBSCRIBE_DELTAS => Request::SubscribeDeltas {
                 req_id: c.u64("req_id")?,
                 from_epoch: c.u64("from_epoch")?,
+            },
+            OP_PROFILE => Request::Profile {
+                req_id: c.u64("req_id")?,
             },
             OP_SHUTDOWN => Request::Shutdown {
                 req_id: c.u64("req_id")?,
@@ -791,6 +888,11 @@ impl Response {
                 put_u64(&mut out, stats.overloaded);
                 put_u64(&mut out, stats.protocol_errors);
                 out.push(stats.draining);
+            }
+            Response::ProfileResult { req_id, report } => {
+                out.push(OP_PROFILE_RESULT);
+                put_u64(&mut out, *req_id);
+                put_profile(&mut out, report);
             }
             Response::EpochEvent { epoch } => {
                 out.push(OP_EPOCH_EVENT);
@@ -915,6 +1017,10 @@ impl Response {
                     protocol_errors: c.u64("protocol_errors")?,
                     draining: c.u8("draining")?,
                 },
+            },
+            OP_PROFILE_RESULT => Response::ProfileResult {
+                req_id: c.u64("req_id")?,
+                report: get_profile(&mut c)?,
             },
             OP_EPOCH_EVENT => Response::EpochEvent {
                 epoch: c.u64("epoch")?,
@@ -1107,6 +1213,79 @@ mod tests {
             delta: WireDelta::default(),
         };
         assert_eq!(Response::decode(&resync.encode()).unwrap(), resync);
+    }
+
+    #[test]
+    fn profile_frames_round_trip() {
+        use pbdmm_primitives::obs::{Counter, Phase, Recorder};
+
+        let req = Request::Profile { req_id: 21 };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+
+        // A populated report survives the sparse-bucket wire encoding.
+        let rec = Recorder::enabled();
+        rec.record_ns(Phase::Batch, 50_000);
+        rec.record_ns(Phase::Plan, 1_100);
+        rec.record_ns(Phase::Plan, 2_000_000);
+        rec.add(Counter::Batches, 2);
+        rec.record_max(Counter::BatchMax, 64);
+        let resp = Response::ProfileResult {
+            req_id: 21,
+            report: rec.snapshot(),
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+
+        // The all-zero report of a profiling-disabled daemon too.
+        let empty = Response::ProfileResult {
+            req_id: 3,
+            report: ProfileReport::empty(),
+        };
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn hostile_profile_frames_are_malformed_not_panics() {
+        // A phase count of u32::MAX backed by no bytes.
+        let mut body = vec![OP_PROFILE_RESULT];
+        body.extend_from_slice(&9u64.to_le_bytes()); // req_id
+        body.extend_from_slice(&0u64.to_le_bytes()); // wall_ns
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&body),
+            Err(FrameError::Malformed(_))
+        ));
+
+        // A bucket index beyond the histogram is malformed, not a panic.
+        let mut resp = Response::ProfileResult {
+            req_id: 9,
+            report: ProfileReport::empty(),
+        }
+        .encode();
+        // Rewrite the first phase to claim one bucket at index 200. The
+        // empty encoding is: op + req_id(8) + wall(8) + nphases(4), then
+        // per phase total(8)+count(8)+max(8)+nbuckets(4).
+        let first_nbuckets = 1 + 8 + 8 + 4 + 8 + 8 + 8;
+        resp[first_nbuckets..first_nbuckets + 4].copy_from_slice(&1u32.to_le_bytes());
+        resp.insert(first_nbuckets + 4, 200); // bucket index
+        let pos = first_nbuckets + 5;
+        for (i, b) in 7u64.to_le_bytes().iter().enumerate() {
+            resp.insert(pos + i, *b); // bucket value
+        }
+        assert!(matches!(
+            Response::decode(&resp),
+            Err(FrameError::Malformed(_))
+        ));
+
+        // Truncating a valid profile frame at any interior byte is
+        // malformed (or torn at the transport layer), never a panic.
+        let whole = Response::ProfileResult {
+            req_id: 1,
+            report: ProfileReport::empty(),
+        }
+        .encode();
+        for cut in 1..whole.len() {
+            assert!(Response::decode(&whole[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`rng`] — seedable splittable PRNGs (the algorithm's coins);
 //! * [`cost`] — work/depth metering so experiments can check the *model*
 //!   bounds rather than wall-clock proxies;
+//! * [`obs`] — phase-scoped observability: wall-clock timers, counters,
+//!   and log₂ latency histograms for the batch pipeline (the wall-clock
+//!   complement to [`cost`]'s model metering);
 //! * [`pool`] — the persistent work-stealing thread pool (per-worker
 //!   deques, global injector, lazy binary task splitting);
 //! * [`par`] — fork-join helpers on the pool, with adaptive grain control;
@@ -30,6 +33,7 @@ pub mod cost;
 pub mod dict;
 pub mod find_next;
 pub mod hash;
+pub mod obs;
 pub mod par;
 pub mod permutation;
 pub mod pool;
@@ -44,6 +48,7 @@ pub use cost::{CostHint, CostMeter, CostSnapshot};
 pub use dict::ConcurrentU64Set;
 pub use find_next::{find_next, find_next_in};
 pub use hash::{fx_hash, mix64, FxHashMap, FxHashSet};
+pub use obs::{Counter, Phase, ProfileReport, Recorder};
 pub use permutation::{random_permutation, random_priorities, Priority};
 pub use pool::ParPool;
 pub use rng::SplitMix64;

@@ -327,6 +327,12 @@ impl<V: Copy + Default> EpochMap<V> {
             None
         }
     }
+
+    /// Slots ever allocated (one per distinct key seen): the map's memory
+    /// high-water mark, which `clear` does not shrink.
+    pub fn high_water(&self) -> usize {
+        self.stamp.len()
+    }
 }
 
 #[cfg(test)]

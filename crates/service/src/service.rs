@@ -26,6 +26,7 @@ use pbdmm_graph::wal::{self, WalMeta};
 use pbdmm_matching::api::{BatchDynamic, UpdateError};
 use pbdmm_matching::checkpoint::Checkpoint;
 use pbdmm_matching::snapshot::{Snapshot, SnapshotReader, Snapshots};
+use pbdmm_primitives::obs::{Counter, Phase, Recorder};
 use pbdmm_primitives::pool::ParPool;
 
 use crate::coalesce::{plan_batch, CoalescePolicy, Slot};
@@ -301,6 +302,12 @@ pub struct ServiceConfig {
     /// Shard count for the sharded terminals (see [`crate::shard`]); 0 and
     /// 1 both mean the unsharded engine.
     pub shards: usize,
+    /// Phase recorder for per-phase observability (disabled by default —
+    /// a disabled recorder is a no-op branch per phase). The coalescer
+    /// records plan/WAL/apply/complete spans plus batch/flush counters
+    /// through it, and the structure it starts inherits it via
+    /// [`BatchDynamic::set_obs`].
+    pub obs: Recorder,
 }
 
 impl ServiceConfig {
@@ -342,6 +349,8 @@ pub struct ServiceBuilder {
     /// Shard count for the sharded terminals (`crate::shard`); 0 and 1
     /// both mean unsharded.
     pub(crate) shards: usize,
+    /// Phase recorder shared by the coalescer and the structure.
+    pub(crate) obs: Recorder,
 }
 
 /// What [`ServiceBuilder::recover_and_start_serving`] yields: the resumed
@@ -366,12 +375,23 @@ impl ServiceBuilder {
     }
 
     /// Shard count for the sharded terminals
-    /// ([`crate::shard::ServiceBuilderShardExt::start_sharded`] and
+    /// ([`ServiceBuilder::start_sharded`] and
     /// friends). `K = 1` (the default) is byte-identical to the unsharded
     /// engine: same WAL layout, same threads, same bytes on disk. `K > 1`
     /// runs K deterministic shard replicas behind one routing tier.
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Attach a phase [`Recorder`] (default: disabled, zero overhead).
+    /// The coalescer records per-batch plan / WAL-append / apply /
+    /// complete spans and batch-size/flush-cause counters; the structure
+    /// inherits the recorder through [`BatchDynamic::set_obs`], so
+    /// settlement and snapshot-publication time nest under apply. Snapshot
+    /// the same recorder at any time for a live per-phase breakdown.
+    pub fn obs(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -437,6 +457,7 @@ impl ServiceBuilder {
             wal,
             pool: self.pool.clone(),
             shards: self.shards,
+            obs: self.obs.clone(),
         }
     }
 
@@ -1052,12 +1073,15 @@ impl<S: BatchDynamic + Send + 'static> UpdateService<S> {
     }
 
     fn start_inner(
-        structure: S,
+        mut structure: S,
         config: ServiceConfig,
         epoch_base: u64,
         resume_seq: u64,
         ckpt_fn: Option<CkptFn<S>>,
     ) -> Result<Self, ServiceError> {
+        // The structure shares the service's recorder, so settlement and
+        // snapshot-publication spans nest under the coalescer's apply span.
+        structure.set_obs(config.obs.clone());
         let ckpt_stats = Arc::new(CkptStats::default());
         let wal_sink = match &config.wal {
             Some(cfg) if cfg.segmented => Some(WalSink::open_dir(
@@ -1160,6 +1184,7 @@ fn coalescer_loop<S: BatchDynamic>(
     let policy = config.policy;
     let max_batch = policy.max_batch.max(1);
     let linger = policy.max_delay;
+    let obs = config.obs.clone();
     let mut stats = ServiceStats::default();
     let mut next_seq: u64 = 0;
     // Once the shutdown marker is seen, stop waiting on the clock and just
@@ -1239,12 +1264,16 @@ fn coalescer_loop<S: BatchDynamic>(
         }
         if closed || closing {
             stats.flush_close += 1;
+            obs.add(Counter::FlushClose, 1);
         } else if ops.len() >= max_batch {
             stats.flush_full += 1;
+            obs.add(Counter::FlushFull, 1);
         } else if timer_expired {
             stats.flush_timer += 1;
+            obs.add(Counter::FlushTimer, 1);
         } else {
             stats.flush_idle += 1;
+            obs.add(Counter::FlushIdle, 1);
         }
 
         // Fail-stopped: refuse everything drained without applying.
@@ -1258,10 +1287,16 @@ fn coalescer_loop<S: BatchDynamic>(
             continue;
         }
 
+        // Busy span: everything from planning to the last completion —
+        // the per-batch processing cost, excluding the drain/linger wait
+        // above (which is latency budget, not work).
+        let _batch_span = obs.span(Phase::Batch);
+
         // --- Plan: conflict resolution per the apply contract ------------
         // Live ingress cannot name an id before its insert commits, so
         // `created_here` is constantly false here; replay uses the planner
         // with a real predictor (see `crate::replay`).
+        let plan_span = obs.span(Phase::Plan);
         let plan = plan_batch(ops, |id| s.contains_edge(id), |_| false);
         debug_assert!(plan.deferred.is_empty(), "live ingress cannot defer");
         // The batch's delete prefix, for slot → completion mapping below.
@@ -1295,10 +1330,12 @@ fn coalescer_loop<S: BatchDynamic>(
                 Slot::InBatch(_) | Slot::DuplicateDelete(_) => waiting.push((tx, slot)),
             }
         }
+        drop(plan_span);
 
         // --- WAL: append-before-apply -------------------------------------
         // Log end before this append, so a failed apply can roll the
         // phantom batch back out of the log.
+        let wal_span = obs.span(Phase::WalAppend);
         let mut wal_mark: Option<u64> = None;
         if !plan.batch.is_empty() {
             if let Some(sink) = wal.as_mut() {
@@ -1330,8 +1367,10 @@ fn coalescer_loop<S: BatchDynamic>(
                 stats.wal_batches += 1;
             }
         }
+        drop(wal_span);
 
         // --- Apply on the pinned scheduler --------------------------------
+        let apply_span = obs.span(Phase::Apply);
         let batch_len = plan.batch.len();
         let outcome = if plan.batch.is_empty() {
             None
@@ -1365,6 +1404,7 @@ fn coalescer_loop<S: BatchDynamic>(
                 }
             }
         };
+        drop(apply_span);
 
         // --- Checkpoint accounting (segmented WAL only) -------------------
         // The batch is durable and applied; fold it into the checkpoint
@@ -1386,11 +1426,15 @@ fn coalescer_loop<S: BatchDynamic>(
         // Slot `pos` maps into the outcome exactly as `per_update` would:
         // positions below `num_deletes` are the delete prefix, the rest
         // line up with `outcome.inserted` in batch order.
+        let complete_span = obs.span(Phase::Complete);
         let batch_base = next_seq;
         stats.updates += batch_len as u64;
         if batch_len > 0 {
             stats.batches += 1;
             stats.max_batch_len = stats.max_batch_len.max(batch_len);
+            obs.add(Counter::Batches, 1);
+            obs.add(Counter::Updates, batch_len as u64);
+            obs.record_max(Counter::BatchMax, batch_len as u64);
         }
         next_seq += batch_len as u64;
         // The epoch at which this whole batch became visible: the
@@ -1433,6 +1477,7 @@ fn coalescer_loop<S: BatchDynamic>(
             };
             let _ = tx.send(msg);
         }
+        drop(complete_span);
         if closed {
             break;
         }

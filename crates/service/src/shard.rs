@@ -36,6 +36,38 @@
 //! published does the router advance the shared global epoch and complete
 //! tickets. [`ShardedQuery::view`] resolves a frozen `Arc` per shard, all
 //! at one epoch ≥ the global epoch — a consistent cross-shard cut.
+//!
+//! # Example
+//!
+//! Three replicas behind one router, in memory (a durable deployment adds
+//! [`ServiceBuilder::wal_dir`], giving each shard its own segmented log):
+//!
+//! ```
+//! use pbdmm_matching::DynamicMatching;
+//! use pbdmm_service::service::{Done, ServiceConfig};
+//!
+//! let (svc, query) = ServiceConfig::builder()
+//!     .shards(3)
+//!     .start_sharded(|| DynamicMatching::with_seed(42)) // same seed each call!
+//!     .unwrap();
+//! let h = svc.handle();
+//! let id = match h.insert(vec![0, 1]).wait().unwrap().done {
+//!     Done::Inserted(id) => id,
+//!     other => unreachable!("{other:?}"),
+//! };
+//!
+//! // One consistent cross-shard cut: all three snapshots at one epoch,
+//! // and (full replication) every shard answers for every vertex.
+//! let view = query.view();
+//! assert_eq!(view.shards.len(), 3);
+//! assert!(view.shards.iter().all(|s| s.epoch() == view.epoch));
+//! assert!(view.shards.iter().all(|s| s.contains_edge(id)));
+//!
+//! drop(h);
+//! let (shards, stats) = svc.shutdown();
+//! assert_eq!(stats.routed.iter().sum::<u64>(), 1); // logged once, on the owner
+//! assert!(shards.iter().all(|m| m.num_edges() == 1)); // replicas in lockstep
+//! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -46,6 +78,7 @@ use pbdmm_graph::edge::EdgeId;
 use pbdmm_graph::update::{Batch, Update};
 use pbdmm_matching::snapshot::{Changes, MatchingSnapshot, SnapshotReader, Snapshots};
 use pbdmm_matching::DynamicMatching;
+use pbdmm_primitives::obs::{Counter, Phase};
 use pbdmm_primitives::pool::ParPool;
 
 use crate::coalesce::{edge_shards, plan_sharded, Slot, MAX_SHARDS};
@@ -462,6 +495,9 @@ fn start_multi(
             (_, Some(t)) => r.set_pool(ParPool::with_threads(t)),
             _ => {}
         }
+        // All shards share the one recorder: phase totals aggregate
+        // across replicas (per-shard splits ride on ShardedStats).
+        r.set_obs(config.obs.clone());
     }
     let epoch_base = replicas[0].epoch();
     for (i, r) in replicas.iter().enumerate() {
@@ -489,6 +525,7 @@ fn start_multi(
                     wal: Some(cfg.clone()),
                     pool: None,
                     shards: k,
+                    obs: config.obs.clone(),
                 };
                 let ckpt_fn = ckpt_fn_for(&shard_config, r);
                 let sink =
@@ -691,6 +728,7 @@ fn multi_loop(
     let policy = config.policy;
     let max_batch = policy.max_batch.max(1);
     let linger = policy.max_delay;
+    let obs = config.obs.clone();
     let mut stats = ShardedStats {
         service: ServiceStats::default(),
         routed: vec![0; k],
@@ -772,12 +810,16 @@ fn multi_loop(
         }
         if closed || closing {
             stats.service.flush_close += 1;
+            obs.add(Counter::FlushClose, 1);
         } else if ops.len() >= max_batch {
             stats.service.flush_full += 1;
+            obs.add(Counter::FlushFull, 1);
         } else if timer_expired {
             stats.service.flush_timer += 1;
+            obs.add(Counter::FlushTimer, 1);
         } else {
             stats.service.flush_idle += 1;
+            obs.add(Counter::FlushIdle, 1);
         }
 
         if let Some(e) = &wal_wedged {
@@ -790,9 +832,13 @@ fn multi_loop(
             continue;
         }
 
+        // Busy span, as in the plain coalescer: plan → last completion.
+        let _batch_span = obs.span(Phase::Batch);
+
         // --- Plan + route. Shard 0's structure answers liveness and edge
         // vertex lookups (replicas are identical, and it lives on this
         // thread).
+        let plan_span = obs.span(Phase::Plan);
         let sp = plan_sharded(
             ops,
             k,
@@ -840,6 +886,10 @@ fn multi_loop(
                 Slot::InBatch(_) | Slot::DuplicateDelete(_) => waiting.push((tx, slot)),
             }
         }
+        if let Some(max_routed) = route.routed.iter().map(|r| r.len()).max() {
+            obs.record_max(Counter::ShardRoutedMax, max_routed as u64);
+        }
+        drop(plan_span);
 
         let batch_len = plan.batch.len();
         let outcome = if batch_len == 0 {
@@ -862,11 +912,15 @@ fn multi_loop(
                     w.job_tx.send(job).expect("shard worker died");
                 }
                 let r0 = {
+                    let _wal_span = obs.span(Phase::WalAppend);
                     let sink = sink0.as_mut().expect("checked above");
                     sink.mark()
                         .and_then(|m| sink.append_routed(&global, &routes[0]).map(|()| m))
                 };
-                let replies = wait_all(&workers);
+                let replies = {
+                    let _barrier = obs.span(Phase::ShardBarrierWal);
+                    wait_all(&workers)
+                };
                 let mut first_err: Option<ServiceError> = None;
                 match r0 {
                     Ok(m) => {
@@ -916,8 +970,14 @@ fn multi_loop(
                 };
                 w.job_tx.send(job).expect("shard worker died");
             }
-            let r0 = s0.apply((*global).clone());
-            let replies = wait_all(&workers);
+            let r0 = {
+                let _apply_span = obs.span(Phase::Apply);
+                s0.apply((*global).clone())
+            };
+            let replies = {
+                let _barrier = obs.span(Phase::ShardBarrierApply);
+                wait_all(&workers)
+            };
             match r0 {
                 Ok(out) => {
                     for (i, r) in replies.into_iter().enumerate() {
@@ -997,11 +1057,15 @@ fn multi_loop(
         // --- Epoch barrier: all K snapshots for this batch are published;
         // advance the global epoch, then complete tickets (read-your-writes
         // against any shard).
+        let complete_span = obs.span(Phase::Complete);
         let batch_base = next_seq;
         stats.service.updates += batch_len as u64;
         if batch_len > 0 {
             stats.service.batches += 1;
             stats.service.max_batch_len = stats.service.max_batch_len.max(batch_len);
+            obs.add(Counter::Batches, 1);
+            obs.add(Counter::Updates, batch_len as u64);
+            obs.record_max(Counter::BatchMax, batch_len as u64);
         }
         next_seq += batch_len as u64;
         let visible_epoch = epoch_base + next_seq;
@@ -1039,6 +1103,7 @@ fn multi_loop(
             };
             let _ = tx.send(msg);
         }
+        drop(complete_span);
         if closed {
             break;
         }

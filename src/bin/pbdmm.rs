@@ -33,11 +33,12 @@ use pbdmm::net::daemon::{Daemon, DaemonConfig};
 use pbdmm::net::load::{run_load, LoadConfig};
 use pbdmm::net::Client;
 use pbdmm::primitives::cost::CostMeter;
+use pbdmm::primitives::obs::{Counter, Phase, Recorder};
 use pbdmm::primitives::rng::SplitMix64;
 use pbdmm::service::{
-    detect_shards, recover_dir_with, recover_matching_from_dir, recover_sharded_matching,
-    replay_matching, replay_setcover, shard_dir, CoalescePolicy, Done, RecoveryInfo, ServiceConfig,
-    ServiceHandle, ServiceStats, ShardedStats, WalConfig, MAX_SHARDS,
+    detect_shards, recover_dir_with, recover_sharded_matching, replay_into, replay_setcover,
+    shard_dir, CoalescePolicy, Done, RecoveryInfo, ServiceConfig, ServiceHandle, ServiceStats,
+    ShardedStats, WalConfig, MAX_SHARDS,
 };
 use pbdmm::setcover::CoverSnapshot;
 use pbdmm::{BatchDynamic, DynamicMatching, DynamicSetCover};
@@ -65,13 +66,16 @@ usage:
               [--max-delay-us D] [--structure matching|setcover]
               [--wal PATH|none] [--wal-sync BOOL] [--checkpoint-every N]
               [--compare direct|none] [--shards K] [--seed S] [--threads T]
+              [--profile [interval=N]]
   pbdmm replay <wal-file-or-dir> [--from-genesis BOOL] [--shards K] [--threads T]
+              [--profile]
   pbdmm daemon [--port P] [--host H] [--max-connections C] [--max-inflight W]
                [--max-batch B] [--max-delay-us D] [--wal PATH|none]
                [--wal-sync BOOL] [--checkpoint-every N] [--shards K]
-               [--seed S] [--threads T]
+               [--seed S] [--threads T] [--profile [interval=N]]
   pbdmm load (--port P | --addr HOST:PORT) [--connections M] [--updates N]
              [--queries Q] [--shutdown BOOL] [--shards K] [--seed S] [--threads T]
+             [--profile [interval=N]]
 
   serve drives a synthetic P-producer load through the batch-coalescing
   update service (ingress -> coalesce -> WAL -> apply -> snapshot) and
@@ -123,7 +127,19 @@ usage:
   force it with --shards K) and recovers through the K-way merge onto a
   consistent cross-shard cut; --from-genesis works there too. load
   --shards K pins each connection's vertices to one shard, the traffic
-  locality a partitioned deployment sees.";
+  locality a partitioned deployment sees.
+
+  --profile (serve, daemon, replay, load) turns on the per-phase
+  profiler: where batch time went (plan, WAL append, apply with settle
+  and snapshot-publish sub-phases, completion; plus frame decode and
+  dispatch in the daemon) as count/total/share/p50/p99/max per phase,
+  with batch-size and flush-cause counters, printed as a block at exit.
+  --profile interval=N (serve, daemon, load) also prints a delta report
+  every N seconds while running. load --profile scrapes the same table
+  from the live daemon over the wire (the daemon itself must run with
+  --profile, else load notes profiling is disabled). Off by default and
+  free when off: disabled recorders are no-op guards (see
+  PERFORMANCE.md for how to read the table).";
 
 /// Minimal flag parser: `--key value` pairs after positional arguments.
 struct Args {
@@ -134,10 +150,19 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut flags = std::collections::HashMap::new();
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            // `--profile` may stand alone (= `true`) or take a value
+            // (`true`, `false`, `interval=N`); every other flag requires one.
+            let value = if key == "profile" {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
+                    _ => "true".to_string(),
+                }
+            } else {
+                it.next().ok_or_else(|| format!("--{key} needs a value"))?
+            };
             flags.insert(key.to_string(), value);
         } else if a == "-o" {
             let value = it.next().ok_or("-o needs a value")?;
@@ -158,6 +183,104 @@ impl Args {
             None => Ok(default),
             Some(v) => v.parse().map_err(|e| format!("--{key} {v:?}: {e}")),
         }
+    }
+}
+
+/// What the shared `--profile` flag asked for: a recorder (disabled unless
+/// the flag was given) and an optional interval for periodic deltas.
+struct ProfileOpts {
+    obs: Recorder,
+    interval: Option<Duration>,
+}
+
+/// Parse `--profile` / `--profile true|false` / `--profile interval=N`
+/// (N whole seconds between periodic delta reports).
+fn profile_from_flags(args: &Args) -> Result<ProfileOpts, String> {
+    let (on, interval) = match args.flags.get("profile").map(String::as_str) {
+        None | Some("false") => (false, None),
+        Some("true") => (true, None),
+        Some(v) => {
+            let secs: u64 = v
+                .strip_prefix("interval=")
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| n > 0)
+                .ok_or_else(|| {
+                    format!(
+                        "--profile {v:?}: expected true, false, or interval=N \
+                         (N a positive whole number of seconds)"
+                    )
+                })?;
+            (true, Some(Duration::from_secs(secs)))
+        }
+    };
+    Ok(ProfileOpts {
+        obs: Recorder::enabled_if(on),
+        interval,
+    })
+}
+
+/// A background thread printing `profile [N]:` interval deltas of a
+/// recorder every `every` until dropped (or [`ProfilePrinter::finish`]).
+struct ProfilePrinter {
+    stop: std::sync::Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProfilePrinter {
+    /// Start printing interval deltas; `scrape` produces each cumulative
+    /// report (a local snapshot for serve/daemon, a wire scrape for load).
+    fn spawn(
+        every: Duration,
+        scrape: impl FnMut() -> Option<pbdmm::primitives::obs::ProfileReport> + Send + 'static,
+    ) -> ProfilePrinter {
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let stop2 = std::sync::Arc::clone(&stop);
+        let mut scrape = scrape;
+        let handle = std::thread::spawn(move || {
+            let mut prev: Option<pbdmm::primitives::obs::ProfileReport> = None;
+            let mut n = 0u64;
+            // Sleep in short ticks so the final join is prompt.
+            let tick = Duration::from_millis(25);
+            let mut slept = Duration::ZERO;
+            loop {
+                if stop2.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(tick);
+                slept += tick;
+                if slept < every {
+                    continue;
+                }
+                slept = Duration::ZERO;
+                let Some(now) = scrape() else { continue };
+                n += 1;
+                let d = match &prev {
+                    Some(p) => now.delta(p),
+                    None => now.clone(),
+                };
+                print!("profile interval {n}:\n{}", d.render());
+                prev = Some(now);
+            }
+        });
+        ProfilePrinter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop and join the printer.
+    fn finish(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Print the end-of-run cumulative profile block (no-op when disabled).
+fn print_profile(obs: &Recorder) {
+    if obs.is_enabled() {
+        print!("{}", obs.snapshot().render());
     }
 }
 
@@ -564,6 +687,7 @@ type ServeOutcome<S> = (u64, f64, Vec<f64>, ServiceStats, ReadReport, S);
 /// Drive a synthetic multi-producer load through the service — with
 /// `readers` concurrent snapshot-reader threads resolving point queries
 /// against the epoch read path the whole time — and report.
+#[allow(clippy::too_many_arguments)]
 fn serve_load<S>(
     structure: S,
     producers: usize,
@@ -572,12 +696,13 @@ fn serve_load<S>(
     policy: CoalescePolicy,
     wal: Option<WalConfig>,
     seed: u64,
+    obs: Recorder,
 ) -> Result<ServeOutcome<S>, String>
 where
     S: BatchDynamic + Snapshots + Checkpoint + Send + 'static,
     S::Snap: ProbeSnapshot,
 {
-    let mut builder = ServiceConfig::builder().policy(policy);
+    let mut builder = ServiceConfig::builder().policy(policy).obs(obs);
     if let Some(cfg) = wal {
         builder = builder.wal(cfg);
     }
@@ -694,7 +819,7 @@ where
 /// sharded tier exists for read scale-out); `readers = 0` merely skips the
 /// reader threads. Returns shard 0's replica — all K are byte-identical by
 /// construction — plus the routing stats.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn serve_load_sharded(
     seed: u64,
     shards: usize,
@@ -703,6 +828,7 @@ fn serve_load_sharded(
     readers: usize,
     policy: CoalescePolicy,
     wal: Option<WalConfig>,
+    obs: Recorder,
 ) -> Result<
     (
         u64,
@@ -715,7 +841,10 @@ fn serve_load_sharded(
     ),
     String,
 > {
-    let mut builder = ServiceConfig::builder().policy(policy).shards(shards);
+    let mut builder = ServiceConfig::builder()
+        .policy(policy)
+        .shards(shards)
+        .obs(obs);
     if let Some(cfg) = wal {
         builder = builder.wal(cfg);
     }
@@ -950,6 +1079,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         seed,
         ids_recycling: false,
     };
+    let prof = profile_from_flags(args)?;
     let wal = wal_from_flags(args, &meta, wal_sync, shards, "serve")?;
     let wal_path = wal.as_ref().map(|w| w.path.clone());
     println!(
@@ -967,10 +1097,22 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
     );
 
+    let printer = prof.interval.map(|every| {
+        let obs = prof.obs.clone();
+        ProfilePrinter::spawn(every, move || Some(obs.snapshot()))
+    });
     let (total, seconds, latencies, stats, read, final_line, routing) = match structure.as_str() {
         "matching" if shards > 1 => {
-            let (total, seconds, latencies, stats, read, m, routing) =
-                serve_load_sharded(seed, shards, producers, per_producer, readers, policy, wal)?;
+            let (total, seconds, latencies, stats, read, m, routing) = serve_load_sharded(
+                seed,
+                shards,
+                producers,
+                per_producer,
+                readers,
+                policy,
+                wal,
+                prof.obs.clone(),
+            )?;
             check_invariants(&m).map_err(|e| format!("post-serve invariants: {e}"))?;
             let line = format!(
                 "final: epoch={} edges={} matching={}",
@@ -989,6 +1131,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 policy,
                 wal,
                 seed,
+                prof.obs.clone(),
             )?;
             check_invariants(&m).map_err(|e| format!("post-serve invariants: {e}"))?;
             let line = format!(
@@ -1008,6 +1151,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 policy,
                 wal,
                 seed,
+                prof.obs.clone(),
             )?;
             check_invariants(c.matching()).map_err(|e| format!("post-serve invariants: {e}"))?;
             let line = format!(
@@ -1022,21 +1166,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown structure {other:?}")),
     };
 
+    if let Some(p) = printer {
+        p.finish();
+    }
     let service_rate = total as f64 / seconds;
     println!(
         "coalesced service: {}",
         metrics::throughput_summary(total, seconds)
     );
-    println!(
-        "batches: {} applied, mean size {:.1}, max {} (flush full/idle/timer/close: {}/{}/{}/{})",
-        stats.batches,
-        stats.mean_batch_len(),
-        stats.max_batch_len,
-        stats.flush_full,
-        stats.flush_idle,
-        stats.flush_timer,
-        stats.flush_close
-    );
+    println!("batches: {}", metrics::batches_summary(&stats));
     println!("ticket latency: {}", metrics::latency_summary(&latencies));
     if readers > 0 {
         println!(
@@ -1069,6 +1207,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if let Some(routing) = &routing {
         println!("{}", sharding_summary(routing));
     }
+    print_profile(&prof.obs);
     println!("{final_line}");
 
     if compare == "direct" {
@@ -1131,6 +1270,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     if path.is_dir() {
         return replay_dir(&path, args);
     }
+    let prof = profile_from_flags(args)?;
     let wal = read_wal_file(&path)?;
     println!(
         "wal: {} committed batches, {} updates, structure={} seed={}{}",
@@ -1147,7 +1287,18 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     let start = std::time::Instant::now();
     match wal.meta.structure.as_str() {
         "matching" => {
-            let (m, report) = replay_matching(&wal)?;
+            // Replay with the profile recorder attached: the whole replay
+            // is one `batch`/`apply` span, and the matching tier records
+            // per-batch `settle`/`snapshot_publish` sub-spans inside it.
+            let mut m = DynamicMatching::with_seed(wal.meta.seed);
+            m.set_obs(prof.obs.clone());
+            let report = {
+                let _batch = prof.obs.span(Phase::Batch);
+                let _apply = prof.obs.span(Phase::Apply);
+                replay_into(&mut m, &wal)?
+            };
+            prof.obs.add(Counter::Batches, report.batches);
+            prof.obs.add(Counter::Updates, report.updates);
             check_invariants(&m).map_err(|e| format!("replayed invariants: {e}"))?;
             println!(
                 "replayed {} updates in {} applies ({} deferred) in {:.1} ms",
@@ -1164,7 +1315,13 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
             );
         }
         "setcover" => {
-            let (c, report) = replay_setcover(&wal)?;
+            let (c, report) = {
+                let _batch = prof.obs.span(Phase::Batch);
+                let _apply = prof.obs.span(Phase::Apply);
+                replay_setcover(&wal)?
+            };
+            prof.obs.add(Counter::Batches, report.batches);
+            prof.obs.add(Counter::Updates, report.updates);
             check_invariants(c.matching()).map_err(|e| format!("replayed invariants: {e}"))?;
             println!(
                 "replayed {} updates in {} applies ({} deferred) in {:.1} ms",
@@ -1183,6 +1340,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         }
         other => return Err(format!("WAL records unknown structure {other:?}")),
     }
+    print_profile(&prof.obs);
     println!("invariants: ok");
     Ok(())
 }
@@ -1201,13 +1359,14 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
 fn replay_dir(dir: &PathBuf, args: &Args) -> Result<(), String> {
     let from_genesis: bool = args.flag("from-genesis", false)?;
     let shards_flag: usize = args.flag("shards", 0)?;
+    let prof = profile_from_flags(args)?;
     let shards = match shards_flag {
         0 => detect_shards(dir),
         1 => None,
         k => Some(k),
     };
     if let Some(k) = shards {
-        return replay_sharded_dir(dir, k, from_genesis);
+        return replay_sharded_dir(dir, k, from_genesis, &prof);
     }
     let meta = oldest_segment_meta(dir)?;
     println!(
@@ -1219,7 +1378,28 @@ fn replay_dir(dir: &PathBuf, args: &Args) -> Result<(), String> {
     let start = std::time::Instant::now();
     match meta.structure.as_str() {
         "matching" => {
-            let rec = recover_matching_from_dir(dir, from_genesis)?;
+            // Recover through the generic path with the profile recorder
+            // attached to the structure before any batch replays.
+            let (seed, recycling) = (meta.seed, meta.ids_recycling);
+            let obs = prof.obs.clone();
+            let rec = {
+                let _batch = prof.obs.span(Phase::Batch);
+                let _apply = prof.obs.span(Phase::Apply);
+                recover_dir_with(
+                    dir,
+                    move || {
+                        let mut m = DynamicMatching::with_seed(seed);
+                        if recycling {
+                            m.set_recycle_ids(true);
+                        }
+                        m.set_obs(obs.clone());
+                        m
+                    },
+                    from_genesis,
+                )?
+            };
+            prof.obs.add(Counter::Batches, rec.info().report.batches);
+            prof.obs.add(Counter::Updates, rec.info().report.updates);
             print_recovery(&rec.info(), start.elapsed());
             let m = rec.structure;
             check_invariants(&m).map_err(|e| format!("recovered invariants: {e}"))?;
@@ -1232,8 +1412,13 @@ fn replay_dir(dir: &PathBuf, args: &Args) -> Result<(), String> {
         }
         "setcover" => {
             let seed = meta.seed;
-            let rec =
-                recover_dir_with(dir, move || DynamicSetCover::with_seed(seed), from_genesis)?;
+            let rec = {
+                let _batch = prof.obs.span(Phase::Batch);
+                let _apply = prof.obs.span(Phase::Apply);
+                recover_dir_with(dir, move || DynamicSetCover::with_seed(seed), from_genesis)?
+            };
+            prof.obs.add(Counter::Batches, rec.info().report.batches);
+            prof.obs.add(Counter::Updates, rec.info().report.updates);
             print_recovery(&rec.info(), start.elapsed());
             let c = rec.structure;
             check_invariants(c.matching()).map_err(|e| format!("recovered invariants: {e}"))?;
@@ -1247,6 +1432,7 @@ fn replay_dir(dir: &PathBuf, args: &Args) -> Result<(), String> {
         }
         other => return Err(format!("WAL records unknown structure {other:?}")),
     }
+    print_profile(&prof.obs);
     println!("invariants: ok");
     Ok(())
 }
@@ -1255,7 +1441,12 @@ fn replay_dir(dir: &PathBuf, args: &Args) -> Result<(), String> {
 /// sharded recovery (read-only: torn tails are tolerated, never trimmed),
 /// verify all K recovered replicas agree, and print the same
 /// byte-comparable `final:` line as every other replay path.
-fn replay_sharded_dir(dir: &Path, k: usize, from_genesis: bool) -> Result<(), String> {
+fn replay_sharded_dir(
+    dir: &Path,
+    k: usize,
+    from_genesis: bool,
+    prof: &ProfileOpts,
+) -> Result<(), String> {
     let meta = oldest_segment_meta(&shard_dir(dir, 0))?;
     if meta.structure != "matching" {
         return Err(format!(
@@ -1270,7 +1461,13 @@ fn replay_sharded_dir(dir: &Path, k: usize, from_genesis: bool) -> Result<(), St
         meta.seed
     );
     let start = std::time::Instant::now();
-    let rec = recover_sharded_matching(dir, k, from_genesis, false)?;
+    let rec = {
+        let _batch = prof.obs.span(Phase::Batch);
+        let _apply = prof.obs.span(Phase::Apply);
+        recover_sharded_matching(dir, k, from_genesis, false)?
+    };
+    prof.obs.add(Counter::Batches, rec.info.report.batches);
+    prof.obs.add(Counter::Updates, rec.info.report.updates);
     print_recovery(&rec.info, start.elapsed());
     let mut replicas = rec.shards;
     let m = replicas.remove(0);
@@ -1294,6 +1491,7 @@ fn replay_sharded_dir(dir: &Path, k: usize, from_genesis: bool) -> Result<(), St
         m.num_edges(),
         m.matching_size()
     );
+    print_profile(&prof.obs);
     println!("invariants: ok ({k} shards agree)");
     Ok(())
 }
@@ -1371,6 +1569,7 @@ fn cmd_daemon(args: &Args) -> Result<(), String> {
         seed,
         ids_recycling: false,
     };
+    let prof = profile_from_flags(args)?;
     let wal = wal_from_flags(args, &meta, wal_sync, shards, "daemon")?;
     let wal_path = wal.as_ref().map(|w| w.path.clone());
     let cfg = DaemonConfig {
@@ -1383,6 +1582,7 @@ fn cmd_daemon(args: &Args) -> Result<(), String> {
         },
         wal,
         shards,
+        obs: prof.obs.clone(),
         ..Default::default()
     };
     // A segmented WAL directory is a recoverable log: resume from it (an
@@ -1431,22 +1631,21 @@ fn cmd_daemon(args: &Args) -> Result<(), String> {
     std::io::stdout().flush().map_err(|e| e.to_string())?;
 
     // Serve until a client's Shutdown frame triggers the drain.
+    let printer = prof.interval.map(|every| {
+        let obs = prof.obs.clone();
+        ProfilePrinter::spawn(every, move || Some(obs.snapshot()))
+    });
     let report = daemon.run();
+    if let Some(p) = printer {
+        p.finish();
+    }
     check_invariants(&report.structure).map_err(|e| format!("post-daemon invariants: {e}"))?;
     println!(
         "daemon: drained after {} connections ({} overloaded, {} protocol errors)",
         report.wire.total_connections, report.wire.overloaded, report.wire.protocol_errors
     );
-    println!(
-        "batches: {} applied, mean size {:.1}, max {} (flush full/idle/timer/close: {}/{}/{}/{})",
-        report.service.batches,
-        report.service.mean_batch_len(),
-        report.service.max_batch_len,
-        report.service.flush_full,
-        report.service.flush_idle,
-        report.service.flush_timer,
-        report.service.flush_close
-    );
+    println!("batches: {}", metrics::batches_summary(&report.service));
+    print_profile(&prof.obs);
     if let Some(path) = &wal_path {
         println!(
             "wal: {} batches appended to {}",
@@ -1496,6 +1695,7 @@ fn cmd_load(args: &Args) -> Result<(), String> {
     let seed: u64 = args.flag("seed", 42)?;
     let shards: usize = args.flag("shards", 1)?;
     let shutdown: bool = args.flag("shutdown", false)?;
+    let prof = profile_from_flags(args)?;
     if connections == 0 || per_connection == 0 {
         return Err("--connections and --updates must be positive".into());
     }
@@ -1513,7 +1713,15 @@ fn cmd_load(args: &Args) -> Result<(), String> {
         "load: {connections} connections x {per_connection} updates against {addr} \
          (queries/window {queries_per_window}, seed {seed}, shard affinity K={shards})"
     );
+    // With --profile interval=N, scrape the daemon's cumulative profile
+    // over a fresh connection each interval and print the deltas.
+    let printer = prof.interval.map(|every| {
+        ProfilePrinter::spawn(every, move || Client::connect(addr).ok()?.profile().ok())
+    });
     let report = run_load(addr, &cfg)?;
+    if let Some(p) = printer {
+        p.finish();
+    }
     println!(
         "over-the-wire service: {}",
         metrics::throughput_summary(report.updates, report.seconds)
@@ -1539,6 +1747,16 @@ fn cmd_load(args: &Args) -> Result<(), String> {
         "admission: {} overloaded (retried), {} protocol errors",
         report.overloaded, report.protocol_errors
     );
+    if prof.obs.is_enabled() {
+        // Scrape the daemon's cumulative per-phase profile over the wire.
+        let mut c = Client::connect(addr).map_err(|e| format!("profile connection: {e}"))?;
+        let daemon_profile = c.profile().map_err(|e| format!("profile request: {e}"))?;
+        if daemon_profile.is_empty() {
+            println!("profile: daemon profiling disabled (start the daemon with --profile)");
+        } else {
+            print!("{}", daemon_profile.render());
+        }
+    }
     if shutdown {
         let mut c = Client::connect(addr).map_err(|e| format!("shutdown connection: {e}"))?;
         let stats = c.shutdown().map_err(|e| format!("shutdown request: {e}"))?;
